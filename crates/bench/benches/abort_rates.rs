@@ -1,0 +1,25 @@
+//! EXP-AB complement: replay cost including baseline abort handling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdbs_core::replay::{replay, Script};
+use mdbs_core::scheme::SchemeKind;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_replay");
+    group.sample_size(30);
+    let script = Script::random(24, 4, 2.5, 13);
+    for kind in [
+        SchemeKind::AbortingTo,
+        SchemeKind::OptimisticTicket,
+        SchemeKind::Scheme3,
+    ] {
+        group.bench_function(
+            BenchmarkId::from_parameter(kind.name().replace(' ', "")),
+            |b| b.iter(|| replay(kind, &script)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

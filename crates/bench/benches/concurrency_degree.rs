@@ -1,0 +1,35 @@
+//! Degree-of-concurrency measurement bench (EXP-DOC / EXP-ALL): the cost
+//! of replaying random vs serializable insertion orders per scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdbs_core::replay::{replay, Script};
+use mdbs_core::scheme::SchemeKind;
+
+fn bench_random_orders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_orders");
+    group.sample_size(30);
+    let script = Script::random(16, 4, 2.5, 11);
+    for kind in SchemeKind::CONSERVATIVE {
+        group.bench_function(
+            BenchmarkId::from_parameter(kind.name().replace(' ', "")),
+            |b| b.iter(|| replay(kind, &script)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_serializable_orders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serializable_orders");
+    group.sample_size(30);
+    let script = Script::serializable_order(16, 4, 2.5, 11);
+    for kind in [SchemeKind::Scheme0, SchemeKind::Scheme3] {
+        group.bench_function(
+            BenchmarkId::from_parameter(kind.name().replace(' ', "")),
+            |b| b.iter(|| replay(kind, &script)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_random_orders, bench_serializable_orders);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! EXP-E2E complement: one full MDBS simulation per scheme (wall time of
+//! the whole discrete-event run).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdbs_core::scheme::SchemeKind;
+use mdbs_localdb::protocol::LocalProtocolKind;
+use mdbs_sim::system::{MdbsSystem, SystemConfig};
+use mdbs_workload::distributions::AccessDistribution;
+use mdbs_workload::generator::Workload;
+use mdbs_workload::spec::WorkloadSpec;
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        sites: 3,
+        global_txns: 24,
+        avg_sites_per_txn: 2.0,
+        ops_per_subtxn: 2,
+        read_ratio: 0.5,
+        items_per_site: 24,
+        distribution: AccessDistribution::Uniform,
+        local_txns_per_site: 4,
+        ops_per_local_txn: 2,
+        seed: 21,
+    }
+}
+
+fn bench_full_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_mdbs_run");
+    group.sample_size(15);
+    for scheme in SchemeKind::CONSERVATIVE {
+        group.bench_function(
+            BenchmarkId::from_parameter(scheme.name().replace(' ', "")),
+            |b| {
+                b.iter(|| {
+                    let cfg = SystemConfig::builder()
+                        .site(LocalProtocolKind::TwoPhaseLocking)
+                        .site(LocalProtocolKind::TimestampOrdering)
+                        .site(LocalProtocolKind::Optimistic)
+                        .scheme(scheme)
+                        .seed(21)
+                        .mpl(6)
+                        .build();
+                    MdbsSystem::new(cfg).run(Workload::generate(&spec()))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_threaded_vs_des(c: &mut Criterion) {
+    use mdbs_sim::threaded::ThreadedMdbs;
+    let mut group = c.benchmark_group("threaded_vs_des");
+    group.sample_size(10);
+    let programs = Workload::generate(&spec()).globals;
+    group.bench_function("des", |b| {
+        b.iter(|| {
+            let cfg = SystemConfig::builder()
+                .site(LocalProtocolKind::TwoPhaseLocking)
+                .site(LocalProtocolKind::TimestampOrdering)
+                .site(LocalProtocolKind::Optimistic)
+                .scheme(SchemeKind::Scheme3)
+                .seed(21)
+                .mpl(6)
+                .build();
+            let mut w = Workload::generate(&spec());
+            w.locals.clear();
+            MdbsSystem::new(cfg).run(w)
+        })
+    });
+    group.bench_function("threaded", |b| {
+        b.iter(|| {
+            let rt = ThreadedMdbs::new(
+                vec![
+                    LocalProtocolKind::TwoPhaseLocking,
+                    LocalProtocolKind::TimestampOrdering,
+                    LocalProtocolKind::Optimistic,
+                ],
+                SchemeKind::Scheme3,
+                6,
+            );
+            rt.run(programs.clone())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_runs, bench_threaded_vs_des);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Local DBMS engine microbenchmarks: operation throughput per protocol
+//! on a low-conflict sequential workload (the substrate's baseline cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdbs_common::ids::{DataItemId, GlobalTxnId, SiteId, TxnId};
+use mdbs_localdb::engine::LocalDbms;
+use mdbs_localdb::protocol::LocalProtocolKind;
+
+fn run_batch(kind: LocalProtocolKind, txns: u64, ops: u64) -> LocalDbms {
+    let mut db = LocalDbms::new(SiteId(0), kind);
+    for t in 1..=txns {
+        let txn = TxnId::Global(GlobalTxnId(t));
+        db.begin(txn).unwrap();
+        for o in 0..ops {
+            let item = DataItemId(1 + (t * 7 + o) % 64);
+            if o % 2 == 0 {
+                let _ = db.submit_read(txn, item);
+            } else {
+                let _ = db.submit_write(txn, item, t as i64);
+            }
+        }
+        let _ = db.submit_commit(txn);
+        let _ = db.take_completions();
+    }
+    db
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_engine_sequential");
+    group.sample_size(20);
+    for kind in LocalProtocolKind::ALL {
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| run_batch(kind, 50, 8))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

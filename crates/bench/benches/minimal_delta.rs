@@ -1,0 +1,50 @@
+//! Theorem 7 wall-time bench: Eliminate_Cycles (polynomial) vs the exact
+//! minimum-Δ search (exponential) on growing ring TSGDs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdbs_common::ids::{GlobalTxnId, SiteId};
+use mdbs_common::step::StepCounter;
+use mdbs_core::tsgd::{eliminate_cycles, minimal_delta_exact, Tsgd};
+
+fn ring(k: usize) -> (Tsgd, GlobalTxnId) {
+    let mut t = Tsgd::new();
+    for i in 0..k {
+        t.insert_txn(
+            GlobalTxnId(i as u64 + 1),
+            &[SiteId(i as u32), SiteId(((i + 1) % k) as u32)],
+        );
+    }
+    let fresh = GlobalTxnId(99);
+    let sites: Vec<SiteId> = (0..k as u32).map(SiteId).collect();
+    t.insert_txn(fresh, &sites);
+    (t, fresh)
+}
+
+fn bench_eliminate_cycles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eliminate_cycles");
+    for k in [3usize, 5, 7] {
+        let (t, fresh) = ring(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &t, |b, t| {
+            b.iter(|| {
+                let mut steps = StepCounter::new();
+                eliminate_cycles(t, fresh, &mut steps)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_minimum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_minimum_delta");
+    group.sample_size(10);
+    for k in [3usize, 5, 6] {
+        let (t, fresh) = ring(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &t, |b, t| {
+            b.iter(|| minimal_delta_exact(t, fresh))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eliminate_cycles, bench_exact_minimum);
+criterion_main!(benches);

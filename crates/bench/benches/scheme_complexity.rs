@@ -1,0 +1,38 @@
+//! Wall-time complement to EXP-C0..C3: replay cost of each scheme as n
+//! and d_av grow. The abstract step counts in the experiments binary are
+//! the theorem-faithful metric; this confirms real time tracks them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdbs_core::replay::{replay, Script};
+use mdbs_core::scheme::SchemeKind;
+
+fn bench_schemes_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay_vs_n");
+    group.sample_size(20);
+    for n in [8usize, 32, 96] {
+        let script = Script::random(n, 6, 2.5, 42);
+        for kind in SchemeKind::CONSERVATIVE {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name().replace(' ', ""), n),
+                &script,
+                |b, script| b.iter(|| replay(kind, script)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_scheme0_vs_dav(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheme0_vs_dav");
+    group.sample_size(20);
+    for dav10 in [10u64, 30, 60] {
+        let script = Script::random(48, 8, dav10 as f64 / 10.0, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(dav10), &script, |b, script| {
+            b.iter(|| replay(SchemeKind::Scheme0, script))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes_vs_n, bench_scheme0_vs_dav);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! # mdbs-bench
+//!
+//! The experiment harness: every table in `EXPERIMENTS.md` is regenerated
+//! by `cargo run -p mdbs-bench --bin experiments --release [exp-id ...]`.
+//! Criterion wall-time benches live in `benches/`.
+//!
+//! The paper (SIGMOD 1992) has no measured evaluation — its "results" are
+//! Theorems 1–9 and the qualitative claims of Sections 3–7. Each experiment
+//! here makes one of those claims measurable; `EXPERIMENTS.md` records the
+//! expected shape next to the measured numbers.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod tables;
+
+pub use tables::Table;

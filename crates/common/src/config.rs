@@ -1,0 +1,130 @@
+//! Shared experiment parameters.
+//!
+//! The paper's complexity analysis is parameterized by three quantities:
+//!
+//! - `m` — number of sites,
+//! - `n` — bound on the number of concurrently active transactions `Ĝ_i`
+//!   (difference between processed `init` and `fin` operations),
+//! - `d_av` — average number of sites a global transaction executes at
+//!   (equivalently, the average number of operations of `Ĝ_i`).
+//!
+//! [`MdbsParams`] carries these plus the data-scale parameters the workload
+//! generator needs.
+
+use serde::{Deserialize, Serialize};
+
+/// Top-level MDBS shape parameters (the paper's `m`, `n`, `d_av`).
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct MdbsParams {
+    /// Number of local DBMS sites (`m`).
+    pub sites: usize,
+    /// Maximum number of concurrently active global transactions (`n`).
+    pub max_active_global: usize,
+    /// Average number of sites per global transaction (`d_av`).
+    pub avg_sites_per_txn: f64,
+    /// Data items per site (excluding the reserved ticket item).
+    pub items_per_site: usize,
+    /// Experiment seed; all randomness derives from it.
+    pub seed: u64,
+}
+
+impl MdbsParams {
+    /// A small default shape useful for examples and smoke tests:
+    /// 4 sites, 16 active global transactions, `d_av` = 2.5, 64 items/site.
+    pub fn small() -> Self {
+        MdbsParams {
+            sites: 4,
+            max_active_global: 16,
+            avg_sites_per_txn: 2.5,
+            items_per_site: 64,
+            seed: 0x6d64_6273,
+        }
+    }
+
+    /// Builder-style setter for `sites`.
+    pub fn with_sites(mut self, m: usize) -> Self {
+        self.sites = m;
+        self
+    }
+
+    /// Builder-style setter for `max_active_global`.
+    pub fn with_max_active(mut self, n: usize) -> Self {
+        self.max_active_global = n;
+        self
+    }
+
+    /// Builder-style setter for `avg_sites_per_txn`.
+    pub fn with_avg_sites(mut self, dav: f64) -> Self {
+        self.avg_sites_per_txn = dav;
+        self
+    }
+
+    /// Builder-style setter for `seed`.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the parameter combination, returning a description of the
+    /// first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.sites == 0 {
+            return Err("sites must be positive".into());
+        }
+        if self.max_active_global == 0 {
+            return Err("max_active_global must be positive".into());
+        }
+        if !(1.0..=self.sites as f64).contains(&self.avg_sites_per_txn) {
+            return Err(format!(
+                "avg_sites_per_txn must lie in [1, sites={}], got {}",
+                self.sites, self.avg_sites_per_txn
+            ));
+        }
+        if self.items_per_site == 0 {
+            return Err("items_per_site must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for MdbsParams {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_is_valid() {
+        assert_eq!(MdbsParams::small().validate(), Ok(()));
+    }
+
+    #[test]
+    fn builders_chain() {
+        let p = MdbsParams::small()
+            .with_sites(8)
+            .with_max_active(32)
+            .with_avg_sites(3.0)
+            .with_seed(7);
+        assert_eq!(p.sites, 8);
+        assert_eq!(p.max_active_global, 32);
+        assert_eq!(p.avg_sites_per_txn, 3.0);
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validation_catches_bad_shapes() {
+        assert!(MdbsParams::small().with_sites(0).validate().is_err());
+        assert!(MdbsParams::small().with_max_active(0).validate().is_err());
+        assert!(MdbsParams::small().with_avg_sites(0.5).validate().is_err());
+        assert!(MdbsParams::small()
+            .with_sites(2)
+            .with_avg_sites(3.0)
+            .validate()
+            .is_err());
+    }
+}

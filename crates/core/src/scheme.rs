@@ -1,0 +1,331 @@
+//! The conservative-scheme abstraction (Section 4 of the paper).
+//!
+//! A scheme is specified by its data structures plus `cond(o_j)` /
+//! `act(o_j)` for the four queue operation kinds — exactly how the paper
+//! specifies Schemes 0–3. One shared engine ([`crate::gtm2::Gtm2`]) runs
+//! the Basic_Scheme loop of Figure 3 over any [`Gtm2Scheme`].
+//!
+//! The paper's complexity accounting charges a scheme for (1) `cond`
+//! evaluations, (2) `act` executions, and (3) the work of determining which
+//! waiting operations became eligible after an `act`. Point (3) is exposed
+//! as [`Gtm2Scheme::wake_candidates`]: after `act(o)`, the scheme names the
+//! waiting operations whose `cond` could have turned true. Scheme 0 returns
+//! a single candidate (the new queue front) — that is how it achieves
+//! `O(1)` wait rescans; a naive scheme may return
+//! [`WakeCandidates::All`].
+
+use mdbs_common::ids::{GlobalTxnId, SiteId};
+use mdbs_common::ops::{QueueOp, QueueOpKind};
+use mdbs_common::step::StepCounter;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Unique identity of a queue operation (for the WAIT set). `site` is
+/// `None` for `Init`/`Fin`.
+pub type WaitKey = (QueueOpKind, GlobalTxnId, Option<SiteId>);
+
+/// Compute the wait key of an operation.
+pub fn wait_key(op: &QueueOp) -> WaitKey {
+    (op.kind(), op.txn(), op.site())
+}
+
+/// The WAIT set: waiting operations keyed by identity, with deterministic
+/// iteration order.
+#[derive(Clone, Debug, Default)]
+pub struct WaitSet {
+    ops: BTreeMap<WaitKey, QueueOp>,
+}
+
+impl WaitSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a waiting operation.
+    pub fn insert(&mut self, op: QueueOp) {
+        self.ops.insert(wait_key(&op), op);
+    }
+
+    /// Remove by key, returning the operation.
+    pub fn remove(&mut self, key: &WaitKey) -> Option<QueueOp> {
+        self.ops.remove(key)
+    }
+
+    /// Number of waiting operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Iterate the waiting operations in key order.
+    pub fn iter(&self) -> impl Iterator<Item = &QueueOp> {
+        self.ops.values()
+    }
+
+    /// All keys in order.
+    pub fn keys(&self) -> Vec<WaitKey> {
+        self.ops.keys().copied().collect()
+    }
+
+    /// Keys of waiting `Ser` operations at `site`.
+    pub fn ser_keys_at(&self, site: SiteId) -> Vec<WaitKey> {
+        self.ops
+            .keys()
+            .copied()
+            .filter(|(kind, _, s)| *kind == QueueOpKind::Ser && *s == Some(site))
+            .collect()
+    }
+
+    /// Keys of waiting `Fin` operations.
+    pub fn fin_keys(&self) -> Vec<WaitKey> {
+        self.ops
+            .keys()
+            .copied()
+            .filter(|(kind, ..)| *kind == QueueOpKind::Fin)
+            .collect()
+    }
+
+    /// Keys of waiting `Init` operations.
+    pub fn init_keys(&self) -> Vec<WaitKey> {
+        self.ops
+            .keys()
+            .copied()
+            .filter(|(kind, ..)| *kind == QueueOpKind::Init)
+            .collect()
+    }
+
+    /// Keys of waiting `Ser` operations of one transaction.
+    pub fn ser_keys_of(&self, txn: GlobalTxnId) -> Vec<WaitKey> {
+        self.ops
+            .keys()
+            .copied()
+            .filter(|(kind, t, _)| *kind == QueueOpKind::Ser && *t == txn)
+            .collect()
+    }
+
+    /// Key of a specific waiting `Ser` operation if present.
+    pub fn ser_key(&self, txn: GlobalTxnId, site: SiteId) -> Option<WaitKey> {
+        let key = (QueueOpKind::Ser, txn, Some(site));
+        self.ops.contains_key(&key).then_some(key)
+    }
+}
+
+/// Which waiting operations may have become eligible after an `act`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WakeCandidates {
+    /// Nothing can have changed.
+    None,
+    /// Re-evaluate every waiting operation (cost: the whole WAIT set).
+    All,
+    /// Re-evaluate exactly these.
+    Keys(Vec<WaitKey>),
+}
+
+/// Effects an `act` can request from the surrounding system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchemeEffect {
+    /// Submit `ser_k(G_i)` to the local DBMS through the site's server.
+    SubmitSer {
+        /// Transaction whose serialization event runs.
+        txn: GlobalTxnId,
+        /// Site of the event.
+        site: SiteId,
+    },
+    /// Forward `ack(ser_k(G_i))` to GTM1.
+    ForwardAck {
+        /// Transaction acknowledged.
+        txn: GlobalTxnId,
+        /// Site acknowledging.
+        site: SiteId,
+    },
+    /// Abort the global transaction (non-conservative baselines only; the
+    /// paper's conservative schemes never emit this).
+    AbortGlobal {
+        /// Victim.
+        txn: GlobalTxnId,
+    },
+}
+
+/// A GTM2 scheduling scheme: data structures plus `cond`/`act`.
+pub trait Gtm2Scheme {
+    /// Display name ("Scheme 0", ...).
+    fn name(&self) -> &'static str;
+
+    /// Evaluate `cond(op)` over the scheme's data structures. Must be free
+    /// of side effects on scheduling state; charges its work to `steps`.
+    fn cond(&self, op: &QueueOp, steps: &mut StepCounter) -> bool;
+
+    /// Execute `act(op)`, mutating the data structures and returning
+    /// effects. Only called when `cond(op)` holds.
+    fn act(&mut self, op: &QueueOp, steps: &mut StepCounter) -> Vec<SchemeEffect>;
+
+    /// After `act(acted)`, which waiting operations might now satisfy their
+    /// `cond`? Charged to `steps` as wait-scan work.
+    fn wake_candidates(
+        &self,
+        acted: &QueueOp,
+        wait: &WaitSet,
+        steps: &mut StepCounter,
+    ) -> WakeCandidates {
+        let _ = acted;
+        steps.bump(mdbs_common::step::StepKind::WaitScan, wait.len() as u64);
+        WakeCandidates::All
+    }
+
+    /// Internal consistency check, called by the engine after every act in
+    /// tests. Panics on violation.
+    fn debug_validate(&self) {}
+}
+
+/// Wraps a scheme, discarding its wake hints in favor of re-examining the
+/// whole WAIT set after every act — the naive reading of Figure 3's inner
+/// loop. Behaviorally identical to the wrapped scheme (property-tested),
+/// but pays `O(|WAIT|)` rescan steps per act; the EXP-WAIT experiment uses
+/// it to measure what the paper's wake-targeting accounting saves.
+pub struct FullRescan(pub Box<dyn Gtm2Scheme + Send>);
+
+impl Gtm2Scheme for FullRescan {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn cond(&self, op: &QueueOp, steps: &mut StepCounter) -> bool {
+        self.0.cond(op, steps)
+    }
+    fn act(&mut self, op: &QueueOp, steps: &mut StepCounter) -> Vec<SchemeEffect> {
+        self.0.act(op, steps)
+    }
+    fn wake_candidates(
+        &self,
+        _acted: &QueueOp,
+        wait: &WaitSet,
+        steps: &mut StepCounter,
+    ) -> WakeCandidates {
+        steps.bump(mdbs_common::step::StepKind::WaitScan, wait.len() as u64);
+        WakeCandidates::All
+    }
+    fn debug_validate(&self) {
+        self.0.debug_validate();
+    }
+}
+
+/// Enumeration of the provided GTM2 schemes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemeKind {
+    /// Scheme 0 — per-site FIFO queues (conservative-TO-like).
+    Scheme0,
+    /// Scheme 1 — transaction-site graph.
+    Scheme1,
+    /// Scheme 2 — TSG with dependencies.
+    Scheme2,
+    /// Ablation: Scheme 2 with exact minimum Δ (Theorem 7's NP-hard
+    /// variant) instead of `Eliminate_Cycles`.
+    Scheme2Minimal,
+    /// Historical negative baseline: the naive BS88-style site-graph
+    /// scheme with fin-time edge deletion — **unsound** (see
+    /// [`crate::scheme_sg`]); kept to demonstrate the flaw Scheme 1's
+    /// delete queues fix.
+    SiteGraph,
+    /// Scheme 3 — the O-scheme admitting all serializable schedules.
+    Scheme3,
+    /// Baseline: aborting timestamp scheduler on `ser(S)`.
+    AbortingTo,
+    /// Baseline: optimistic validation at `fin` (ticket-method flavor).
+    OptimisticTicket,
+}
+
+impl SchemeKind {
+    /// The four conservative schemes of the paper.
+    pub const CONSERVATIVE: [SchemeKind; 4] = [
+        SchemeKind::Scheme0,
+        SchemeKind::Scheme1,
+        SchemeKind::Scheme2,
+        SchemeKind::Scheme3,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::Scheme0 => "Scheme 0",
+            SchemeKind::Scheme1 => "Scheme 1",
+            SchemeKind::Scheme2 => "Scheme 2",
+            SchemeKind::Scheme2Minimal => "Scheme 2-MIN",
+            SchemeKind::SiteGraph => "Naive-SG (BS88)",
+            SchemeKind::Scheme3 => "Scheme 3",
+            SchemeKind::AbortingTo => "Aborting-TO",
+            SchemeKind::OptimisticTicket => "Optimistic-Ticket",
+        }
+    }
+
+    /// Instantiate the scheme.
+    pub fn build(self) -> Box<dyn Gtm2Scheme + Send> {
+        match self {
+            SchemeKind::Scheme0 => Box::new(crate::scheme0::Scheme0::new()),
+            SchemeKind::Scheme1 => Box::new(crate::scheme1::Scheme1::new()),
+            SchemeKind::Scheme2 => Box::new(crate::scheme2::Scheme2::new()),
+            SchemeKind::Scheme2Minimal => Box::new(crate::scheme2::Scheme2::new_minimal()),
+            SchemeKind::SiteGraph => Box::new(crate::scheme_sg::SiteGraphScheme::new()),
+            SchemeKind::Scheme3 => Box::new(crate::scheme3::Scheme3::new()),
+            SchemeKind::AbortingTo => Box::new(crate::baselines::AbortingTo::new()),
+            SchemeKind::OptimisticTicket => Box::new(crate::baselines::OptimisticTicket::new()),
+        }
+    }
+
+    /// True for the paper's conservative schemes (never abort).
+    pub fn is_conservative(self) -> bool {
+        !matches!(self, SchemeKind::AbortingTo | SchemeKind::OptimisticTicket)
+    }
+}
+
+impl std::fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_set_basics() {
+        let mut w = WaitSet::new();
+        let op = QueueOp::Ser {
+            txn: GlobalTxnId(1),
+            site: SiteId(2),
+        };
+        w.insert(op.clone());
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.ser_keys_at(SiteId(2)).len(), 1);
+        assert_eq!(w.ser_keys_at(SiteId(3)).len(), 0);
+        assert!(w.ser_key(GlobalTxnId(1), SiteId(2)).is_some());
+        let key = wait_key(&op);
+        assert_eq!(w.remove(&key), Some(op));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn fin_keys_filtered() {
+        let mut w = WaitSet::new();
+        w.insert(QueueOp::Fin {
+            txn: GlobalTxnId(1),
+        });
+        w.insert(QueueOp::Ser {
+            txn: GlobalTxnId(2),
+            site: SiteId(0),
+        });
+        assert_eq!(w.fin_keys().len(), 1);
+    }
+
+    #[test]
+    fn scheme_kind_metadata() {
+        assert!(SchemeKind::Scheme3.is_conservative());
+        assert!(!SchemeKind::AbortingTo.is_conservative());
+        assert_eq!(SchemeKind::CONSERVATIVE.len(), 4);
+        assert_eq!(SchemeKind::Scheme1.to_string(), "Scheme 1");
+    }
+}

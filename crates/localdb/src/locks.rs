@@ -1,0 +1,411 @@
+//! Item-granularity lock manager for the 2PL protocol.
+//!
+//! Shared/exclusive locks with FIFO wait queues. Lock upgrades (S→X by the
+//! sole shared holder are granted immediately; otherwise the upgrade waits
+//! at the *front* of the queue so it cannot starve behind later arrivals —
+//! upgrade-upgrade conflicts surface as deadlocks for the detector.
+
+use mdbs_common::ids::{DataItemId, TxnId};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Lock mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (read) lock.
+    Shared,
+    /// Exclusive (write) lock.
+    Exclusive,
+}
+
+impl LockMode {
+    /// Mode compatibility matrix.
+    pub fn compatible(self, other: LockMode) -> bool {
+        matches!((self, other), (LockMode::Shared, LockMode::Shared))
+    }
+}
+
+/// Result of an acquire call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Acquire {
+    /// Lock granted (possibly re-entrantly).
+    Granted,
+    /// Request queued.
+    Queued,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct WaitingRequest {
+    txn: TxnId,
+    mode: LockMode,
+    /// True when the requester already holds a shared lock and wants
+    /// exclusive.
+    upgrade: bool,
+}
+
+#[derive(Clone, Debug, Default)]
+struct ItemLock {
+    holders: BTreeMap<TxnId, LockMode>,
+    queue: VecDeque<WaitingRequest>,
+}
+
+impl ItemLock {
+    fn grantable(&self, req: &WaitingRequest) -> bool {
+        if req.upgrade {
+            // Upgrade: grantable iff the requester is the only holder.
+            self.holders.len() == 1 && self.holders.contains_key(&req.txn)
+        } else {
+            self.holders.values().all(|&h| h.compatible(req.mode))
+        }
+    }
+}
+
+/// A newly granted lock produced by a release or cancellation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Granted {
+    /// The transaction whose waiting request was granted.
+    pub txn: TxnId,
+    /// The item the lock covers.
+    pub item: DataItemId,
+    /// The granted mode.
+    pub mode: LockMode,
+}
+
+/// The lock table for one site.
+#[derive(Clone, Debug, Default)]
+pub struct LockManager {
+    items: BTreeMap<DataItemId, ItemLock>,
+    /// Items each transaction holds locks on (for O(holdings) release).
+    held: BTreeMap<TxnId, BTreeSet<DataItemId>>,
+}
+
+impl LockManager {
+    /// Empty lock table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request `mode` on `item` for `txn`.
+    pub fn acquire(&mut self, txn: TxnId, item: DataItemId, mode: LockMode) -> Acquire {
+        let lock = self.items.entry(item).or_default();
+        match lock.holders.get(&txn).copied() {
+            Some(LockMode::Exclusive) => return Acquire::Granted,
+            Some(LockMode::Shared) if mode == LockMode::Shared => return Acquire::Granted,
+            Some(LockMode::Shared) => {
+                // Upgrade request.
+                let req = WaitingRequest {
+                    txn,
+                    mode: LockMode::Exclusive,
+                    upgrade: true,
+                };
+                if lock.grantable(&req) {
+                    lock.holders.insert(txn, LockMode::Exclusive);
+                    return Acquire::Granted;
+                }
+                lock.queue.push_front(req);
+                return Acquire::Queued;
+            }
+            None => {}
+        }
+        let req = WaitingRequest {
+            txn,
+            mode,
+            upgrade: false,
+        };
+        // FIFO fairness: a fresh request may only jump the queue if the
+        // queue is empty and it is compatible with the holders.
+        if lock.queue.is_empty() && lock.grantable(&req) {
+            lock.holders.insert(txn, mode);
+            self.held.entry(txn).or_default().insert(item);
+            Acquire::Granted
+        } else {
+            lock.queue.push_back(req);
+            Acquire::Queued
+        }
+    }
+
+    /// Release all locks of `txn` and drop any queued request it still has;
+    /// returns newly granted requests in grant order.
+    pub fn release_all(&mut self, txn: TxnId) -> Vec<Granted> {
+        let mut granted = Vec::new();
+        let items: Vec<DataItemId> = self.held.remove(&txn).into_iter().flatten().collect();
+        // Also scan for queued requests of txn on items it holds nothing on.
+        let queued_items: Vec<DataItemId> = self
+            .items
+            .iter()
+            .filter(|(_, l)| l.queue.iter().any(|r| r.txn == txn))
+            .map(|(&i, _)| i)
+            .collect();
+        for item in items.into_iter().chain(queued_items) {
+            if let Some(lock) = self.items.get_mut(&item) {
+                lock.holders.remove(&txn);
+                lock.queue.retain(|r| r.txn != txn);
+            }
+            self.drain_queue(item, &mut granted);
+            self.gc(item);
+        }
+        granted
+    }
+
+    /// Remove a *queued* (waiting) request of `txn` on every item, e.g.
+    /// because the engine aborts it; returns requests granted as a result.
+    pub fn cancel_waiter(&mut self, txn: TxnId) -> Vec<Granted> {
+        let mut granted = Vec::new();
+        let affected: Vec<DataItemId> = self
+            .items
+            .iter()
+            .filter(|(_, l)| l.queue.iter().any(|r| r.txn == txn))
+            .map(|(&i, _)| i)
+            .collect();
+        for item in affected {
+            let lock = self.items.get_mut(&item).expect("item present");
+            lock.queue.retain(|r| r.txn != txn);
+            self.drain_queue(item, &mut granted);
+            self.gc(item);
+        }
+        granted
+    }
+
+    /// Grant queue-front requests that became compatible.
+    fn drain_queue(&mut self, item: DataItemId, granted: &mut Vec<Granted>) {
+        loop {
+            let lock = match self.items.get_mut(&item) {
+                Some(l) => l,
+                None => return,
+            };
+            let Some(front) = lock.queue.front().cloned() else {
+                return;
+            };
+            if !lock.grantable(&front) {
+                return;
+            }
+            lock.queue.pop_front();
+            lock.holders.insert(front.txn, front.mode);
+            self.held.entry(front.txn).or_default().insert(item);
+            granted.push(Granted {
+                txn: front.txn,
+                item,
+                mode: front.mode,
+            });
+        }
+    }
+
+    fn gc(&mut self, item: DataItemId) {
+        if let Some(l) = self.items.get(&item) {
+            if l.holders.is_empty() && l.queue.is_empty() {
+                self.items.remove(&item);
+            }
+        }
+    }
+
+    /// Current mode `txn` holds on `item`, if any.
+    pub fn held_mode(&self, txn: TxnId, item: DataItemId) -> Option<LockMode> {
+        self.items
+            .get(&item)
+            .and_then(|l| l.holders.get(&txn))
+            .copied()
+    }
+
+    /// Current holders of `item` with their modes.
+    pub fn holders_of(&self, item: DataItemId) -> Vec<(TxnId, LockMode)> {
+        self.items
+            .get(&item)
+            .map(|l| l.holders.iter().map(|(&t, &m)| (t, m)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Transactions queued ahead of `txn`'s waiting request on `item`
+    /// (empty if `txn` has no queued request there).
+    pub fn queued_ahead_of(&self, txn: TxnId, item: DataItemId) -> Vec<TxnId> {
+        let Some(lock) = self.items.get(&item) else {
+            return Vec::new();
+        };
+        let Some(pos) = lock.queue.iter().position(|r| r.txn == txn) else {
+            return Vec::new();
+        };
+        lock.queue.iter().take(pos).map(|r| r.txn).collect()
+    }
+
+    /// Waits-for edges implied by the current table: each queued request
+    /// waits for every incompatible holder and every incompatible request
+    /// ahead of it.
+    pub fn waits_for_edges(&self) -> Vec<(TxnId, TxnId)> {
+        let mut edges = Vec::new();
+        for lock in self.items.values() {
+            for (qi, req) in lock.queue.iter().enumerate() {
+                for (&holder, &hmode) in &lock.holders {
+                    if holder == req.txn {
+                        continue; // upgrade waits only for *other* holders
+                    }
+                    let incompatible = if req.upgrade {
+                        true // upgrader waits for all other holders
+                    } else {
+                        !hmode.compatible(req.mode)
+                    };
+                    if incompatible {
+                        edges.push((req.txn, holder));
+                    }
+                }
+                for ahead in lock.queue.iter().take(qi) {
+                    if ahead.txn != req.txn
+                        && !(ahead.mode.compatible(req.mode)
+                            && ahead.mode == LockMode::Shared
+                            && req.mode == LockMode::Shared)
+                    {
+                        edges.push((req.txn, ahead.txn));
+                    }
+                }
+            }
+        }
+        edges
+    }
+
+    /// Number of items with any lock state (diagnostics).
+    pub fn active_items(&self) -> usize {
+        self.items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbs_common::ids::GlobalTxnId;
+
+    fn t(i: u64) -> TxnId {
+        TxnId::Global(GlobalTxnId(i))
+    }
+    fn x(i: u64) -> DataItemId {
+        DataItemId(i)
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.acquire(t(1), x(1), LockMode::Shared), Acquire::Granted);
+        assert_eq!(lm.acquire(t(2), x(1), LockMode::Shared), Acquire::Granted);
+    }
+
+    #[test]
+    fn exclusive_blocks_everything() {
+        let mut lm = LockManager::new();
+        assert_eq!(
+            lm.acquire(t(1), x(1), LockMode::Exclusive),
+            Acquire::Granted
+        );
+        assert_eq!(lm.acquire(t(2), x(1), LockMode::Shared), Acquire::Queued);
+        assert_eq!(lm.acquire(t(3), x(1), LockMode::Exclusive), Acquire::Queued);
+    }
+
+    #[test]
+    fn reentrant_acquires() {
+        let mut lm = LockManager::new();
+        assert_eq!(
+            lm.acquire(t(1), x(1), LockMode::Exclusive),
+            Acquire::Granted
+        );
+        assert_eq!(lm.acquire(t(1), x(1), LockMode::Shared), Acquire::Granted);
+        assert_eq!(
+            lm.acquire(t(1), x(1), LockMode::Exclusive),
+            Acquire::Granted
+        );
+    }
+
+    #[test]
+    fn release_grants_fifo() {
+        let mut lm = LockManager::new();
+        lm.acquire(t(1), x(1), LockMode::Exclusive);
+        lm.acquire(t(2), x(1), LockMode::Shared);
+        lm.acquire(t(3), x(1), LockMode::Shared);
+        let granted = lm.release_all(t(1));
+        assert_eq!(granted.len(), 2);
+        assert_eq!(granted[0].txn, t(2));
+        assert_eq!(granted[1].txn, t(3));
+        assert_eq!(lm.held_mode(t(2), x(1)), Some(LockMode::Shared));
+    }
+
+    #[test]
+    fn fifo_prevents_jumping() {
+        let mut lm = LockManager::new();
+        lm.acquire(t(1), x(1), LockMode::Shared);
+        lm.acquire(t(2), x(1), LockMode::Exclusive); // queued
+                                                     // A later shared request must not jump over the queued X.
+        assert_eq!(lm.acquire(t(3), x(1), LockMode::Shared), Acquire::Queued);
+        let granted = lm.release_all(t(1));
+        assert_eq!(granted[0].txn, t(2));
+        assert_eq!(granted[0].mode, LockMode::Exclusive);
+        assert_eq!(granted.len(), 1); // t3 still behind t2
+    }
+
+    #[test]
+    fn sole_holder_upgrade_granted() {
+        let mut lm = LockManager::new();
+        lm.acquire(t(1), x(1), LockMode::Shared);
+        assert_eq!(
+            lm.acquire(t(1), x(1), LockMode::Exclusive),
+            Acquire::Granted
+        );
+        assert_eq!(lm.held_mode(t(1), x(1)), Some(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn contended_upgrade_waits_at_front() {
+        let mut lm = LockManager::new();
+        lm.acquire(t(1), x(1), LockMode::Shared);
+        lm.acquire(t(2), x(1), LockMode::Shared);
+        assert_eq!(lm.acquire(t(1), x(1), LockMode::Exclusive), Acquire::Queued);
+        let granted = lm.release_all(t(2));
+        assert_eq!(
+            granted,
+            vec![Granted {
+                txn: t(1),
+                item: x(1),
+                mode: LockMode::Exclusive
+            }]
+        );
+    }
+
+    #[test]
+    fn upgrade_deadlock_visible_in_waits_for() {
+        let mut lm = LockManager::new();
+        lm.acquire(t(1), x(1), LockMode::Shared);
+        lm.acquire(t(2), x(1), LockMode::Shared);
+        lm.acquire(t(1), x(1), LockMode::Exclusive);
+        lm.acquire(t(2), x(1), LockMode::Exclusive);
+        let edges = lm.waits_for_edges();
+        assert!(edges.contains(&(t(1), t(2))));
+        assert!(edges.contains(&(t(2), t(1))));
+    }
+
+    #[test]
+    fn cancel_waiter_unblocks_queue() {
+        let mut lm = LockManager::new();
+        lm.acquire(t(1), x(1), LockMode::Exclusive);
+        lm.acquire(t(2), x(1), LockMode::Exclusive);
+        lm.acquire(t(3), x(1), LockMode::Shared);
+        // Cancel t2's wait; t3 still blocked behind t1's X lock.
+        assert!(lm.cancel_waiter(t(2)).is_empty());
+        let granted = lm.release_all(t(1));
+        assert_eq!(granted.len(), 1);
+        assert_eq!(granted[0].txn, t(3));
+    }
+
+    #[test]
+    fn waits_for_covers_queue_order() {
+        let mut lm = LockManager::new();
+        lm.acquire(t(1), x(1), LockMode::Exclusive);
+        lm.acquire(t(2), x(1), LockMode::Exclusive);
+        lm.acquire(t(3), x(1), LockMode::Exclusive);
+        let edges = lm.waits_for_edges();
+        assert!(edges.contains(&(t(2), t(1))));
+        assert!(edges.contains(&(t(3), t(1))));
+        assert!(edges.contains(&(t(3), t(2))));
+    }
+
+    #[test]
+    fn gc_removes_idle_items() {
+        let mut lm = LockManager::new();
+        lm.acquire(t(1), x(1), LockMode::Exclusive);
+        assert_eq!(lm.active_items(), 1);
+        lm.release_all(t(1));
+        assert_eq!(lm.active_items(), 0);
+    }
+}

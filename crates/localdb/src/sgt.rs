@@ -1,0 +1,332 @@
+//! Serialization-graph testing.
+//!
+//! The protocol maintains the conflict (serialization) graph over active
+//! and not-yet-forgotten committed transactions; an operation that would
+//! close a cycle aborts its transaction. Strictness is added the same way
+//! as in [`crate::to`]: operations on an item with an uncommitted write
+//! wait for the writer, preventing dirty reads. Unlike TO, these waits have
+//! no timestamp order, so they *can* deadlock — the protocol reports
+//! waits-for cycles through `check_deadlock`.
+//!
+//! **Serialization function**: none exists naturally — SGT serializes
+//! transactions in an order only fully determined at the end. Per Section
+//! 2.2 of the paper, sites like this force conflicts through a **ticket**:
+//! every global subtransaction read-modify-writes the reserved
+//! [`DataItemId::TICKET`](mdbs_common::ids::DataItemId) item, and its
+//! ticket write is the serialization event
+//! ([`SerializationEvent::TicketWrite`](crate::serfn::SerializationEvent)).
+
+use crate::deadlock::select_victims;
+use crate::protocol::{CcProtocol, DeadlockOutcome, Decision, WriteStyle};
+use mdbs_common::error::AbortReason;
+use mdbs_common::ids::{DataItemId, TxnId};
+use mdbs_schedule::DiGraph;
+use std::collections::{BTreeMap, BTreeSet};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AccessKind {
+    Read,
+    Write,
+}
+
+#[derive(Clone, Debug, Default)]
+struct ItemAccesses {
+    /// Past granted accesses in execution order.
+    log: Vec<(TxnId, AccessKind)>,
+    /// Active transaction holding an uncommitted write, if any.
+    dirty: Option<TxnId>,
+    /// Transactions blocked on the dirty writer.
+    waiters: BTreeSet<TxnId>,
+}
+
+/// SGT protocol state.
+#[derive(Debug)]
+pub struct SerializationGraphTesting {
+    graph: DiGraph<TxnId>,
+    items: BTreeMap<DataItemId, ItemAccesses>,
+    active: BTreeSet<TxnId>,
+    committed: BTreeSet<TxnId>,
+    age: BTreeMap<TxnId, u64>,
+}
+
+impl Default for SerializationGraphTesting {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SerializationGraphTesting {
+    /// Fresh protocol state.
+    pub fn new() -> Self {
+        SerializationGraphTesting {
+            graph: DiGraph::new(),
+            items: BTreeMap::new(),
+            active: BTreeSet::new(),
+            committed: BTreeSet::new(),
+            age: BTreeMap::new(),
+        }
+    }
+
+    /// Edges induced by `txn` performing `kind` on `item` (from prior
+    /// conflicting accessors to `txn`).
+    fn induced_edges(&self, txn: TxnId, item: DataItemId, kind: AccessKind) -> Vec<(TxnId, TxnId)> {
+        let Some(acc) = self.items.get(&item) else {
+            return Vec::new();
+        };
+        let mut edges = Vec::new();
+        for &(prior, pkind) in &acc.log {
+            if prior == txn {
+                continue;
+            }
+            let conflicting = pkind == AccessKind::Write || kind == AccessKind::Write;
+            if conflicting && !edges.contains(&(prior, txn)) {
+                edges.push((prior, txn));
+            }
+        }
+        edges
+    }
+
+    fn try_access(&mut self, txn: TxnId, item: DataItemId, kind: AccessKind) -> Decision {
+        // Strictness: wait for an uncommitted writer.
+        if let Some(acc) = self.items.get(&item) {
+            if let Some(dirty) = acc.dirty {
+                if dirty != txn {
+                    self.items
+                        .get_mut(&item)
+                        .expect("entry")
+                        .waiters
+                        .insert(txn);
+                    return Decision::Block;
+                }
+            }
+        }
+        // Tentatively add conflict edges; roll back on cycle.
+        let edges = self.induced_edges(txn, item, kind);
+        let mut added = Vec::new();
+        for &(a, b) in &edges {
+            if self.graph.add_edge(a, b) {
+                added.push((a, b));
+            }
+        }
+        if self.graph.has_cycle() {
+            for (a, b) in added {
+                self.graph.remove_edge(a, b);
+            }
+            return Decision::Abort(AbortReason::SerializationCycle);
+        }
+        let acc = self.items.entry(item).or_default();
+        acc.log.push((txn, kind));
+        if kind == AccessKind::Write {
+            acc.dirty = Some(txn);
+        }
+        Decision::Grant
+    }
+
+    /// Forget committed transactions that can no longer join a cycle:
+    /// iteratively remove committed nodes with no incoming edges.
+    fn collect_garbage(&mut self) {
+        loop {
+            let removable: Vec<TxnId> = self
+                .committed
+                .iter()
+                .copied()
+                .filter(|&t| !self.graph.contains_node(t) || self.graph.in_degree(t) == 0)
+                .collect();
+            if removable.is_empty() {
+                return;
+            }
+            for t in removable {
+                self.committed.remove(&t);
+                self.graph.remove_node(t);
+                for acc in self.items.values_mut() {
+                    acc.log.retain(|&(a, _)| a != t);
+                }
+            }
+        }
+    }
+}
+
+impl CcProtocol for SerializationGraphTesting {
+    fn name(&self) -> &'static str {
+        "SGT"
+    }
+
+    fn write_style(&self) -> WriteStyle {
+        WriteStyle::Immediate
+    }
+
+    fn on_begin(&mut self, txn: TxnId, seq: u64) {
+        self.active.insert(txn);
+        self.age.insert(txn, seq);
+        self.graph.add_node(txn);
+    }
+
+    fn on_read(&mut self, txn: TxnId, item: DataItemId) -> Decision {
+        self.try_access(txn, item, AccessKind::Read)
+    }
+
+    fn on_write(&mut self, txn: TxnId, item: DataItemId) -> Decision {
+        self.try_access(txn, item, AccessKind::Write)
+    }
+
+    fn on_commit(&mut self, _txn: TxnId) -> Decision {
+        Decision::Grant
+    }
+
+    fn on_end(&mut self, txn: TxnId, committed: bool) -> Vec<TxnId> {
+        self.active.remove(&txn);
+        self.age.remove(&txn);
+        let mut woken: Vec<TxnId> = Vec::new();
+        for acc in self.items.values_mut() {
+            if acc.dirty == Some(txn) {
+                acc.dirty = None;
+                woken.extend(std::mem::take(&mut acc.waiters));
+            }
+            acc.waiters.remove(&txn);
+        }
+        if committed {
+            self.committed.insert(txn);
+        } else {
+            // Aborted: its accesses and edges vanish.
+            self.graph.remove_node(txn);
+            for acc in self.items.values_mut() {
+                acc.log.retain(|&(a, _)| a != txn);
+            }
+        }
+        self.collect_garbage();
+        woken.sort_unstable();
+        woken.dedup();
+        woken
+    }
+
+    fn check_deadlock(&mut self, _requester: TxnId) -> DeadlockOutcome {
+        let mut edges = Vec::new();
+        for acc in self.items.values() {
+            if let Some(d) = acc.dirty {
+                for &w in &acc.waiters {
+                    edges.push((w, d));
+                }
+            }
+        }
+        match select_victims(&edges, &self.age).first() {
+            Some(&v) => DeadlockOutcome::Victim(v),
+            None => DeadlockOutcome::None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbs_common::ids::GlobalTxnId;
+
+    fn t(i: u64) -> TxnId {
+        TxnId::Global(GlobalTxnId(i))
+    }
+    fn x(i: u64) -> DataItemId {
+        DataItemId(i)
+    }
+
+    fn proto_with(n: u64) -> SerializationGraphTesting {
+        let mut p = SerializationGraphTesting::new();
+        for i in 1..=n {
+            p.on_begin(t(i), i);
+        }
+        p
+    }
+
+    #[test]
+    fn cycle_closing_op_aborts() {
+        let mut p = proto_with(2);
+        assert_eq!(p.on_read(t(1), x(1)), Decision::Grant);
+        assert_eq!(p.on_write(t(2), x(1)), Decision::Grant); // T1 -> T2
+        assert_eq!(p.on_read(t(2), x(2)), Decision::Grant);
+        // T1 writing x2 would add T2 -> T1: cycle.
+        assert_eq!(
+            p.on_write(t(1), x(2)),
+            Decision::Abort(AbortReason::SerializationCycle)
+        );
+    }
+
+    #[test]
+    fn acyclic_interleaving_grants() {
+        let mut p = proto_with(2);
+        assert_eq!(p.on_read(t(1), x(1)), Decision::Grant);
+        assert_eq!(p.on_write(t(2), x(1)), Decision::Grant);
+        assert_eq!(p.on_write(t(2), x(2)), Decision::Grant);
+        // T1 -> T2 twice: still acyclic.
+        p.on_end(t(2), true);
+        p.on_end(t(1), true);
+    }
+
+    #[test]
+    fn dirty_item_blocks_other_txns() {
+        let mut p = proto_with(2);
+        assert_eq!(p.on_write(t(1), x(1)), Decision::Grant);
+        assert_eq!(p.on_read(t(2), x(1)), Decision::Block);
+        let woken = p.on_end(t(1), true);
+        assert_eq!(woken, vec![t(2)]);
+        assert_eq!(p.on_read(t(2), x(1)), Decision::Grant);
+    }
+
+    #[test]
+    fn dirty_wait_deadlock_detected() {
+        let mut p = proto_with(2);
+        assert_eq!(p.on_write(t(1), x(1)), Decision::Grant);
+        assert_eq!(p.on_write(t(2), x(2)), Decision::Grant);
+        assert_eq!(p.on_read(t(1), x(2)), Decision::Block);
+        assert_eq!(p.check_deadlock(t(1)), DeadlockOutcome::None);
+        assert_eq!(p.on_read(t(2), x(1)), Decision::Block);
+        match p.check_deadlock(t(2)) {
+            DeadlockOutcome::Victim(v) => assert!(v == t(1) || v == t(2)),
+            DeadlockOutcome::None => panic!("deadlock expected"),
+        }
+    }
+
+    #[test]
+    fn aborted_txn_edges_removed() {
+        let mut p = proto_with(2);
+        assert_eq!(p.on_read(t(1), x(1)), Decision::Grant);
+        assert_eq!(p.on_write(t(2), x(1)), Decision::Grant);
+        p.on_end(t(1), false); // abort T1: edge T1->T2 gone
+                               // T2 can now do anything without cycling through T1.
+        assert_eq!(p.on_read(t(2), x(2)), Decision::Grant);
+        assert!(!p.graph.contains_node(t(1)));
+    }
+
+    #[test]
+    fn committed_source_nodes_garbage_collected() {
+        let mut p = proto_with(2);
+        assert_eq!(p.on_write(t(1), x(1)), Decision::Grant);
+        p.on_end(t(1), true);
+        // t1 committed with no incoming edges: forgotten.
+        assert!(!p.graph.contains_node(t(1)));
+        assert!(!p.committed.contains(&t(1)));
+        // A later conflicting access gains no edge from the forgotten node.
+        assert_eq!(p.on_write(t(2), x(1)), Decision::Grant);
+        assert_eq!(p.graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn committed_node_with_incoming_edge_retained() {
+        let mut p = proto_with(2);
+        assert_eq!(p.on_read(t(1), x(1)), Decision::Grant);
+        assert_eq!(p.on_write(t(2), x(1)), Decision::Grant); // T1 -> T2
+        p.on_end(t(2), true);
+        // T2 committed but has an incoming edge from active T1: retained.
+        assert!(p.graph.contains_node(t(2)));
+        // T1 must still be unable to read T2's... write order means T2->T1
+        // edge would close the cycle.
+        assert_eq!(
+            p.on_read(t(1), x(1)),
+            Decision::Abort(AbortReason::SerializationCycle)
+        );
+    }
+
+    #[test]
+    fn own_dirty_write_ok() {
+        let mut p = proto_with(1);
+        assert_eq!(p.on_write(t(1), x(1)), Decision::Grant);
+        assert_eq!(p.on_read(t(1), x(1)), Decision::Grant);
+    }
+}

@@ -1,0 +1,462 @@
+//! A small directed-graph toolkit.
+//!
+//! Serialization graphs, waits-for graphs (2PL deadlock detection), local
+//! SGT conflict graphs and the global quotient graph all need the same
+//! operations: insert/remove nodes and edges, cycle detection, topological
+//! sort, path queries, and strongly connected components. [`DiGraph`] keeps
+//! them in one generic, well-tested place.
+//!
+//! The implementation favors clarity and incremental mutation (nodes come
+//! and go as transactions start and finish) over raw speed: adjacency is a
+//! `BTreeMap<N, BTreeSet<N>>`, giving deterministic iteration order — which
+//! matters for reproducible experiments — and `O(log v)` updates.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A directed graph over copyable ordered node ids.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DiGraph<N: Ord + Copy> {
+    succ: BTreeMap<N, BTreeSet<N>>,
+    pred: BTreeMap<N, BTreeSet<N>>,
+}
+
+impl<N: Ord + Copy> DiGraph<N> {
+    /// An empty graph.
+    pub fn new() -> Self {
+        DiGraph {
+            succ: BTreeMap::new(),
+            pred: BTreeMap::new(),
+        }
+    }
+
+    /// Insert a node (no-op if present).
+    pub fn add_node(&mut self, n: N) {
+        self.succ.entry(n).or_default();
+        self.pred.entry(n).or_default();
+    }
+
+    /// True iff the node exists.
+    pub fn contains_node(&self, n: N) -> bool {
+        self.succ.contains_key(&n)
+    }
+
+    /// Insert edge `a -> b`, adding missing endpoints. Returns `true` if the
+    /// edge was new.
+    pub fn add_edge(&mut self, a: N, b: N) -> bool {
+        self.add_node(a);
+        self.add_node(b);
+        let inserted = self.succ.get_mut(&a).expect("node a just added").insert(b);
+        self.pred.get_mut(&b).expect("node b just added").insert(a);
+        inserted
+    }
+
+    /// True iff edge `a -> b` exists.
+    pub fn has_edge(&self, a: N, b: N) -> bool {
+        self.succ.get(&a).is_some_and(|s| s.contains(&b))
+    }
+
+    /// Remove edge `a -> b` if present; returns whether it existed.
+    pub fn remove_edge(&mut self, a: N, b: N) -> bool {
+        let existed = self.succ.get_mut(&a).is_some_and(|s| s.remove(&b));
+        if existed {
+            self.pred.get_mut(&b).expect("pred mirror").remove(&a);
+        }
+        existed
+    }
+
+    /// Remove a node and all incident edges; returns whether it existed.
+    pub fn remove_node(&mut self, n: N) -> bool {
+        let Some(out) = self.succ.remove(&n) else {
+            return false;
+        };
+        for b in out {
+            self.pred.get_mut(&b).expect("pred mirror").remove(&n);
+        }
+        let inc = self.pred.remove(&n).expect("pred mirror");
+        for a in inc {
+            self.succ.get_mut(&a).expect("succ mirror").remove(&n);
+        }
+        true
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.succ.values().map(BTreeSet::len).sum()
+    }
+
+    /// Iterate over nodes in ascending order.
+    pub fn nodes(&self) -> impl Iterator<Item = N> + '_ {
+        self.succ.keys().copied()
+    }
+
+    /// Iterate over edges `(a, b)` in ascending order.
+    pub fn edges(&self) -> impl Iterator<Item = (N, N)> + '_ {
+        self.succ
+            .iter()
+            .flat_map(|(&a, bs)| bs.iter().map(move |&b| (a, b)))
+    }
+
+    /// Successors of `n` (empty iterator if absent).
+    pub fn successors(&self, n: N) -> impl Iterator<Item = N> + '_ {
+        self.succ
+            .get(&n)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
+    }
+
+    /// Predecessors of `n` (empty iterator if absent).
+    pub fn predecessors(&self, n: N) -> impl Iterator<Item = N> + '_ {
+        self.pred
+            .get(&n)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
+    }
+
+    /// In-degree of `n` (0 if absent).
+    pub fn in_degree(&self, n: N) -> usize {
+        self.pred.get(&n).map_or(0, BTreeSet::len)
+    }
+
+    /// True iff the graph contains a directed cycle.
+    pub fn has_cycle(&self) -> bool {
+        self.topo_sort().is_none()
+    }
+
+    /// Kahn topological sort; `None` iff the graph is cyclic. Ties are
+    /// broken by node order, so the result is deterministic.
+    pub fn topo_sort(&self) -> Option<Vec<N>> {
+        let mut indeg: BTreeMap<N, usize> =
+            self.succ.keys().map(|&n| (n, self.in_degree(n))).collect();
+        let mut ready: BTreeSet<N> = indeg
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
+        let mut out = Vec::with_capacity(indeg.len());
+        while let Some(&n) = ready.iter().next() {
+            ready.remove(&n);
+            out.push(n);
+            for m in self.successors(n) {
+                let d = indeg.get_mut(&m).expect("successor node exists");
+                *d -= 1;
+                if *d == 0 {
+                    ready.insert(m);
+                }
+            }
+        }
+        (out.len() == self.succ.len()).then_some(out)
+    }
+
+    /// True iff a directed path `from ->* to` exists (including length 0).
+    pub fn has_path(&self, from: N, to: N) -> bool {
+        if !self.contains_node(from) || !self.contains_node(to) {
+            return false;
+        }
+        if from == to {
+            return true;
+        }
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::from([from]);
+        seen.insert(from);
+        while let Some(n) = queue.pop_front() {
+            for m in self.successors(n) {
+                if m == to {
+                    return true;
+                }
+                if seen.insert(m) {
+                    queue.push_back(m);
+                }
+            }
+        }
+        false
+    }
+
+    /// Finds one directed cycle, as the list of nodes along it (first node
+    /// repeated implicitly), or `None` if acyclic.
+    pub fn find_cycle(&self) -> Option<Vec<N>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color: BTreeMap<N, Color> = self.succ.keys().map(|&n| (n, Color::White)).collect();
+        let mut parent: BTreeMap<N, N> = BTreeMap::new();
+
+        for &root in self.succ.keys() {
+            if color[&root] != Color::White {
+                continue;
+            }
+            // Iterative DFS with an explicit stack of (node, successor list).
+            let mut stack = vec![(root, self.successors(root).collect::<Vec<_>>())];
+            color.insert(root, Color::Gray);
+            while let Some((n, succs)) = stack.last_mut() {
+                let n = *n;
+                if let Some(m) = succs.pop() {
+                    match color[&m] {
+                        Color::White => {
+                            parent.insert(m, n);
+                            color.insert(m, Color::Gray);
+                            stack.push((m, self.successors(m).collect()));
+                        }
+                        Color::Gray => {
+                            // Found a back edge n -> m; walk parents from n
+                            // back to m to extract the cycle.
+                            let mut cycle = vec![m];
+                            let mut cur = n;
+                            while cur != m {
+                                cycle.push(cur);
+                                cur = parent[&cur];
+                            }
+                            cycle.reverse();
+                            return Some(cycle);
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color.insert(n, Color::Black);
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Strongly connected components (Tarjan), in deterministic order.
+    /// Components are returned in reverse topological order of the
+    /// condensation.
+    pub fn sccs(&self) -> Vec<Vec<N>> {
+        struct State<N: Ord + Copy> {
+            index: BTreeMap<N, usize>,
+            low: BTreeMap<N, usize>,
+            on_stack: BTreeSet<N>,
+            stack: Vec<N>,
+            next: usize,
+            out: Vec<Vec<N>>,
+        }
+        let mut st = State {
+            index: BTreeMap::new(),
+            low: BTreeMap::new(),
+            on_stack: BTreeSet::new(),
+            stack: Vec::new(),
+            next: 0,
+            out: Vec::new(),
+        };
+
+        // Iterative Tarjan to avoid recursion-depth limits on big graphs.
+        enum Frame<N> {
+            Enter(N),
+            /// Fold child `w`'s lowlink into `v` (runs after `Enter(w)`).
+            Child(N, N),
+            /// All of `v`'s children processed: maybe extract its SCC.
+            Exit(N),
+        }
+        for &root in self.succ.keys() {
+            if st.index.contains_key(&root) {
+                continue;
+            }
+            let mut work = vec![Frame::Enter(root)];
+            while let Some(frame) = work.pop() {
+                match frame {
+                    Frame::Enter(v) => {
+                        if st.index.contains_key(&v) {
+                            continue;
+                        }
+                        st.index.insert(v, st.next);
+                        st.low.insert(v, st.next);
+                        st.next += 1;
+                        st.stack.push(v);
+                        st.on_stack.insert(v);
+                        // Root extraction runs after all children.
+                        work.push(Frame::Exit(v));
+                        // For each child w: Enter(w) must complete before
+                        // Child(v, w) folds w's lowlink into v, so push
+                        // Child first, Enter second (stack order).
+                        for w in self.successors(v).collect::<Vec<_>>() {
+                            work.push(Frame::Child(v, w));
+                            work.push(Frame::Enter(w));
+                        }
+                    }
+                    Frame::Child(v, w) => {
+                        if st.on_stack.contains(&w) {
+                            // Tree edge whose subtree completed, or back/cross
+                            // edge within the current SCC search: fold w's
+                            // lowlink. Nodes in already-extracted SCCs are off
+                            // the stack and correctly contribute nothing.
+                            // (A self-loop v->v folds v into itself: no-op.)
+                            let lw = st.low[&w].min(st.index[&w]);
+                            if lw < st.low[&v] {
+                                st.low.insert(v, lw);
+                            }
+                        }
+                    }
+                    Frame::Exit(v) => {
+                        if st.low[&v] == st.index[&v] {
+                            let mut comp = Vec::new();
+                            while let Some(x) = st.stack.pop() {
+                                st.on_stack.remove(&x);
+                                comp.push(x);
+                                if x == v {
+                                    break;
+                                }
+                            }
+                            comp.sort_unstable();
+                            st.out.push(comp);
+                        }
+                    }
+                }
+            }
+        }
+        st.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph<u32> {
+        let mut g = DiGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 4);
+        g.add_edge(3, 4);
+        g
+    }
+
+    #[test]
+    fn counts_and_membership() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(2, 1));
+        assert!(g.contains_node(4));
+        assert!(!g.contains_node(9));
+    }
+
+    #[test]
+    fn add_edge_reports_novelty() {
+        let mut g = DiGraph::new();
+        assert!(g.add_edge(1, 2));
+        assert!(!g.add_edge(1, 2));
+    }
+
+    #[test]
+    fn remove_node_cleans_both_directions() {
+        let mut g = diamond();
+        assert!(g.remove_node(4));
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(!g.has_edge(2, 4));
+        assert_eq!(g.successors(2).count(), 0);
+        assert!(!g.remove_node(4));
+    }
+
+    #[test]
+    fn remove_edge_behaviour() {
+        let mut g = diamond();
+        assert!(g.remove_edge(1, 2));
+        assert!(!g.remove_edge(1, 2));
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.in_degree(2), 0);
+    }
+
+    #[test]
+    fn topo_sort_of_dag() {
+        let g = diamond();
+        let order = g.topo_sort().expect("diamond is acyclic");
+        let pos = |n: u32| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(1) < pos(2));
+        assert!(pos(1) < pos(3));
+        assert!(pos(2) < pos(4));
+        assert!(pos(3) < pos(4));
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut g = diamond();
+        assert!(!g.has_cycle());
+        g.add_edge(4, 1);
+        assert!(g.has_cycle());
+        assert!(g.topo_sort().is_none());
+    }
+
+    #[test]
+    fn find_cycle_returns_an_actual_cycle() {
+        let mut g = DiGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 1);
+        g.add_edge(3, 4);
+        let cycle = g.find_cycle().expect("cycle exists");
+        assert!(cycle.len() >= 2);
+        for w in cycle.windows(2) {
+            assert!(g.has_edge(w[0], w[1]), "edge {:?} missing", w);
+        }
+        assert!(g.has_edge(*cycle.last().unwrap(), cycle[0]));
+    }
+
+    #[test]
+    fn find_cycle_none_on_dag() {
+        assert!(diamond().find_cycle().is_none());
+    }
+
+    #[test]
+    fn self_loop_is_cycle() {
+        let mut g = DiGraph::new();
+        g.add_edge(1, 1);
+        assert!(g.has_cycle());
+        let c = g.find_cycle().unwrap();
+        assert_eq!(c, vec![1]);
+    }
+
+    #[test]
+    fn has_path_queries() {
+        let g = diamond();
+        assert!(g.has_path(1, 4));
+        assert!(!g.has_path(4, 1));
+        assert!(g.has_path(2, 2));
+        assert!(!g.has_path(2, 3));
+        assert!(!g.has_path(1, 99));
+    }
+
+    #[test]
+    fn sccs_partition_nodes() {
+        let mut g = DiGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(2, 1); // SCC {1,2}
+        g.add_edge(2, 3);
+        g.add_edge(3, 4);
+        g.add_edge(4, 3); // SCC {3,4}
+        g.add_node(5); // singleton
+        let mut sccs = g.sccs();
+        sccs.sort();
+        assert_eq!(sccs, vec![vec![1, 2], vec![3, 4], vec![5]]);
+    }
+
+    #[test]
+    fn sccs_on_large_chain_does_not_overflow_stack() {
+        let mut g = DiGraph::new();
+        for i in 0..20_000u32 {
+            g.add_edge(i, i + 1);
+        }
+        assert_eq!(g.sccs().len(), 20_001);
+        assert!(!g.has_cycle());
+    }
+
+    #[test]
+    fn deterministic_iteration() {
+        let mut g = DiGraph::new();
+        g.add_edge(3, 1);
+        g.add_edge(2, 1);
+        g.add_edge(1, 0);
+        let nodes: Vec<u32> = g.nodes().collect();
+        assert_eq!(nodes, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Background local transaction drivers.
+//!
+//! Local transactions enter through the local DBMS interface — the GTM
+//! never sees them. They are the source of the *indirect conflicts* of
+//! Section 1 of the paper, and the reason the GTM cannot infer global
+//! serializability from direct conflicts alone.
+
+use mdbs_common::ids::LocalTxnId;
+use mdbs_workload::spec::LocalTxnProgram;
+
+/// Driver state for one local transaction program.
+#[derive(Clone, Debug)]
+pub struct LocalDriver {
+    /// The program to execute.
+    pub program: LocalTxnProgram,
+    /// Position of the next operation (== len ⇒ commit next).
+    pub cursor: usize,
+    /// Current attempt's transaction id.
+    pub txn: Option<LocalTxnId>,
+    /// Attempts so far.
+    pub attempts: u32,
+    /// Whether the driver finished (committed or gave up).
+    pub done: bool,
+    /// Whether the current operation is blocked in the engine.
+    pub waiting: bool,
+}
+
+impl LocalDriver {
+    /// New driver for a program.
+    pub fn new(program: LocalTxnProgram) -> Self {
+        LocalDriver {
+            program,
+            cursor: 0,
+            txn: None,
+            attempts: 0,
+            done: false,
+            waiting: false,
+        }
+    }
+
+    /// Reset for a retry attempt.
+    pub fn reset_for_retry(&mut self) {
+        self.cursor = 0;
+        self.txn = None;
+        self.waiting = false;
+        self.attempts += 1;
+    }
+
+    /// True when every operation has been executed and commit is next.
+    pub fn at_commit(&self) -> bool {
+        self.cursor >= self.program.ops.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbs_common::ids::{DataItemId, SiteId};
+    use mdbs_workload::spec::LocalOp;
+
+    #[test]
+    fn lifecycle_flags() {
+        let p = LocalTxnProgram {
+            site: SiteId(0),
+            ops: vec![
+                LocalOp::Read(DataItemId(1)),
+                LocalOp::Write(DataItemId(2), 5),
+            ],
+        };
+        let mut d = LocalDriver::new(p);
+        assert!(!d.at_commit());
+        d.cursor = 2;
+        assert!(d.at_commit());
+        d.reset_for_retry();
+        assert_eq!(d.cursor, 0);
+        assert_eq!(d.attempts, 1);
+        assert!(!d.waiting);
+    }
+}

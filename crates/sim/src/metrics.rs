@@ -1,0 +1,132 @@
+//! Run metrics.
+
+use crate::event::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated response-time statistics (microseconds of simulated time).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResponseStats {
+    samples: Vec<SimTime>,
+}
+
+impl ResponseStats {
+    /// Record one sample.
+    pub fn record(&mut self, value: SimTime) {
+        self.samples.push(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+    }
+
+    /// The `p`-th percentile (0–100), or 0 when empty.
+    pub fn percentile(&self, p: f64) -> SimTime {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// Maximum sample, or 0 when empty.
+    pub fn max(&self) -> SimTime {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Counters and timings collected over one simulation run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Global transactions committed (first-attempt or retried).
+    pub global_commits: u64,
+    /// Global transaction attempts that aborted (each retry counts).
+    pub global_aborts: u64,
+    /// Global transactions abandoned after exhausting retries.
+    pub global_failures: u64,
+    /// Local transactions committed.
+    pub local_commits: u64,
+    /// Local transaction attempts aborted.
+    pub local_aborts: u64,
+    /// Blocked-operation timeouts fired.
+    pub timeouts: u64,
+    /// Site crashes injected.
+    pub crashes: u64,
+    /// Response time from first submission to final commit, per logical
+    /// global transaction (includes retries).
+    pub global_response: ResponseStats,
+    /// Simulated completion time of the whole run.
+    pub makespan: SimTime,
+    /// Count of simulation events processed (cost/diagnostic).
+    pub events: u64,
+}
+
+impl Metrics {
+    /// Committed-transactions-per-simulated-second throughput.
+    pub fn throughput_per_sec(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.global_commits as f64 / (self.makespan as f64 / 1_000_000.0)
+    }
+
+    /// Fraction of global attempts that aborted.
+    pub fn global_abort_rate(&self) -> f64 {
+        let attempts = self.global_commits + self.global_aborts + self.global_failures;
+        if attempts == 0 {
+            return 0.0;
+        }
+        self.global_aborts as f64 / attempts as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_stats_math() {
+        let mut r = ResponseStats::default();
+        for v in [10, 20, 30, 40, 50] {
+            r.record(v);
+        }
+        assert_eq!(r.count(), 5);
+        assert_eq!(r.mean(), 30.0);
+        assert_eq!(r.percentile(0.0), 10);
+        assert_eq!(r.percentile(50.0), 30);
+        assert_eq!(r.percentile(100.0), 50);
+        assert_eq!(r.max(), 50);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let r = ResponseStats::default();
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.percentile(99.0), 0);
+        assert_eq!(r.max(), 0);
+    }
+
+    #[test]
+    fn throughput_and_abort_rate() {
+        let m = Metrics {
+            global_commits: 10,
+            global_aborts: 5,
+            makespan: 2_000_000,
+            ..Metrics::default()
+        };
+        assert_eq!(m.throughput_per_sec(), 5.0);
+        assert!((m.global_abort_rate() - 5.0 / 15.0).abs() < 1e-9);
+        assert_eq!(Metrics::default().throughput_per_sec(), 0.0);
+        assert_eq!(Metrics::default().global_abort_rate(), 0.0);
+    }
+}

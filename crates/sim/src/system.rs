@@ -1,0 +1,1015 @@
+//! The full MDBS assembled: GTM1 + GTM2 + servers + heterogeneous local
+//! DBMSs, driven by a deterministic discrete-event loop.
+//!
+//! ## Model
+//!
+//! - The GTM (GTM1 and GTM2) is centrally located; their interaction is
+//!   immediate. Messages between the GTM and site servers take
+//!   [`LatencyConfig::net`] microseconds; each local operation costs
+//!   [`LatencyConfig::proc`].
+//! - Servers execute GTM1's commands against their site's
+//!   [`LocalDbms`]. Multi-step commands (`Add` read-modify-writes, ticket
+//!   takes) run step-by-step, resuming when a blocked step completes.
+//! - A blocked operation that exceeds [`LatencyConfig::block_timeout`] is
+//!   aborted — the standard practical resolution for cross-layer global
+//!   deadlocks (a transaction stalled on a local lock whose holder is
+//!   queued behind it in GTM2), which the paper's model abstracts away.
+//! - Globally aborted transactions are retried with a fresh id up to
+//!   [`SystemConfig::max_retries`] times; global admission is closed-loop
+//!   with multiprogramming level [`SystemConfig::mpl`].
+
+use crate::audit::audit_sites;
+use crate::event::{EventQueue, SimTime};
+use crate::local_load::LocalDriver;
+use crate::metrics::Metrics;
+use crate::trace::{Trace, TraceRecord};
+use mdbs_common::error::{AbortReason, MdbsError};
+use mdbs_common::ids::{GlobalTxnId, LocalTxnId, SiteId, TxnId};
+use mdbs_common::rng::{derive_rng, DetRng};
+use mdbs_common::step::StepCounter;
+use mdbs_core::gtm1::{Gtm1, Gtm1Effect, Gtm1Event, ServerCommand};
+use mdbs_core::gtm2::{Gtm2, Gtm2Stats};
+use mdbs_core::scheme::{SchemeEffect, SchemeKind};
+use mdbs_core::txn::GlobalTransaction;
+use mdbs_localdb::engine::{EngineStats, LocalDbms, OpOutcome, SubmitResult};
+use mdbs_localdb::protocol::LocalProtocolKind;
+use mdbs_localdb::serfn::SerializationEvent;
+use mdbs_localdb::storage::{Storage, Value};
+use mdbs_schedule::global::GlobalSerializability;
+use mdbs_workload::generator::Workload;
+use mdbs_workload::spec::LocalOp;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Message and processing delays (simulated microseconds).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyConfig {
+    /// One-way GTM ↔ site message delay.
+    pub net: SimTime,
+    /// Local DBMS processing time per operation.
+    pub proc: SimTime,
+    /// Gap between a local transaction's operations (its think time).
+    pub local_gap: SimTime,
+    /// Abort a blocked operation after this long.
+    pub block_timeout: SimTime,
+    /// Base backoff before retrying an aborted transaction.
+    pub retry_backoff: SimTime,
+    /// Mean gap between admissions of queued global transactions.
+    pub arrival_gap: SimTime,
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        LatencyConfig {
+            net: 200,
+            proc: 50,
+            local_gap: 100,
+            block_timeout: 60_000,
+            retry_backoff: 2_000,
+            arrival_gap: 500,
+        }
+    }
+}
+
+/// Full system configuration.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Per-site protocols (index = site id).
+    pub protocols: Vec<LocalProtocolKind>,
+    /// GTM2 scheme.
+    pub scheme: SchemeKind,
+    /// Delays.
+    pub latency: LatencyConfig,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Closed-loop multiprogramming level for global transactions.
+    pub mpl: usize,
+    /// Retry budget per logical global transaction.
+    pub max_retries: u32,
+    /// Pre-populate each site's items `0..prefill_items` with this value.
+    pub prefill_value: Value,
+    /// Number of items to pre-populate per site.
+    pub prefill_items: u64,
+    /// Run two-phase commit (atomic global commitment; prepare becomes the
+    /// serialization event at commit-event sites).
+    pub two_phase_commit: bool,
+    /// Scheduled site failures: `(at, site, down_for)` — at simulated time
+    /// `at` the site's DBMS crashes (volatile state lost, durable state
+    /// kept) and rejects commands until `at + down_for`.
+    pub crashes: Vec<(SimTime, SiteId, SimTime)>,
+    /// Per-site serialization-event overrides. The default per protocol is
+    /// the paper's mapping ([`SerializationEvent::for_protocol`]); an
+    /// override supports footnote 3's point that *several* functions can
+    /// be valid (e.g. a ticket at a TO site) — and lets experiments
+    /// demonstrate what goes wrong with an *invalid* one (EXP-TKT).
+    pub event_overrides: Vec<(SiteId, SerializationEvent)>,
+}
+
+impl SystemConfig {
+    /// Start building a configuration.
+    pub fn builder() -> SystemConfigBuilder {
+        SystemConfigBuilder::default()
+    }
+}
+
+/// Builder for [`SystemConfig`].
+#[derive(Clone, Debug, Default)]
+pub struct SystemConfigBuilder {
+    protocols: Vec<LocalProtocolKind>,
+    scheme: Option<SchemeKind>,
+    latency: Option<LatencyConfig>,
+    seed: u64,
+    mpl: Option<usize>,
+    max_retries: Option<u32>,
+    prefill_value: Option<Value>,
+    prefill_items: Option<u64>,
+    two_phase_commit: bool,
+    crashes: Vec<(SimTime, SiteId, SimTime)>,
+    event_overrides: Vec<(SiteId, SerializationEvent)>,
+}
+
+impl SystemConfigBuilder {
+    /// Add a site running `protocol`.
+    pub fn site(mut self, protocol: LocalProtocolKind) -> Self {
+        self.protocols.push(protocol);
+        self
+    }
+
+    /// Add `n` sites all running `protocol`.
+    pub fn sites(mut self, n: usize, protocol: LocalProtocolKind) -> Self {
+        self.protocols.extend(std::iter::repeat_n(protocol, n));
+        self
+    }
+
+    /// Select the GTM2 scheme (default: Scheme 3).
+    pub fn scheme(mut self, scheme: SchemeKind) -> Self {
+        self.scheme = Some(scheme);
+        self
+    }
+
+    /// Override latencies.
+    pub fn latency(mut self, latency: LatencyConfig) -> Self {
+        self.latency = Some(latency);
+        self
+    }
+
+    /// Set the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Closed-loop multiprogramming level (default 8).
+    pub fn mpl(mut self, mpl: usize) -> Self {
+        self.mpl = Some(mpl);
+        self
+    }
+
+    /// Retry budget (default 10).
+    pub fn max_retries(mut self, r: u32) -> Self {
+        self.max_retries = Some(r);
+        self
+    }
+
+    /// Pre-populate `items` items per site with `value` each.
+    pub fn prefill(mut self, items: u64, value: Value) -> Self {
+        self.prefill_items = Some(items);
+        self.prefill_value = Some(value);
+        self
+    }
+
+    /// Enable two-phase commit (default off, matching the paper's model).
+    pub fn two_phase_commit(mut self, on: bool) -> Self {
+        self.two_phase_commit = on;
+        self
+    }
+
+    /// Schedule a site crash at simulated time `at`, with the site down
+    /// for `down_for` microseconds.
+    pub fn crash(mut self, at: SimTime, site: SiteId, down_for: SimTime) -> Self {
+        self.crashes.push((at, site, down_for));
+        self
+    }
+
+    /// Override the serialization event used for a site (default: the
+    /// paper's per-protocol mapping). Overriding with an event that is not
+    /// a valid serialization function for the site's protocol breaks the
+    /// Theorem 1 premise — useful only for negative experiments.
+    pub fn override_serialization_event(mut self, site: SiteId, event: SerializationEvent) -> Self {
+        self.event_overrides.push((site, event));
+        self
+    }
+
+    /// Finish. Panics if no site was added.
+    pub fn build(self) -> SystemConfig {
+        assert!(!self.protocols.is_empty(), "at least one site required");
+        SystemConfig {
+            protocols: self.protocols,
+            scheme: self.scheme.unwrap_or(SchemeKind::Scheme3),
+            latency: self.latency.unwrap_or_default(),
+            seed: self.seed,
+            mpl: self.mpl.unwrap_or(8),
+            max_retries: self.max_retries.unwrap_or(10),
+            prefill_value: self.prefill_value.unwrap_or(0),
+            prefill_items: self.prefill_items.unwrap_or(0),
+            two_phase_commit: self.two_phase_commit,
+            crashes: self.crashes,
+            event_overrides: self.event_overrides,
+        }
+    }
+}
+
+/// Outcome of a full simulation run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Run counters and timings.
+    pub metrics: Metrics,
+    /// Global-serializability verdict over every local schedule.
+    pub audit: GlobalSerializability,
+    /// GTM1 counters.
+    pub gtm1: mdbs_core::gtm1::Gtm1Stats,
+    /// GTM2 counters (waits = degree-of-concurrency metric).
+    pub gtm2: Gtm2Stats,
+    /// GTM2 abstract step counts (complexity metric).
+    pub gtm2_steps: StepCounter,
+    /// Whether the recorded `ser(S)` was serializable (Theorems 3/5/8).
+    pub ser_s_ok: bool,
+    /// Per-site protocol and engine counters.
+    pub site_stats: Vec<(SiteId, LocalProtocolKind, EngineStats)>,
+    /// Sum of all item values per site after the run (for conservation
+    /// checks in example scenarios).
+    pub storage_totals: Vec<i128>,
+}
+
+impl RunReport {
+    /// Convenience: true iff globally serializable.
+    pub fn is_serializable(&self) -> bool {
+        self.audit.is_serializable()
+    }
+}
+
+/// What a server does when the engine finishes the current step.
+#[derive(Clone, Copy, Debug)]
+enum Continuation {
+    /// Reply `ServerDone` to GTM1.
+    ReplyDone,
+    /// Write `item = read + delta`, then reply.
+    AddWrite {
+        item: mdbs_common::ids::DataItemId,
+        delta: Value,
+    },
+    /// Write the incremented ticket, then ack.
+    TicketWrite,
+    /// Ack the serialization event to GTM2.
+    AckAfter,
+}
+
+/// A server-side in-flight command whose current engine step blocked.
+#[derive(Clone, Copy, Debug)]
+struct ServerTask {
+    cont: Continuation,
+}
+
+/// Simulation events.
+#[derive(Clone, Debug)]
+enum SimEvent {
+    /// Admit (or retry) logical global program `idx`.
+    SubmitGlobal { idx: usize },
+    /// A GTM1 server command arrives at its site.
+    DeliverServerCmd {
+        txn: GlobalTxnId,
+        site: SiteId,
+        cmd: ServerCommand,
+    },
+    /// A site's ack for a serialization event arrives at GTM2.
+    DeliverAck { txn: GlobalTxnId, site: SiteId },
+    /// A site-originated GTM1 event arrives at the GTM.
+    DeliverGtm1 { event: Gtm1Event },
+    /// Start (or retry) local driver `idx`.
+    StartLocal { idx: usize },
+    /// Local driver `idx` issues its next operation.
+    LocalNext { idx: usize, attempt: u32 },
+    /// Check a blocked operation for timeout.
+    BlockTimeout {
+        site: SiteId,
+        txn: TxnId,
+        epoch: u64,
+    },
+    /// A scheduled site failure fires.
+    CrashSite { site: SiteId, down_for: SimTime },
+}
+
+/// Per-logical-global-program progress.
+#[derive(Clone, Debug, Default)]
+struct ProgState {
+    first_submit: Option<SimTime>,
+    attempts: u32,
+    done: bool,
+}
+
+/// The assembled multidatabase simulator.
+pub struct MdbsSystem {
+    cfg: SystemConfig,
+    queue: EventQueue<SimEvent>,
+    gtm1: Gtm1,
+    gtm2: Gtm2,
+    sites: Vec<LocalDbms>,
+    server_tasks: BTreeMap<(SiteId, GlobalTxnId), ServerTask>,
+    blocked_epoch: BTreeMap<(SiteId, TxnId), u64>,
+    epoch_ctr: u64,
+    drivers: Vec<LocalDriver>,
+    local_seq: Vec<u64>,
+    programs: Vec<GlobalTransaction>,
+    prog_state: Vec<ProgState>,
+    id2prog: BTreeMap<GlobalTxnId, usize>,
+    next_txn_id: u64,
+    next_program: usize,
+    inflight: usize,
+    metrics: Metrics,
+    rng: DetRng,
+    /// Sites currently down, with the time they come back.
+    down_until: BTreeMap<SiteId, SimTime>,
+    trace: Option<Trace>,
+}
+
+impl MdbsSystem {
+    /// Build a system from a configuration.
+    pub fn new(cfg: SystemConfig) -> Self {
+        let sites: Vec<LocalDbms> = cfg
+            .protocols
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                // Pre-populate items 1..=prefill_items (item 0 is the
+                // reserved ticket and stays at 0).
+                let mut storage = Storage::new();
+                for item in 1..=cfg.prefill_items {
+                    storage.write(mdbs_common::ids::DataItemId(item), cfg.prefill_value);
+                }
+                LocalDbms::with_storage(SiteId(i as u32), p, storage)
+            })
+            .collect();
+        let mut site_events: BTreeMap<SiteId, SerializationEvent> = sites
+            .iter()
+            .map(|db| (db.site(), db.serialization_event()))
+            .collect();
+        for &(site, event) in &cfg.event_overrides {
+            site_events.insert(site, event);
+        }
+        let rng = derive_rng(cfg.seed, "mdbs-sim");
+        let gtm1 = if cfg.two_phase_commit {
+            Gtm1::new_two_phase(site_events)
+        } else {
+            Gtm1::new(site_events)
+        };
+        MdbsSystem {
+            gtm1,
+            gtm2: Gtm2::new(cfg.scheme.build()),
+            sites,
+            server_tasks: BTreeMap::new(),
+            blocked_epoch: BTreeMap::new(),
+            epoch_ctr: 0,
+            drivers: Vec::new(),
+            local_seq: vec![0; cfg.protocols.len()],
+            programs: Vec::new(),
+            prog_state: Vec::new(),
+            id2prog: BTreeMap::new(),
+            next_txn_id: 1,
+            next_program: 0,
+            inflight: 0,
+            metrics: Metrics::default(),
+            queue: EventQueue::new(),
+            rng,
+            down_until: BTreeMap::new(),
+            trace: None,
+            cfg,
+        }
+    }
+
+    /// Run a workload to completion and report.
+    pub fn run(&mut self, workload: Workload) -> RunReport {
+        self.programs = workload.globals;
+        self.prog_state = vec![ProgState::default(); self.programs.len()];
+        self.drivers = workload.locals.into_iter().map(LocalDriver::new).collect();
+
+        // Stagger local driver starts across the early run.
+        for i in 0..self.drivers.len() {
+            let at = self.rng.gen_range(0..=self.cfg.latency.arrival_gap * 4);
+            self.queue.schedule_at(at, SimEvent::StartLocal { idx: i });
+        }
+        // Scheduled site failures.
+        for &(at, site, down_for) in &self.cfg.crashes.clone() {
+            self.queue
+                .schedule_at(at, SimEvent::CrashSite { site, down_for });
+        }
+        // Closed-loop admission: the first `mpl` programs.
+        let initial = self.cfg.mpl.min(self.programs.len());
+        for idx in 0..initial {
+            let at = idx as SimTime * self.cfg.latency.arrival_gap;
+            self.queue.schedule_at(at, SimEvent::SubmitGlobal { idx });
+        }
+        self.next_program = initial;
+
+        let max_events: u64 = 50_000_000;
+        while let Some((_, event)) = self.queue.pop() {
+            self.metrics.events += 1;
+            assert!(self.metrics.events < max_events, "runaway simulation");
+            self.dispatch(event);
+        }
+        self.metrics.makespan = self.queue.now();
+
+        // Sanity: everything must have finished.
+        let unfinished: Vec<usize> = self
+            .prog_state
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.done)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            unfinished.is_empty(),
+            "simulation wedged: programs {unfinished:?} unfinished (scheme {}, gtm2 wait={} queue={})",
+            self.gtm2.scheme_name(),
+            self.gtm2.wait_len(),
+            self.gtm2.queue_len(),
+        );
+
+        RunReport {
+            metrics: self.metrics.clone(),
+            audit: audit_sites(&self.sites),
+            gtm1: self.gtm1.stats(),
+            gtm2: self.gtm2.stats(),
+            gtm2_steps: self.gtm2.steps(),
+            ser_s_ok: self.gtm2.ser_log().check().is_ok(),
+            site_stats: self
+                .sites
+                .iter()
+                .map(|db| (db.site(), db.protocol_kind(), db.stats()))
+                .collect(),
+            storage_totals: self
+                .sites
+                .iter()
+                .map(|db| {
+                    // Exclude the ticket item: its counter is concurrency
+                    // control plumbing, not application data.
+                    db.storage()
+                        .iter()
+                        .filter(|(item, _)| *item != mdbs_common::ids::DataItemId::TICKET)
+                        .map(|(_, v)| i128::from(v))
+                        .sum()
+                })
+                .collect(),
+        }
+    }
+
+    /// Read access to a site's engine after a run (examples inspect final
+    /// storage and histories).
+    pub fn site(&self, site: SiteId) -> &LocalDbms {
+        &self.sites[site.index()]
+    }
+
+    /// Enable structured tracing for the next run.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Trace::new());
+    }
+
+    /// Take the trace recorded by the last run (if tracing was enabled).
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
+    }
+
+    fn record(&mut self, record: TraceRecord) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(self.queue.now(), record);
+        }
+    }
+
+    /// True while `site` is crashed.
+    fn site_is_down(&self, site: SiteId) -> bool {
+        self.down_until
+            .get(&site)
+            .is_some_and(|&until| self.queue.now() < until)
+    }
+
+    /// Redeliver an event once the site is back (plus a network hop —
+    /// coordinators retry until the site answers).
+    fn redeliver_at_recovery(&mut self, site: SiteId, event: SimEvent) {
+        let until = self.down_until.get(&site).copied().unwrap_or(0);
+        self.queue.schedule_at(until + self.cfg.latency.net, event);
+    }
+
+    fn crash_site(&mut self, site: SiteId, down_for: SimTime) {
+        self.metrics.crashes += 1;
+        let until = self.queue.now() + down_for;
+        self.record(TraceRecord::Crash { site, until });
+        self.down_until.insert(site, until);
+        // Volatile state lost: every active, non-prepared transaction dies;
+        // completions carry the failures to their owners.
+        self.sites[site.index()].crash();
+        self.drain_site(site);
+    }
+
+    fn dispatch(&mut self, event: SimEvent) {
+        match event {
+            SimEvent::SubmitGlobal { idx } => self.submit_global(idx),
+            SimEvent::DeliverServerCmd { txn, site, cmd } => {
+                if self.site_is_down(site) {
+                    // The GTM retries until the site answers.
+                    self.redeliver_at_recovery(site, SimEvent::DeliverServerCmd { txn, site, cmd });
+                    return;
+                }
+                self.server_execute(txn, site, cmd)
+            }
+            SimEvent::DeliverAck { txn, site } => {
+                self.gtm2
+                    .enqueue(mdbs_common::ops::QueueOp::Ack { txn, site });
+                self.gtm_round(VecDeque::new());
+            }
+            SimEvent::DeliverGtm1 { event } => self.gtm_round(VecDeque::from([event])),
+            SimEvent::StartLocal { idx } => self.start_local(idx),
+            SimEvent::LocalNext { idx, attempt } => self.local_next(idx, attempt),
+            SimEvent::BlockTimeout { site, txn, epoch } => self.block_timeout(site, txn, epoch),
+            SimEvent::CrashSite { site, down_for } => self.crash_site(site, down_for),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Global transaction admission and completion
+    // ------------------------------------------------------------------
+
+    fn submit_global(&mut self, idx: usize) {
+        let id = GlobalTxnId(self.next_txn_id);
+        self.next_txn_id += 1;
+        let state = &mut self.prog_state[idx];
+        state.attempts += 1;
+        state.first_submit.get_or_insert(self.queue.now());
+        self.id2prog.insert(id, idx);
+        self.inflight += 1;
+        let attempt = self.prog_state[idx].attempts;
+        self.record(TraceRecord::Submitted {
+            txn: id,
+            program: idx,
+            attempt,
+        });
+        let program = GlobalTransaction {
+            id,
+            steps: self.programs[idx].steps.clone(),
+        };
+        self.gtm_round(VecDeque::from([Gtm1Event::Submit(program)]));
+    }
+
+    fn handle_completed(&mut self, txn: GlobalTxnId, aborted: Option<AbortReason>) {
+        let idx = self.id2prog.remove(&txn).expect("completion for known txn");
+        self.inflight -= 1;
+        match aborted {
+            None => {
+                self.metrics.global_commits += 1;
+                let first = self.prog_state[idx].first_submit.expect("submitted");
+                self.metrics
+                    .global_response
+                    .record(self.queue.now() - first);
+                self.prog_state[idx].done = true;
+                self.admit_next();
+            }
+            Some(_) => {
+                self.metrics.global_aborts += 1;
+                if self.prog_state[idx].attempts <= self.cfg.max_retries {
+                    let backoff = self.cfg.latency.retry_backoff
+                        * u64::from(self.prog_state[idx].attempts)
+                        + self.rng.gen_range(0..=self.cfg.latency.retry_backoff);
+                    self.queue
+                        .schedule_in(backoff, SimEvent::SubmitGlobal { idx });
+                } else {
+                    self.metrics.global_failures += 1;
+                    self.prog_state[idx].done = true;
+                    self.admit_next();
+                }
+            }
+        }
+    }
+
+    fn admit_next(&mut self) {
+        if self.next_program < self.programs.len() && self.inflight < self.cfg.mpl {
+            let idx = self.next_program;
+            self.next_program += 1;
+            self.queue
+                .schedule_in(self.cfg.latency.arrival_gap, SimEvent::SubmitGlobal { idx });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // GTM processing (GTM1 <-> GTM2, both co-located: immediate)
+    // ------------------------------------------------------------------
+
+    fn gtm_round(&mut self, mut pending: VecDeque<Gtm1Event>) {
+        loop {
+            while let Some(ev) = pending.pop_front() {
+                for fx in self.gtm1.handle(ev) {
+                    match fx {
+                        Gtm1Effect::EnqueueGtm2(op) => self.gtm2.enqueue(op),
+                        Gtm1Effect::Server { txn, site, cmd } => {
+                            self.queue.schedule_in(
+                                self.cfg.latency.net,
+                                SimEvent::DeliverServerCmd { txn, site, cmd },
+                            );
+                        }
+                        Gtm1Effect::Completed { txn, aborted } => {
+                            self.record(TraceRecord::Completed {
+                                txn,
+                                committed: aborted.is_none(),
+                            });
+                            self.handle_completed(txn, aborted);
+                        }
+                    }
+                }
+            }
+            for fx in self.gtm2.pump() {
+                match fx {
+                    SchemeEffect::SubmitSer { txn, site } => {
+                        self.record(TraceRecord::SerScheduled { txn, site });
+                        pending.push_back(Gtm1Event::Gtm2SubmitSer { txn, site });
+                    }
+                    SchemeEffect::ForwardAck { txn, site } => {
+                        pending.push_back(Gtm1Event::Gtm2Ack { txn, site });
+                    }
+                    SchemeEffect::AbortGlobal { .. } => {
+                        unreachable!("conservative schemes never abort; baselines run in replay")
+                    }
+                }
+            }
+            if pending.is_empty() {
+                return;
+            }
+        }
+    }
+
+    fn reply_gtm1(&mut self, event: Gtm1Event) {
+        let delay = self.cfg.latency.proc + self.cfg.latency.net;
+        self.queue
+            .schedule_in(delay, SimEvent::DeliverGtm1 { event });
+    }
+
+    fn send_ack(&mut self, txn: GlobalTxnId, site: SiteId) {
+        let delay = self.cfg.latency.proc + self.cfg.latency.net;
+        self.queue
+            .schedule_in(delay, SimEvent::DeliverAck { txn, site });
+    }
+
+    // ------------------------------------------------------------------
+    // Server execution
+    // ------------------------------------------------------------------
+
+    fn server_execute(&mut self, txn: GlobalTxnId, site: SiteId, cmd: ServerCommand) {
+        match cmd {
+            ServerCommand::Begin => {
+                let result = self.sites[site.index()].begin(txn.into());
+                match result {
+                    Ok(()) => self.reply_gtm1(Gtm1Event::ServerDone { txn, site }),
+                    Err(e) => {
+                        let reason = abort_reason(&e);
+                        self.reply_gtm1(Gtm1Event::ServerFailed { txn, site, reason });
+                    }
+                }
+            }
+            ServerCommand::Read(item) => {
+                self.engine_step(txn, site, EngineOp::Read(item), Continuation::ReplyDone);
+            }
+            ServerCommand::Write(item, value) => {
+                self.engine_step(
+                    txn,
+                    site,
+                    EngineOp::Write(item, value),
+                    Continuation::ReplyDone,
+                );
+            }
+            ServerCommand::Add(item, delta) => {
+                self.engine_step(
+                    txn,
+                    site,
+                    EngineOp::Read(item),
+                    Continuation::AddWrite { item, delta },
+                );
+            }
+            ServerCommand::Commit => {
+                self.engine_step(txn, site, EngineOp::Commit, Continuation::ReplyDone);
+            }
+            ServerCommand::Prepare => match self.sites[site.index()].submit_prepare(txn.into()) {
+                Ok(()) => self.reply_gtm1(Gtm1Event::ServerDone { txn, site }),
+                Err(e) => {
+                    let reason = abort_reason(&e);
+                    self.reply_gtm1(Gtm1Event::ServerFailed { txn, site, reason });
+                }
+            },
+            ServerCommand::AbortSubtxn => {
+                // Global decision: may abort even a prepared subtransaction.
+                let _ = self.sites[site.index()].resolve_abort(txn.into());
+                self.drain_site(site);
+            }
+            ServerCommand::SerEvent { event, vacuous } => {
+                if vacuous {
+                    self.send_ack(txn, site);
+                    return;
+                }
+                match event {
+                    SerializationEvent::Begin => match self.sites[site.index()].begin(txn.into()) {
+                        Ok(()) => self.send_ack(txn, site),
+                        Err(e) => {
+                            let reason = abort_reason(&e);
+                            self.reply_gtm1(Gtm1Event::SerEventFailed { txn, site, reason });
+                            self.send_ack(txn, site);
+                        }
+                    },
+                    SerializationEvent::Commit => {
+                        self.engine_step(txn, site, EngineOp::Commit, Continuation::AckAfter);
+                    }
+                    SerializationEvent::Prepare => {
+                        match self.sites[site.index()].submit_prepare(txn.into()) {
+                            Ok(()) => self.send_ack(txn, site),
+                            Err(e) => {
+                                let reason = abort_reason(&e);
+                                self.reply_gtm1(Gtm1Event::SerEventFailed { txn, site, reason });
+                                self.send_ack(txn, site);
+                            }
+                        }
+                    }
+                    SerializationEvent::TicketWrite => {
+                        self.engine_step(
+                            txn,
+                            site,
+                            EngineOp::Read(mdbs_common::ids::DataItemId::TICKET),
+                            Continuation::TicketWrite,
+                        );
+                    }
+                }
+            }
+        }
+        self.drain_site(site);
+    }
+
+    /// Run one engine operation for a global transaction; park a
+    /// [`ServerTask`] if it blocks.
+    fn engine_step(&mut self, txn: GlobalTxnId, site: SiteId, op: EngineOp, cont: Continuation) {
+        let db = &mut self.sites[site.index()];
+        let result = match op {
+            EngineOp::Read(item) => db.submit_read(txn.into(), item),
+            EngineOp::Write(item, value) => db.submit_write(txn.into(), item, value),
+            EngineOp::Commit => db.submit_commit(txn.into()),
+        };
+        match result {
+            Ok(SubmitResult::Done(outcome)) => self.continue_task(txn, site, cont, outcome),
+            Ok(SubmitResult::Blocked) => {
+                self.server_tasks.insert((site, txn), ServerTask { cont });
+                self.arm_timeout(site, txn.into());
+            }
+            Err(e) => self.task_failed(txn, site, cont, &e),
+        }
+    }
+
+    /// A step finished: run the continuation.
+    fn continue_task(
+        &mut self,
+        txn: GlobalTxnId,
+        site: SiteId,
+        cont: Continuation,
+        outcome: OpOutcome,
+    ) {
+        match cont {
+            Continuation::ReplyDone => self.reply_gtm1(Gtm1Event::ServerDone { txn, site }),
+            Continuation::AddWrite { item, delta } => {
+                let OpOutcome::Read(v) = outcome else {
+                    panic!("Add continuation expects a read outcome")
+                };
+                self.engine_step(
+                    txn,
+                    site,
+                    EngineOp::Write(item, v + delta),
+                    Continuation::ReplyDone,
+                );
+            }
+            Continuation::TicketWrite => {
+                let OpOutcome::Read(v) = outcome else {
+                    panic!("ticket continuation expects a read outcome")
+                };
+                self.engine_step(
+                    txn,
+                    site,
+                    EngineOp::Write(mdbs_common::ids::DataItemId::TICKET, v + 1),
+                    Continuation::AckAfter,
+                );
+            }
+            Continuation::AckAfter => self.send_ack(txn, site),
+        }
+    }
+
+    /// A step failed (the local DBMS aborted the subtransaction).
+    fn task_failed(&mut self, txn: GlobalTxnId, site: SiteId, cont: Continuation, e: &MdbsError) {
+        let reason = abort_reason(e);
+        match cont {
+            Continuation::ReplyDone | Continuation::AddWrite { .. } => {
+                self.reply_gtm1(Gtm1Event::ServerFailed { txn, site, reason });
+            }
+            Continuation::AckAfter | Continuation::TicketWrite => {
+                // The serialization event still acknowledges (vacuously) so
+                // GTM2's queues drain; GTM1 learns of the failure
+                // separately.
+                self.reply_gtm1(Gtm1Event::SerEventFailed { txn, site, reason });
+                self.send_ack(txn, site);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Completion routing and timeouts
+    // ------------------------------------------------------------------
+
+    fn drain_site(&mut self, site: SiteId) {
+        loop {
+            let completions = self.sites[site.index()].take_completions();
+            if completions.is_empty() {
+                return;
+            }
+            for comp in completions {
+                self.blocked_epoch.remove(&(site, comp.txn));
+                match comp.txn {
+                    TxnId::Global(g) => {
+                        let Some(task) = self.server_tasks.remove(&(site, g)) else {
+                            // Completion for an op the server no longer
+                            // tracks (e.g. aborted via request_abort after
+                            // its task already failed) — ignore.
+                            continue;
+                        };
+                        match comp.outcome {
+                            Ok(outcome) => self.continue_task(g, site, task.cont, outcome),
+                            Err(e) => self.task_failed(g, site, task.cont, &e),
+                        }
+                    }
+                    TxnId::Local(l) => self.local_completion(site, l, comp.outcome),
+                }
+            }
+        }
+    }
+
+    fn arm_timeout(&mut self, site: SiteId, txn: TxnId) {
+        self.epoch_ctr += 1;
+        let epoch = self.epoch_ctr;
+        self.blocked_epoch.insert((site, txn), epoch);
+        self.queue.schedule_in(
+            self.cfg.latency.block_timeout,
+            SimEvent::BlockTimeout { site, txn, epoch },
+        );
+    }
+
+    fn block_timeout(&mut self, site: SiteId, txn: TxnId, epoch: u64) {
+        if self.blocked_epoch.get(&(site, txn)) != Some(&epoch) {
+            return; // resolved long ago
+        }
+        self.blocked_epoch.remove(&(site, txn));
+        self.metrics.timeouts += 1;
+        self.record(TraceRecord::Timeout { site });
+        // Abort the stalled transaction; the resulting completion routes
+        // the failure to its owner (server task or local driver).
+        let _ = self.sites[site.index()].request_abort(txn);
+        self.drain_site(site);
+    }
+
+    // ------------------------------------------------------------------
+    // Local transaction drivers
+    // ------------------------------------------------------------------
+
+    fn start_local(&mut self, idx: usize) {
+        let site = self.drivers[idx].program.site;
+        if self.site_is_down(site) {
+            self.redeliver_at_recovery(site, SimEvent::StartLocal { idx });
+            return;
+        }
+        self.local_seq[site.index()] += 1;
+        let txn = LocalTxnId {
+            site,
+            seq: self.local_seq[site.index()],
+        };
+        let attempt = self.drivers[idx].attempts;
+        {
+            let d = &mut self.drivers[idx];
+            d.txn = Some(txn);
+            d.cursor = 0;
+            d.waiting = false;
+        }
+        match self.sites[site.index()].begin(txn.into()) {
+            Ok(()) => {
+                self.queue.schedule_in(
+                    self.cfg.latency.local_gap,
+                    SimEvent::LocalNext { idx, attempt },
+                );
+            }
+            Err(_) => self.local_retry(idx),
+        }
+        self.drain_site(site);
+    }
+
+    fn local_next(&mut self, idx: usize, attempt: u32) {
+        let d = &self.drivers[idx];
+        if d.done || d.attempts != attempt || d.waiting {
+            return; // stale event from a previous attempt
+        }
+        let site = d.program.site;
+        if self.site_is_down(site) {
+            self.redeliver_at_recovery(site, SimEvent::LocalNext { idx, attempt });
+            return;
+        }
+        let Some(txn) = d.txn else { return };
+        let site = d.program.site;
+        let op = if d.at_commit() {
+            None
+        } else {
+            Some(d.program.ops[d.cursor])
+        };
+        let db = &mut self.sites[site.index()];
+        let result = match op {
+            None => db.submit_commit(txn.into()),
+            Some(LocalOp::Read(item)) => db.submit_read(txn.into(), item),
+            Some(LocalOp::Write(item, v)) => db.submit_write(txn.into(), item, v),
+        };
+        match result {
+            Ok(SubmitResult::Done(OpOutcome::Committed)) => {
+                self.metrics.local_commits += 1;
+                self.drivers[idx].done = true;
+            }
+            Ok(SubmitResult::Done(_)) => {
+                self.drivers[idx].cursor += 1;
+                self.queue.schedule_in(
+                    self.cfg.latency.local_gap,
+                    SimEvent::LocalNext { idx, attempt },
+                );
+            }
+            Ok(SubmitResult::Blocked) => {
+                self.drivers[idx].waiting = true;
+                self.arm_timeout(site, txn.into());
+            }
+            Err(_) => self.local_retry(idx),
+        }
+        self.drain_site(site);
+    }
+
+    fn local_completion(
+        &mut self,
+        site: SiteId,
+        txn: LocalTxnId,
+        outcome: Result<OpOutcome, MdbsError>,
+    ) {
+        let Some(idx) = self
+            .drivers
+            .iter()
+            .position(|d| d.program.site == site && d.txn == Some(txn) && !d.done)
+        else {
+            return;
+        };
+        self.drivers[idx].waiting = false;
+        let attempt = self.drivers[idx].attempts;
+        match outcome {
+            Ok(OpOutcome::Committed) => {
+                self.metrics.local_commits += 1;
+                self.drivers[idx].done = true;
+            }
+            Ok(_) => {
+                self.drivers[idx].cursor += 1;
+                self.queue.schedule_in(
+                    self.cfg.latency.local_gap,
+                    SimEvent::LocalNext { idx, attempt },
+                );
+            }
+            Err(_) => self.local_retry(idx),
+        }
+    }
+
+    fn local_retry(&mut self, idx: usize) {
+        self.metrics.local_aborts += 1;
+        let d = &mut self.drivers[idx];
+        if d.attempts >= 20 {
+            d.done = true; // give up; keep the run terminating
+            return;
+        }
+        d.reset_for_retry();
+        let backoff = self.cfg.latency.retry_backoff * u64::from(d.attempts)
+            + self.rng.gen_range(0..=self.cfg.latency.retry_backoff);
+        self.queue
+            .schedule_in(backoff, SimEvent::StartLocal { idx });
+    }
+}
+
+/// Engine-facing operation of one server step.
+#[derive(Clone, Copy, Debug)]
+enum EngineOp {
+    Read(mdbs_common::ids::DataItemId),
+    Write(mdbs_common::ids::DataItemId, Value),
+    Commit,
+}
+
+/// Extract an abort reason from an engine error (anything else is treated
+/// as a generic abort — it still means the subtransaction cannot proceed).
+fn abort_reason(e: &MdbsError) -> AbortReason {
+    match e {
+        MdbsError::Aborted { reason, .. } => *reason,
+        _ => AbortReason::UserRequested,
+    }
+}

@@ -1,0 +1,530 @@
+//! A live, multi-threaded MDBS: the same GTM1/GTM2 state machines and
+//! local DBMS engines as the simulator, but with one OS thread per site
+//! and a coordinator thread for the GTM, talking over crossbeam channels.
+//!
+//! Where the discrete-event simulator gives determinism (experiments), the
+//! threaded runtime gives *real concurrency* — messages genuinely race,
+//! blocked operations park inside site threads, and timeouts run on wall
+//! clocks. Every run is still audited for global serializability at the
+//! end, so the paper's guarantees are exercised under true parallelism.
+//!
+//! Scope: global transactions only (the simulator covers background local
+//! load); aborted global transactions are not retried — their outcome is
+//! reported as-is.
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use mdbs_common::error::{AbortReason, MdbsError};
+use mdbs_common::ids::{DataItemId, GlobalTxnId, SiteId};
+use mdbs_core::gtm1::{Gtm1, Gtm1Effect, Gtm1Event, ServerCommand};
+use mdbs_core::gtm2::Gtm2;
+use mdbs_core::scheme::{SchemeEffect, SchemeKind};
+use mdbs_core::txn::GlobalTransaction;
+use mdbs_localdb::engine::{LocalDbms, OpOutcome, SubmitResult};
+use mdbs_localdb::protocol::LocalProtocolKind;
+use mdbs_localdb::serfn::SerializationEvent;
+use mdbs_localdb::storage::Value;
+use mdbs_schedule::global::{check_global, GlobalSerializability};
+use mdbs_schedule::History;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Message from coordinator to a site thread.
+enum ToSite {
+    Command {
+        txn: GlobalTxnId,
+        cmd: ServerCommand,
+    },
+    Shutdown,
+}
+
+/// Message from a site thread back to the coordinator.
+enum FromSite {
+    Gtm1(Gtm1Event),
+    /// `ack(ser_site(txn))` for GTM2.
+    Ack {
+        txn: GlobalTxnId,
+        site: SiteId,
+    },
+    /// Final state at shutdown.
+    Final {
+        site: SiteId,
+        history: History,
+        committed_values: Vec<(DataItemId, Value)>,
+    },
+}
+
+/// Outcome of a threaded run.
+#[derive(Debug)]
+pub struct ThreadedRunReport {
+    /// Transactions that committed everywhere.
+    pub commits: u64,
+    /// Transactions that aborted (no retry in the threaded runtime).
+    pub aborts: u64,
+    /// Global-serializability verdict over the collected histories.
+    pub audit: GlobalSerializability,
+    /// Whether `ser(S)` as recorded by GTM2 was serializable.
+    pub ser_s_ok: bool,
+    /// Per-site sum of committed item values (ticket excluded) — lets
+    /// callers check conservation invariants after a live run.
+    pub storage_totals: Vec<i128>,
+}
+
+impl ThreadedRunReport {
+    /// Convenience accessor.
+    pub fn is_serializable(&self) -> bool {
+        self.audit.is_serializable()
+    }
+}
+
+/// Continuation state for a blocked engine step inside a site thread.
+#[derive(Clone, Copy, Debug)]
+enum Cont {
+    ReplyDone,
+    AddWrite { item: DataItemId, delta: Value },
+    TicketWrite,
+    AckAfter,
+}
+
+struct SiteWorker {
+    site: SiteId,
+    db: LocalDbms,
+    rx: Receiver<ToSite>,
+    tx: Sender<FromSite>,
+    pending: BTreeMap<GlobalTxnId, (Cont, Instant)>,
+    block_timeout: Duration,
+}
+
+impl SiteWorker {
+    fn run(mut self) {
+        loop {
+            match self.rx.recv_timeout(Duration::from_millis(2)) {
+                Ok(ToSite::Command { txn, cmd }) => {
+                    self.execute(txn, cmd);
+                    self.drain();
+                }
+                Ok(ToSite::Shutdown) => break,
+                Err(RecvTimeoutError::Timeout) => self.expire_blocked(),
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        let committed_values: Vec<(DataItemId, Value)> = self.db.storage().iter().collect();
+        let _ = self.tx.send(FromSite::Final {
+            site: self.site,
+            history: self.db.history().clone(),
+            committed_values,
+        });
+    }
+
+    fn expire_blocked(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<GlobalTxnId> = self
+            .pending
+            .iter()
+            .filter(|(_, (_, since))| now.duration_since(*since) > self.block_timeout)
+            .map(|(&t, _)| t)
+            .collect();
+        for txn in expired {
+            let _ = self.db.request_abort(txn.into());
+        }
+        self.drain();
+    }
+
+    fn execute(&mut self, txn: GlobalTxnId, cmd: ServerCommand) {
+        match cmd {
+            ServerCommand::Begin => match self.db.begin(txn.into()) {
+                Ok(()) => self.reply_done(txn),
+                Err(e) => self.reply_failed(txn, &e, false),
+            },
+            ServerCommand::Read(item) => self.step(txn, Step::Read(item), Cont::ReplyDone),
+            ServerCommand::Write(item, v) => self.step(txn, Step::Write(item, v), Cont::ReplyDone),
+            ServerCommand::Add(item, delta) => {
+                self.step(txn, Step::Read(item), Cont::AddWrite { item, delta })
+            }
+            ServerCommand::Commit => self.step(txn, Step::Commit, Cont::ReplyDone),
+            ServerCommand::Prepare => match self.db.submit_prepare(txn.into()) {
+                Ok(()) => self.reply_done(txn),
+                Err(e) => self.reply_failed(txn, &e, false),
+            },
+            ServerCommand::AbortSubtxn => {
+                let _ = self.db.resolve_abort(txn.into());
+            }
+            ServerCommand::SerEvent { event, vacuous } => {
+                if vacuous {
+                    self.send_ack(txn);
+                    return;
+                }
+                match event {
+                    SerializationEvent::Begin => match self.db.begin(txn.into()) {
+                        Ok(()) => self.send_ack(txn),
+                        Err(e) => {
+                            self.reply_failed(txn, &e, true);
+                            self.send_ack(txn);
+                        }
+                    },
+                    SerializationEvent::Commit => self.step(txn, Step::Commit, Cont::AckAfter),
+                    SerializationEvent::Prepare => match self.db.submit_prepare(txn.into()) {
+                        Ok(()) => self.send_ack(txn),
+                        Err(e) => {
+                            self.reply_failed(txn, &e, true);
+                            self.send_ack(txn);
+                        }
+                    },
+                    SerializationEvent::TicketWrite => {
+                        self.step(txn, Step::Read(DataItemId::TICKET), Cont::TicketWrite)
+                    }
+                }
+            }
+        }
+    }
+
+    fn step(&mut self, txn: GlobalTxnId, s: Step, cont: Cont) {
+        let result = match s {
+            Step::Read(item) => self.db.submit_read(txn.into(), item),
+            Step::Write(item, v) => self.db.submit_write(txn.into(), item, v),
+            Step::Commit => self.db.submit_commit(txn.into()),
+        };
+        match result {
+            Ok(SubmitResult::Done(outcome)) => self.continue_with(txn, cont, outcome),
+            Ok(SubmitResult::Blocked) => {
+                self.pending.insert(txn, (cont, Instant::now()));
+            }
+            Err(e) => self.step_failed(txn, cont, &e),
+        }
+    }
+
+    fn continue_with(&mut self, txn: GlobalTxnId, cont: Cont, outcome: OpOutcome) {
+        match cont {
+            Cont::ReplyDone => self.reply_done(txn),
+            Cont::AddWrite { item, delta } => {
+                let OpOutcome::Read(v) = outcome else {
+                    unreachable!("Add continuation expects a read")
+                };
+                self.step(txn, Step::Write(item, v + delta), Cont::ReplyDone);
+            }
+            Cont::TicketWrite => {
+                let OpOutcome::Read(v) = outcome else {
+                    unreachable!("ticket continuation expects a read")
+                };
+                self.step(txn, Step::Write(DataItemId::TICKET, v + 1), Cont::AckAfter);
+            }
+            Cont::AckAfter => self.send_ack(txn),
+        }
+    }
+
+    fn step_failed(&mut self, txn: GlobalTxnId, cont: Cont, e: &MdbsError) {
+        match cont {
+            Cont::ReplyDone | Cont::AddWrite { .. } => self.reply_failed(txn, e, false),
+            Cont::AckAfter | Cont::TicketWrite => {
+                self.reply_failed(txn, e, true);
+                self.send_ack(txn);
+            }
+        }
+    }
+
+    fn drain(&mut self) {
+        loop {
+            let completions = self.db.take_completions();
+            if completions.is_empty() {
+                return;
+            }
+            for comp in completions {
+                let Some(g) = comp.txn.as_global() else {
+                    continue;
+                };
+                let Some((cont, _)) = self.pending.remove(&g) else {
+                    continue;
+                };
+                match comp.outcome {
+                    Ok(outcome) => self.continue_with(g, cont, outcome),
+                    Err(e) => self.step_failed(g, cont, &e),
+                }
+            }
+        }
+    }
+
+    fn reply_done(&mut self, txn: GlobalTxnId) {
+        let _ = self.tx.send(FromSite::Gtm1(Gtm1Event::ServerDone {
+            txn,
+            site: self.site,
+        }));
+    }
+
+    fn reply_failed(&mut self, txn: GlobalTxnId, e: &MdbsError, ser: bool) {
+        let reason = match e {
+            MdbsError::Aborted { reason, .. } => *reason,
+            _ => AbortReason::UserRequested,
+        };
+        let event = if ser {
+            Gtm1Event::SerEventFailed {
+                txn,
+                site: self.site,
+                reason,
+            }
+        } else {
+            Gtm1Event::ServerFailed {
+                txn,
+                site: self.site,
+                reason,
+            }
+        };
+        let _ = self.tx.send(FromSite::Gtm1(event));
+    }
+
+    fn send_ack(&mut self, txn: GlobalTxnId) {
+        let _ = self.tx.send(FromSite::Ack {
+            txn,
+            site: self.site,
+        });
+    }
+}
+
+enum Step {
+    Read(DataItemId),
+    Write(DataItemId, Value),
+    Commit,
+}
+
+/// The threaded MDBS runtime.
+///
+/// ```
+/// use mdbs_sim::threaded::ThreadedMdbs;
+/// use mdbs_core::scheme::SchemeKind;
+/// use mdbs_localdb::protocol::LocalProtocolKind;
+/// use mdbs_workload::generator::Workload;
+///
+/// let programs = Workload::uniform_smoke(2, 6).globals;
+/// let runtime = ThreadedMdbs::new(
+///     vec![LocalProtocolKind::TwoPhaseLocking; 2],
+///     SchemeKind::Scheme3,
+///     3,
+/// );
+/// let report = runtime.run(programs);
+/// assert!(report.is_serializable());
+/// ```
+pub struct ThreadedMdbs {
+    protocols: Vec<LocalProtocolKind>,
+    scheme: SchemeKind,
+    mpl: usize,
+    block_timeout: Duration,
+}
+
+impl ThreadedMdbs {
+    /// Configure a runtime.
+    pub fn new(protocols: Vec<LocalProtocolKind>, scheme: SchemeKind, mpl: usize) -> Self {
+        ThreadedMdbs {
+            protocols,
+            scheme,
+            mpl,
+            block_timeout: Duration::from_millis(200),
+        }
+    }
+
+    /// Run the programs to completion on live threads and audit.
+    pub fn run(&self, programs: Vec<GlobalTransaction>) -> ThreadedRunReport {
+        let (to_coord, from_sites) = bounded::<FromSite>(1024);
+        let mut site_txs: Vec<Sender<ToSite>> = Vec::new();
+        let mut handles: Vec<JoinHandle<()>> = Vec::new();
+        for (i, &protocol) in self.protocols.iter().enumerate() {
+            let (tx, rx) = bounded::<ToSite>(1024);
+            site_txs.push(tx);
+            let worker = SiteWorker {
+                site: SiteId(i as u32),
+                db: LocalDbms::new(SiteId(i as u32), protocol),
+                rx,
+                tx: to_coord.clone(),
+                pending: BTreeMap::new(),
+                block_timeout: self.block_timeout,
+            };
+            handles.push(std::thread::spawn(move || worker.run()));
+        }
+        drop(to_coord);
+
+        let site_events: BTreeMap<SiteId, SerializationEvent> = self
+            .protocols
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (SiteId(i as u32), SerializationEvent::for_protocol(p)))
+            .collect();
+        let mut gtm1 = Gtm1::new(site_events);
+        let mut gtm2 = Gtm2::new(self.scheme.build());
+
+        let total = programs.len();
+        let mut queue: VecDeque<GlobalTransaction> = programs.into();
+        let mut commits = 0u64;
+        let mut aborts = 0u64;
+        let mut done = 0usize;
+
+        // Closed-loop admission up to mpl.
+        let mut pending_events: VecDeque<Gtm1Event> = VecDeque::new();
+        for _ in 0..self.mpl.min(queue.len()) {
+            pending_events.push_back(Gtm1Event::Submit(queue.pop_front().expect("nonempty")));
+        }
+
+        while done < total {
+            // Process whatever GTM work is pending.
+            while let Some(ev) = pending_events.pop_front() {
+                for fx in gtm1.handle(ev) {
+                    match fx {
+                        Gtm1Effect::EnqueueGtm2(op) => gtm2.enqueue(op),
+                        Gtm1Effect::Server { txn, site, cmd } => {
+                            let _ = site_txs[site.index()].send(ToSite::Command { txn, cmd });
+                        }
+                        Gtm1Effect::Completed { aborted, .. } => {
+                            done += 1;
+                            match aborted {
+                                None => commits += 1,
+                                Some(_) => aborts += 1,
+                            }
+                            if let Some(next) = queue.pop_front() {
+                                pending_events.push_back(Gtm1Event::Submit(next));
+                            }
+                        }
+                    }
+                }
+                for fx in gtm2.pump() {
+                    match fx {
+                        SchemeEffect::SubmitSer { txn, site } => {
+                            pending_events.push_back(Gtm1Event::Gtm2SubmitSer { txn, site });
+                        }
+                        SchemeEffect::ForwardAck { txn, site } => {
+                            pending_events.push_back(Gtm1Event::Gtm2Ack { txn, site });
+                        }
+                        SchemeEffect::AbortGlobal { .. } => {
+                            unreachable!("conservative schemes only")
+                        }
+                    }
+                }
+            }
+            if done >= total {
+                break;
+            }
+            // Wait for site replies.
+            match from_sites.recv_timeout(Duration::from_secs(10)) {
+                Ok(FromSite::Gtm1(event)) => pending_events.push_back(event),
+                Ok(FromSite::Ack { txn, site }) => {
+                    gtm2.enqueue(mdbs_common::ops::QueueOp::Ack { txn, site });
+                    // Trigger the pump via an empty event round.
+                    for fx in gtm2.pump() {
+                        match fx {
+                            SchemeEffect::SubmitSer { txn, site } => {
+                                pending_events.push_back(Gtm1Event::Gtm2SubmitSer { txn, site });
+                            }
+                            SchemeEffect::ForwardAck { txn, site } => {
+                                pending_events.push_back(Gtm1Event::Gtm2Ack { txn, site });
+                            }
+                            SchemeEffect::AbortGlobal { .. } => unreachable!(),
+                        }
+                    }
+                }
+                Ok(FromSite::Final { .. }) => {}
+                Err(_) => panic!("threaded MDBS wedged: {done}/{total} complete"),
+            }
+        }
+
+        // Shut down sites and collect histories.
+        for tx in &site_txs {
+            let _ = tx.send(ToSite::Shutdown);
+        }
+        let mut histories: BTreeMap<SiteId, History> = BTreeMap::new();
+        let mut totals: BTreeMap<SiteId, i128> = BTreeMap::new();
+        while histories.len() < self.protocols.len() {
+            match from_sites.recv_timeout(Duration::from_secs(10)) {
+                Ok(FromSite::Final {
+                    site,
+                    history,
+                    committed_values,
+                }) => {
+                    let total = committed_values
+                        .iter()
+                        .filter(|(item, _)| *item != DataItemId::TICKET)
+                        .map(|(_, v)| i128::from(*v))
+                        .sum();
+                    totals.insert(site, total);
+                    histories.insert(site, history);
+                }
+                Ok(_) => {} // stragglers from already-completed txns
+                Err(_) => panic!("site threads did not shut down"),
+            }
+        }
+        for h in handles {
+            h.join().expect("site thread");
+        }
+
+        ThreadedRunReport {
+            commits,
+            aborts,
+            audit: check_global(histories.iter().map(|(&s, h)| (s, h))),
+            ser_s_ok: gtm2.ser_log().check().is_ok(),
+            storage_totals: totals.into_values().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbs_workload::generator::Workload;
+    use mdbs_workload::spec::WorkloadSpec;
+
+    fn programs(sites: usize, n: usize, seed: u64) -> Vec<GlobalTransaction> {
+        let spec = WorkloadSpec {
+            sites,
+            global_txns: n,
+            avg_sites_per_txn: 2.0_f64.min(sites as f64),
+            ops_per_subtxn: 2,
+            read_ratio: 0.5,
+            items_per_site: 16,
+            distribution: mdbs_workload::distributions::AccessDistribution::Uniform,
+            local_txns_per_site: 0,
+            ops_per_local_txn: 0,
+            seed,
+        };
+        Workload::generate(&spec).globals
+    }
+
+    #[test]
+    fn threaded_run_serializable_2pl() {
+        let rt = ThreadedMdbs::new(
+            vec![LocalProtocolKind::TwoPhaseLocking; 3],
+            SchemeKind::Scheme3,
+            4,
+        );
+        let report = rt.run(programs(3, 12, 5));
+        assert_eq!(report.commits + report.aborts, 12);
+        assert!(report.is_serializable(), "{:?}", report.audit);
+        assert!(report.ser_s_ok);
+    }
+
+    #[test]
+    fn threaded_run_heterogeneous() {
+        let rt = ThreadedMdbs::new(
+            vec![
+                LocalProtocolKind::TwoPhaseLocking,
+                LocalProtocolKind::TimestampOrdering,
+                LocalProtocolKind::Optimistic,
+            ],
+            SchemeKind::Scheme1,
+            4,
+        );
+        let report = rt.run(programs(3, 10, 9));
+        assert_eq!(report.commits + report.aborts, 10);
+        assert!(report.is_serializable(), "{:?}", report.audit);
+    }
+
+    #[test]
+    fn threaded_run_with_tickets() {
+        let rt = ThreadedMdbs::new(
+            vec![
+                LocalProtocolKind::SerializationGraphTesting,
+                LocalProtocolKind::TwoPhaseLocking,
+            ],
+            SchemeKind::Scheme0,
+            3,
+        );
+        let report = rt.run(programs(2, 8, 13));
+        assert_eq!(report.commits + report.aborts, 8);
+        assert!(report.is_serializable(), "{:?}", report.audit);
+    }
+}

@@ -1,0 +1,152 @@
+//! Fault injection: site crashes lose volatile state, keep durable state,
+//! and the federation keeps its guarantees — global serializability of
+//! everything that committed, termination, and (under 2PC) atomicity with
+//! prepared transactions surviving the crash in-doubt.
+
+use mdbs_common::ids::SiteId;
+use mdbs_core::scheme::SchemeKind;
+use mdbs_localdb::protocol::LocalProtocolKind;
+use mdbs_sim::system::{MdbsSystem, SystemConfig};
+use mdbs_workload::distributions::AccessDistribution;
+use mdbs_workload::generator::Workload;
+use mdbs_workload::spec::WorkloadSpec;
+
+fn spec(sites: usize, globals: usize, locals: usize, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        sites,
+        global_txns: globals,
+        avg_sites_per_txn: 2.0_f64.min(sites as f64),
+        ops_per_subtxn: 2,
+        read_ratio: 0.5,
+        items_per_site: 16,
+        distribution: AccessDistribution::Uniform,
+        local_txns_per_site: locals,
+        ops_per_local_txn: 2,
+        seed,
+    }
+}
+
+#[test]
+fn crash_mid_run_stays_serializable_under_every_scheme() {
+    for scheme in SchemeKind::CONSERVATIVE {
+        let cfg = SystemConfig::builder()
+            .site(LocalProtocolKind::TwoPhaseLocking)
+            .site(LocalProtocolKind::TimestampOrdering)
+            .site(LocalProtocolKind::Optimistic)
+            .scheme(scheme)
+            .seed(77)
+            .mpl(6)
+            .crash(5_000, SiteId(1), 20_000)
+            .build();
+        let report = MdbsSystem::new(cfg).run(Workload::generate(&spec(3, 18, 3, 77)));
+        assert_eq!(report.metrics.crashes, 1, "{scheme}");
+        assert!(report.is_serializable(), "{scheme}: {:?}", report.audit);
+        assert!(report.ser_s_ok, "{scheme}");
+        assert_eq!(
+            report.metrics.global_commits + report.metrics.global_failures,
+            18,
+            "{scheme}: everything accounted despite the crash"
+        );
+        assert!(
+            report.metrics.global_aborts > 0,
+            "{scheme}: crash must kill someone"
+        );
+    }
+}
+
+#[test]
+fn repeated_crashes_terminate_and_serialize() {
+    let cfg = SystemConfig::builder()
+        .site(LocalProtocolKind::TwoPhaseLocking)
+        .site(LocalProtocolKind::TwoPhaseLocking)
+        .scheme(SchemeKind::Scheme3)
+        .seed(31)
+        .mpl(5)
+        .crash(3_000, SiteId(0), 10_000)
+        .crash(30_000, SiteId(1), 10_000)
+        .crash(60_000, SiteId(0), 5_000)
+        .build();
+    let report = MdbsSystem::new(cfg).run(Workload::generate(&spec(2, 15, 4, 31)));
+    assert_eq!(report.metrics.crashes, 3);
+    assert!(report.is_serializable(), "{:?}", report.audit);
+    assert_eq!(
+        report.metrics.global_commits + report.metrics.global_failures,
+        15
+    );
+}
+
+#[test]
+fn crash_with_2pc_preserves_atomicity_and_conservation() {
+    use mdbs_workload::scenarios::Banking;
+    const BANKS: usize = 3;
+    const ACCOUNTS: u64 = 8;
+    const BALANCE: i64 = 400;
+    let scenario = Banking {
+        banks: BANKS,
+        accounts: ACCOUNTS,
+        initial_balance: BALANCE,
+    };
+    let transfers = scenario.transfers(25, 5);
+    let workload = Workload {
+        globals: transfers,
+        locals: Vec::new(),
+        spec: spec(BANKS, 25, 0, 5),
+    };
+    let cfg = SystemConfig::builder()
+        .site(LocalProtocolKind::TwoPhaseLocking)
+        .site(LocalProtocolKind::Optimistic)
+        .site(LocalProtocolKind::Optimistic)
+        .scheme(SchemeKind::Scheme2)
+        .seed(5)
+        .mpl(5)
+        .prefill(ACCOUNTS, BALANCE)
+        .two_phase_commit(true)
+        .crash(4_000, SiteId(2), 15_000)
+        .build();
+    let report = MdbsSystem::new(cfg).run(workload);
+    assert_eq!(report.metrics.crashes, 1);
+    assert!(report.is_serializable(), "{:?}", report.audit);
+    let total: i128 = report.storage_totals.iter().sum();
+    assert_eq!(
+        total,
+        i128::from(BALANCE) * i128::from(ACCOUNTS) * BANKS as i128,
+        "conservation must survive the crash (durable storage + 2PC)"
+    );
+}
+
+#[test]
+fn durable_storage_survives_crash() {
+    // A site crashing after commits must still show the committed values.
+    let cfg = SystemConfig::builder()
+        .site(LocalProtocolKind::TwoPhaseLocking)
+        .site(LocalProtocolKind::TwoPhaseLocking)
+        .scheme(SchemeKind::Scheme0)
+        .seed(9)
+        .mpl(3)
+        .crash(50_000, SiteId(0), 10_000)
+        .build();
+    let mut system = MdbsSystem::new(cfg);
+    let report = system.run(Workload::generate(&spec(2, 10, 0, 9)));
+    assert!(report.is_serializable());
+    // The crashed site's history still contains its pre-crash commits.
+    let h = system.site(SiteId(0)).history();
+    assert!(!h.committed_txns().is_empty(), "pre-crash commits survive");
+}
+
+#[test]
+fn crash_during_outage_rejects_then_recovers_local_load() {
+    // Only local load on a crashing site: drivers must retry through the
+    // outage and finish after recovery.
+    let cfg = SystemConfig::builder()
+        .site(LocalProtocolKind::TimestampOrdering)
+        .scheme(SchemeKind::Scheme0)
+        .seed(13)
+        .crash(1_000, SiteId(0), 30_000)
+        .build();
+    let report = MdbsSystem::new(cfg).run(Workload::generate(&spec(1, 0, 8, 13)));
+    assert!(report.is_serializable());
+    assert!(
+        report.metrics.local_commits > 0,
+        "locals finish after recovery"
+    );
+}

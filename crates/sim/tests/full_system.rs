@@ -1,0 +1,355 @@
+//! End-to-end simulator tests: every conservative scheme over every
+//! protocol mix must complete its workload and produce a globally
+//! serializable execution (EXP-GS), with local background load creating
+//! the paper's indirect conflicts.
+
+use mdbs_core::scheme::SchemeKind;
+use mdbs_localdb::protocol::LocalProtocolKind;
+use mdbs_sim::system::{MdbsSystem, SystemConfig};
+use mdbs_workload::distributions::AccessDistribution;
+use mdbs_workload::generator::Workload;
+use mdbs_workload::spec::WorkloadSpec;
+
+fn spec(sites: usize, globals: usize, locals: usize, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        sites,
+        global_txns: globals,
+        avg_sites_per_txn: 2.0_f64.min(sites as f64),
+        ops_per_subtxn: 2,
+        read_ratio: 0.5,
+        items_per_site: 16,
+        distribution: AccessDistribution::Uniform,
+        local_txns_per_site: locals,
+        ops_per_local_txn: 2,
+        seed,
+    }
+}
+
+fn run(
+    protocols: &[LocalProtocolKind],
+    scheme: SchemeKind,
+    seed: u64,
+    globals: usize,
+    locals: usize,
+) -> mdbs_sim::RunReport {
+    let mut builder = SystemConfig::builder().scheme(scheme).seed(seed).mpl(6);
+    for &p in protocols {
+        builder = builder.site(p);
+    }
+    let cfg = builder.build();
+    let workload = Workload::generate(&spec(protocols.len(), globals, locals, seed));
+    MdbsSystem::new(cfg).run(workload)
+}
+
+#[test]
+fn homogeneous_2pl_all_schemes_serializable() {
+    for scheme in SchemeKind::CONSERVATIVE {
+        let r = run(&[LocalProtocolKind::TwoPhaseLocking; 3], scheme, 11, 20, 4);
+        assert!(r.is_serializable(), "{scheme}: {:?}", r.audit);
+        assert!(r.ser_s_ok, "{scheme}: ser(S) must be serializable");
+        assert_eq!(r.metrics.global_commits, 20, "{scheme}");
+        assert_eq!(r.metrics.global_failures, 0, "{scheme}");
+    }
+}
+
+#[test]
+fn heterogeneous_mix_all_schemes_serializable() {
+    let mix = [
+        LocalProtocolKind::TwoPhaseLocking,
+        LocalProtocolKind::TimestampOrdering,
+        LocalProtocolKind::SerializationGraphTesting,
+        LocalProtocolKind::Optimistic,
+    ];
+    for scheme in SchemeKind::CONSERVATIVE {
+        let r = run(&mix, scheme, 23, 16, 3);
+        assert!(r.is_serializable(), "{scheme}: {:?}", r.audit);
+        assert!(r.ser_s_ok, "{scheme}");
+        assert_eq!(
+            r.metrics.global_commits + r.metrics.global_failures,
+            16,
+            "{scheme}: all programs accounted"
+        );
+        assert!(
+            r.metrics.global_commits >= 12,
+            "{scheme}: most should commit"
+        );
+    }
+}
+
+#[test]
+fn many_seeds_scheme3_audited() {
+    for seed in 0..8 {
+        let r = run(
+            &[
+                LocalProtocolKind::TwoPhaseLocking,
+                LocalProtocolKind::TimestampOrdering,
+                LocalProtocolKind::Optimistic,
+            ],
+            SchemeKind::Scheme3,
+            seed,
+            15,
+            4,
+        );
+        assert!(r.is_serializable(), "seed {seed}: {:?}", r.audit);
+        assert!(r.ser_s_ok, "seed {seed}");
+    }
+}
+
+#[test]
+fn sgt_sites_use_tickets_and_serialize() {
+    for scheme in SchemeKind::CONSERVATIVE {
+        let r = run(
+            &[LocalProtocolKind::SerializationGraphTesting; 2],
+            scheme,
+            31,
+            12,
+            3,
+        );
+        assert!(r.is_serializable(), "{scheme}: {:?}", r.audit);
+        // Ticket writes show up as engine activity on item 0; check the
+        // recorded histories mention the ticket at each SGT site.
+        assert!(r.metrics.global_commits >= 10, "{scheme}");
+    }
+}
+
+#[test]
+fn prevention_2pl_variants_serializable() {
+    let mix = [
+        LocalProtocolKind::TwoPhaseLockingWaitDie,
+        LocalProtocolKind::TwoPhaseLockingWoundWait,
+        LocalProtocolKind::TwoPhaseLocking,
+    ];
+    for scheme in SchemeKind::CONSERVATIVE {
+        let r = run(&mix, scheme, 53, 16, 4);
+        assert!(r.is_serializable(), "{scheme}: {:?}", r.audit);
+        assert!(r.ser_s_ok, "{scheme}");
+        assert_eq!(
+            r.metrics.global_commits + r.metrics.global_failures,
+            16,
+            "{scheme}"
+        );
+    }
+}
+
+#[test]
+fn scheme2_minimal_full_system() {
+    let mix = [
+        LocalProtocolKind::TwoPhaseLocking,
+        LocalProtocolKind::TimestampOrdering,
+    ];
+    let r = run(&mix, SchemeKind::Scheme2Minimal, 61, 12, 3);
+    assert!(r.is_serializable(), "{:?}", r.audit);
+    assert!(r.ser_s_ok);
+}
+
+#[test]
+fn local_only_load_trivially_serializable() {
+    let mut builder = SystemConfig::builder().scheme(SchemeKind::Scheme0).seed(5);
+    builder = builder.site(LocalProtocolKind::TwoPhaseLocking);
+    let cfg = builder.build();
+    let workload = Workload::generate(&spec(1, 0, 10, 5));
+    let r = MdbsSystem::new(cfg).run(workload);
+    assert!(r.is_serializable());
+    assert_eq!(r.metrics.global_commits, 0);
+    assert!(r.metrics.local_commits > 0);
+}
+
+#[test]
+fn conservative_schemes_never_scheme_abort() {
+    for scheme in SchemeKind::CONSERVATIVE {
+        let r = run(
+            &[
+                LocalProtocolKind::TwoPhaseLocking,
+                LocalProtocolKind::TimestampOrdering,
+            ],
+            scheme,
+            41,
+            12,
+            2,
+        );
+        assert_eq!(r.gtm2.scheme_aborts, 0, "{scheme}");
+    }
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let a = run(
+        &[LocalProtocolKind::TwoPhaseLocking; 2],
+        SchemeKind::Scheme1,
+        77,
+        10,
+        2,
+    );
+    let b = run(
+        &[LocalProtocolKind::TwoPhaseLocking; 2],
+        SchemeKind::Scheme1,
+        77,
+        10,
+        2,
+    );
+    assert_eq!(a.metrics.global_commits, b.metrics.global_commits);
+    assert_eq!(a.metrics.makespan, b.metrics.makespan);
+    assert_eq!(a.gtm2.waited, b.gtm2.waited);
+    assert_eq!(a.storage_totals, b.storage_totals);
+}
+
+#[test]
+fn contention_still_terminates_and_serializes() {
+    // One hot item per site: heavy conflicts, retries, timeouts.
+    let spec = WorkloadSpec {
+        sites: 2,
+        global_txns: 12,
+        avg_sites_per_txn: 2.0,
+        ops_per_subtxn: 2,
+        read_ratio: 0.2,
+        items_per_site: 2,
+        distribution: AccessDistribution::Uniform,
+        local_txns_per_site: 4,
+        ops_per_local_txn: 2,
+        seed: 99,
+    };
+    for scheme in SchemeKind::CONSERVATIVE {
+        let cfg = SystemConfig::builder()
+            .site(LocalProtocolKind::TwoPhaseLocking)
+            .site(LocalProtocolKind::TimestampOrdering)
+            .scheme(scheme)
+            .seed(99)
+            .mpl(6)
+            .build();
+        let r = MdbsSystem::new(cfg).run(Workload::generate(&spec));
+        assert!(r.is_serializable(), "{scheme}: {:?}", r.audit);
+    }
+}
+
+#[test]
+fn trace_records_run_lifecycle() {
+    let cfg = SystemConfig::builder()
+        .site(LocalProtocolKind::TwoPhaseLocking)
+        .site(LocalProtocolKind::TimestampOrdering)
+        .scheme(SchemeKind::Scheme1)
+        .seed(21)
+        .mpl(4)
+        .build();
+    let mut system = MdbsSystem::new(cfg);
+    system.enable_trace();
+    let report = system.run(Workload::generate(&spec(2, 8, 2, 21)));
+    assert!(report.is_serializable());
+    let trace = system.take_trace().expect("tracing enabled");
+    use mdbs_sim::trace::TraceRecord;
+    let submitted = trace
+        .filter(|r| matches!(r, TraceRecord::Submitted { .. }))
+        .count();
+    let completed = trace
+        .filter(|r| matches!(r, TraceRecord::Completed { .. }))
+        .count();
+    let scheduled = trace
+        .filter(|r| matches!(r, TraceRecord::SerScheduled { .. }))
+        .count();
+    assert!(submitted >= 8, "every program submitted at least once");
+    assert_eq!(submitted, completed, "every attempt completes");
+    assert!(scheduled >= submitted, "one ser event per site per attempt");
+    // Timestamps are monotone.
+    let times: Vec<_> = trace.entries().iter().map(|e| e.at).collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    // Serializes to JSON lines.
+    assert!(trace.to_json_lines().lines().count() == trace.len());
+}
+
+#[test]
+fn latency_scales_makespan() {
+    use mdbs_sim::system::LatencyConfig;
+    let run_with_net = |net: u64| {
+        let cfg = SystemConfig::builder()
+            .site(LocalProtocolKind::TwoPhaseLocking)
+            .site(LocalProtocolKind::TwoPhaseLocking)
+            .scheme(SchemeKind::Scheme3)
+            .seed(8)
+            .mpl(4)
+            .latency(LatencyConfig {
+                net,
+                ..LatencyConfig::default()
+            })
+            .build();
+        MdbsSystem::new(cfg).run(Workload::generate(&spec(2, 10, 0, 8)))
+    };
+    let fast = run_with_net(100);
+    let slow = run_with_net(2_000);
+    assert!(fast.is_serializable() && slow.is_serializable());
+    assert!(
+        slow.metrics.makespan > fast.metrics.makespan * 2,
+        "20x network latency must dominate the makespan: {} vs {}",
+        slow.metrics.makespan,
+        fast.metrics.makespan
+    );
+}
+
+#[test]
+fn mpl_one_serial_execution_baseline() {
+    // At multiprogramming level 1 there is no concurrency to manage: no
+    // GTM2 ser-waits, no aborts, pure latency-bound execution.
+    for scheme in SchemeKind::CONSERVATIVE {
+        let cfg = SystemConfig::builder()
+            .site(LocalProtocolKind::TwoPhaseLocking)
+            .site(LocalProtocolKind::TimestampOrdering)
+            .scheme(scheme)
+            .seed(4)
+            .mpl(1)
+            .build();
+        let r = MdbsSystem::new(cfg).run(Workload::generate(&spec(2, 8, 0, 4)));
+        assert!(r.is_serializable(), "{scheme}");
+        assert_eq!(r.metrics.global_commits, 8, "{scheme}");
+        assert_eq!(r.metrics.global_aborts, 0, "{scheme}");
+        assert_eq!(
+            r.gtm2.waited_kind[1], 0,
+            "{scheme}: nothing to wait for at mpl=1"
+        );
+    }
+}
+
+/// Section 2.2 made executable: tickets are what make SGT sites safe, and
+/// a ticket is also a *valid alternative* serialization function at TO
+/// sites (the paper's footnote 3: several functions can be valid).
+#[test]
+fn serialization_event_overrides() {
+    use mdbs_common::ids::SiteId;
+    use mdbs_localdb::serfn::SerializationEvent;
+    // Valid override: tickets at TO sites.
+    let cfg = SystemConfig::builder()
+        .site(LocalProtocolKind::TimestampOrdering)
+        .site(LocalProtocolKind::TimestampOrdering)
+        .scheme(SchemeKind::Scheme3)
+        .seed(2)
+        .mpl(5)
+        .override_serialization_event(SiteId(0), SerializationEvent::TicketWrite)
+        .override_serialization_event(SiteId(1), SerializationEvent::TicketWrite)
+        .build();
+    let r = MdbsSystem::new(cfg).run(Workload::generate(&spec(2, 12, 3, 2)));
+    assert!(r.is_serializable(), "{:?}", r.audit);
+
+    // Invalid override: begin-event at SGT sites must eventually violate
+    // global serializability (scan seeds for a witness).
+    let mut violated = false;
+    for seed in 0..20 {
+        let cfg = SystemConfig::builder()
+            .site(LocalProtocolKind::SerializationGraphTesting)
+            .site(LocalProtocolKind::SerializationGraphTesting)
+            .scheme(SchemeKind::Scheme3)
+            .seed(2000 + seed)
+            .mpl(6)
+            .override_serialization_event(SiteId(0), SerializationEvent::Begin)
+            .override_serialization_event(SiteId(1), SerializationEvent::Begin)
+            .build();
+        let mut s = spec(2, 14, 3, 2000 + seed);
+        s.items_per_site = 10;
+        s.read_ratio = 0.4;
+        let r = MdbsSystem::new(cfg).run(Workload::generate(&s));
+        if !r.is_serializable() {
+            violated = true;
+            break;
+        }
+    }
+    assert!(
+        violated,
+        "an invalid serialization function must break Theorem 1's premise"
+    );
+}

@@ -1,0 +1,116 @@
+//! Parameter sweeps for experiments.
+//!
+//! A [`Sweep`] varies one parameter of a base [`WorkloadSpec`] across a set
+//! of values, yielding `(value, spec)` pairs the experiment harness runs
+//! and tabulates.
+
+use crate::spec::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+
+/// Which spec field a sweep varies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SweepParam {
+    /// `sites` (the paper's `m`).
+    Sites,
+    /// `global_txns` (drives the paper's `n`).
+    GlobalTxns,
+    /// `avg_sites_per_txn` (the paper's `d_av`) — values are scaled by 10
+    /// (e.g. 25 means 2.5) so sweeps stay integer-valued.
+    AvgSitesTimes10,
+    /// `local_txns_per_site` (background load).
+    LocalTxnsPerSite,
+    /// `items_per_site` (contention: fewer items = more conflicts).
+    ItemsPerSite,
+}
+
+/// A one-dimensional parameter sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Sweep {
+    /// Base specification.
+    pub base: WorkloadSpec,
+    /// Swept parameter.
+    pub param: SweepParam,
+    /// Values the parameter takes.
+    pub values: Vec<u64>,
+}
+
+impl Sweep {
+    /// Create a sweep.
+    pub fn new(base: WorkloadSpec, param: SweepParam, values: Vec<u64>) -> Self {
+        Sweep {
+            base,
+            param,
+            values,
+        }
+    }
+
+    /// Human-readable name of the swept parameter.
+    pub fn param_name(&self) -> &'static str {
+        match self.param {
+            SweepParam::Sites => "m (sites)",
+            SweepParam::GlobalTxns => "n (global txns)",
+            SweepParam::AvgSitesTimes10 => "d_av x10",
+            SweepParam::LocalTxnsPerSite => "local txns/site",
+            SweepParam::ItemsPerSite => "items/site",
+        }
+    }
+
+    /// Yield `(value, spec)` pairs.
+    pub fn points(&self) -> Vec<(u64, WorkloadSpec)> {
+        self.values
+            .iter()
+            .map(|&v| {
+                let mut spec = self.base.clone();
+                match self.param {
+                    SweepParam::Sites => {
+                        spec.sites = v as usize;
+                        spec.avg_sites_per_txn = spec.avg_sites_per_txn.min(v as f64);
+                    }
+                    SweepParam::GlobalTxns => spec.global_txns = v as usize,
+                    SweepParam::AvgSitesTimes10 => {
+                        spec.avg_sites_per_txn = (v as f64 / 10.0).min(spec.sites as f64);
+                    }
+                    SweepParam::LocalTxnsPerSite => spec.local_txns_per_site = v as usize,
+                    SweepParam::ItemsPerSite => spec.items_per_site = v,
+                }
+                (v, spec)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_varies_requested_param() {
+        let s = Sweep::new(WorkloadSpec::small(), SweepParam::Sites, vec![2, 4, 8]);
+        let points = s.points();
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].1.sites, 2);
+        assert_eq!(points[2].1.sites, 8);
+        // Other params untouched.
+        assert_eq!(points[0].1.global_txns, WorkloadSpec::small().global_txns);
+    }
+
+    #[test]
+    fn dav_sweep_clamps_to_sites() {
+        let s = Sweep::new(
+            WorkloadSpec::small(),
+            SweepParam::AvgSitesTimes10,
+            vec![15, 90],
+        );
+        let points = s.points();
+        assert_eq!(points[0].1.avg_sites_per_txn, 1.5);
+        assert_eq!(points[1].1.avg_sites_per_txn, 4.0, "clamped to m=4");
+    }
+
+    #[test]
+    fn sites_sweep_keeps_spec_valid() {
+        let mut base = WorkloadSpec::small();
+        base.avg_sites_per_txn = 3.0;
+        let s = Sweep::new(base, SweepParam::Sites, vec![2]);
+        assert!(s.points()[0].1.validate().is_ok());
+    }
+}

@@ -1,0 +1,97 @@
+//! Side-by-side comparison of the paper's four conservative schemes on the
+//! same workload: degree of concurrency (operations forced to WAIT),
+//! abstract scheduling steps (the complexity metric of Theorems 4/6/9),
+//! aborts/timeouts, throughput and response time.
+//!
+//! Two system shapes are compared:
+//!
+//! 1. **Commit-event sites** (all strict 2PL): GTM2's ordering is on the
+//!    critical path of lock release, so the degree of concurrency shows up
+//!    directly — the paper's predicted ordering (Scheme 3 ≫ 1, 2 ≫ 0).
+//! 2. **Mixed sites** (2PL + TO + OCC): begin-event (TO) sites interact
+//!    with scheduling freedom — ordering begins out of arrival order makes
+//!    strict TO block and reject more, a protocol-interaction effect the
+//!    paper's abstract model does not capture.
+//!
+//! ```sh
+//! cargo run --example scheme_comparison
+//! ```
+
+use mdbs::prelude::*;
+use mdbs::workload::generator::Workload;
+use mdbs::workload::spec::WorkloadSpec;
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        sites: 4,
+        global_txns: 60,
+        avg_sites_per_txn: 2.5,
+        ops_per_subtxn: 2,
+        read_ratio: 0.6,
+        items_per_site: 32,
+        distribution: mdbs::workload::AccessDistribution::Zipf { theta: 0.6 },
+        local_txns_per_site: 8,
+        ops_per_local_txn: 2,
+        seed: 12,
+    }
+}
+
+fn run_table(title: &str, protocols: &[LocalProtocolKind]) {
+    println!("--- {title} ---");
+    println!(
+        "{:<10} {:>8} {:>10} {:>8} {:>12} {:>12} {:>10}",
+        "scheme", "commits", "ser-waits", "aborts", "steps", "resp(us)", "tput/s"
+    );
+    for scheme in SchemeKind::CONSERVATIVE {
+        let mut builder = SystemConfig::builder().scheme(scheme).seed(12).mpl(10);
+        for &p in protocols {
+            builder = builder.site(p);
+        }
+        let report = MdbsSystem::new(builder.build()).run(Workload::generate(&spec()));
+        assert!(report.is_serializable(), "{scheme}");
+        assert!(report.ser_s_ok, "{scheme}");
+        println!(
+            "{:<10} {:>8} {:>10} {:>8} {:>12} {:>12.0} {:>10.1}",
+            scheme.name(),
+            report.metrics.global_commits,
+            report.gtm2.waited_kind[1],
+            report.metrics.global_aborts,
+            report.gtm2_steps.total(),
+            report.metrics.global_response.mean(),
+            report.metrics.throughput_per_sec(),
+        );
+    }
+    println!();
+}
+
+fn main() {
+    println!("== Conservative scheme comparison ==");
+    let s = spec();
+    println!(
+        "workload: m={} sites, {} global txns (d_av={}), zipf skew, {} local txns/site\n",
+        s.sites, s.global_txns, s.avg_sites_per_txn, s.local_txns_per_site
+    );
+
+    run_table(
+        "commit-event sites (4x strict 2PL) — the paper's predicted ordering",
+        &[LocalProtocolKind::TwoPhaseLocking; 4],
+    );
+    run_table(
+        "mixed sites (2PL/2PL/TO/OCC) — protocol-interaction effects",
+        &[
+            LocalProtocolKind::TwoPhaseLocking,
+            LocalProtocolKind::TwoPhaseLocking,
+            LocalProtocolKind::TimestampOrdering,
+            LocalProtocolKind::Optimistic,
+        ],
+    );
+
+    println!("Reading the tables: on commit-event sites GTM2's ordering gates");
+    println!("lock release, so Scheme 3's higher degree of concurrency (fewer");
+    println!("ser-waits) turns directly into fewer cross-layer timeouts and");
+    println!("higher throughput, at the cost of O(n^2 d_av) scheduling steps");
+    println!("(Theorem 9). Scheme 0 is cheapest per decision (O(d_av)) but");
+    println!("serializes everything by arrival. With begin-event (TO) sites in");
+    println!("the mix, extra scheduling freedom can backfire locally — an");
+    println!("effect outside the paper's abstract model, quantified here.");
+}

@@ -1,0 +1,127 @@
+//! Workspace integration: global serializability (EXP-GS) across schemes,
+//! protocol mixes and seeds, exercising the full stack — workload
+//! generation, GTM1 routing, GTM2 scheduling, local protocols, servers,
+//! timeouts, retries, and the auditor.
+
+use mdbs::prelude::*;
+use mdbs::workload::generator::Workload;
+use mdbs::workload::spec::WorkloadSpec;
+
+fn spec(sites: usize, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        sites,
+        global_txns: 14,
+        avg_sites_per_txn: 2.0_f64.min(sites as f64),
+        ops_per_subtxn: 2,
+        read_ratio: 0.5,
+        items_per_site: 12,
+        distribution: mdbs::workload::AccessDistribution::Uniform,
+        local_txns_per_site: 3,
+        ops_per_local_txn: 2,
+        seed,
+    }
+}
+
+fn protocol_mixes() -> Vec<Vec<LocalProtocolKind>> {
+    use LocalProtocolKind::*;
+    vec![
+        vec![TwoPhaseLocking, TwoPhaseLocking],
+        vec![TimestampOrdering, TimestampOrdering],
+        vec![Optimistic, Optimistic],
+        vec![SerializationGraphTesting, SerializationGraphTesting],
+        vec![TwoPhaseLocking, TimestampOrdering, Optimistic],
+        vec![
+            SerializationGraphTesting,
+            TwoPhaseLocking,
+            TimestampOrdering,
+        ],
+        vec![
+            TwoPhaseLocking,
+            TimestampOrdering,
+            SerializationGraphTesting,
+            Optimistic,
+        ],
+    ]
+}
+
+#[test]
+fn every_scheme_every_mix_is_globally_serializable() {
+    for (mi, mix) in protocol_mixes().into_iter().enumerate() {
+        for scheme in SchemeKind::CONSERVATIVE {
+            let seed = 100 + mi as u64;
+            let mut b = SystemConfig::builder().scheme(scheme).seed(seed).mpl(5);
+            for &p in &mix {
+                b = b.site(p);
+            }
+            let report = MdbsSystem::new(b.build()).run(Workload::generate(&spec(mix.len(), seed)));
+            assert!(
+                report.is_serializable(),
+                "{scheme} over {mix:?}: {:?}",
+                report.audit
+            );
+            assert!(report.ser_s_ok, "{scheme} over {mix:?}: ser(S) broken");
+            assert_eq!(report.gtm2.scheme_aborts, 0, "{scheme}: conservative");
+        }
+    }
+}
+
+#[test]
+fn seed_sweep_under_scheme1() {
+    for seed in 0..10 {
+        let mix = [
+            LocalProtocolKind::TwoPhaseLocking,
+            LocalProtocolKind::SerializationGraphTesting,
+        ];
+        let mut b = SystemConfig::builder()
+            .scheme(SchemeKind::Scheme1)
+            .seed(seed)
+            .mpl(6);
+        for &p in &mix {
+            b = b.site(p);
+        }
+        let report = MdbsSystem::new(b.build()).run(Workload::generate(&spec(2, seed)));
+        assert!(report.is_serializable(), "seed {seed}: {:?}", report.audit);
+    }
+}
+
+#[test]
+fn high_contention_hotspot_remains_serializable() {
+    let mut s = spec(3, 7);
+    s.items_per_site = 4;
+    s.distribution = mdbs::workload::AccessDistribution::Hotspot {
+        hot_frac: 0.25,
+        hot_prob: 0.9,
+    };
+    s.read_ratio = 0.3;
+    for scheme in SchemeKind::CONSERVATIVE {
+        let b = SystemConfig::builder()
+            .site(LocalProtocolKind::TwoPhaseLocking)
+            .site(LocalProtocolKind::TimestampOrdering)
+            .site(LocalProtocolKind::Optimistic)
+            .scheme(scheme)
+            .seed(7)
+            .mpl(8);
+        let report = MdbsSystem::new(b.build()).run(Workload::generate(&s));
+        assert!(report.is_serializable(), "{scheme}: {:?}", report.audit);
+        // Contention causes retries but everything must account.
+        assert_eq!(
+            report.metrics.global_commits + report.metrics.global_failures,
+            s.global_txns as u64,
+            "{scheme}"
+        );
+    }
+}
+
+#[test]
+fn ser_s_total_order_is_a_valid_witness() {
+    // Theorem 1: the total order GTM2 induces must embed every per-site
+    // serialization order.
+    let b = SystemConfig::builder()
+        .sites(3, LocalProtocolKind::TwoPhaseLocking)
+        .scheme(SchemeKind::Scheme2)
+        .seed(5)
+        .mpl(5);
+    let mut system = MdbsSystem::new(b.build());
+    let report = system.run(Workload::generate(&spec(3, 5)));
+    assert!(report.ser_s_ok && report.is_serializable());
+}

@@ -1,0 +1,134 @@
+//! Scenario-level integration: domain invariants survive every scheme.
+
+use mdbs::prelude::*;
+use mdbs::workload::generator::Workload;
+use mdbs::workload::scenarios::{Banking, Inventory, Travel};
+use mdbs::workload::spec::WorkloadSpec;
+
+fn shell_spec(sites: usize, globals: usize, items: u64, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        sites,
+        global_txns: globals,
+        avg_sites_per_txn: 2.0,
+        ops_per_subtxn: 1,
+        read_ratio: 0.0,
+        items_per_site: items,
+        distribution: mdbs::workload::AccessDistribution::Uniform,
+        local_txns_per_site: 0,
+        ops_per_local_txn: 0,
+        seed,
+    }
+}
+
+#[test]
+fn banking_conserves_money_under_every_scheme() {
+    const BANKS: usize = 3;
+    const ACCOUNTS: u64 = 8;
+    const BALANCE: i64 = 500;
+    let scenario = Banking {
+        banks: BANKS,
+        accounts: ACCOUNTS,
+        initial_balance: BALANCE,
+    };
+    for scheme in SchemeKind::CONSERVATIVE {
+        let transfers = scenario.transfers(25, 11);
+        let workload = Workload {
+            globals: transfers,
+            locals: scenario.tellers(3, 11),
+            spec: shell_spec(BANKS, 25, ACCOUNTS, 11),
+        };
+        let cfg = SystemConfig::builder()
+            .site(LocalProtocolKind::TwoPhaseLocking)
+            .site(LocalProtocolKind::TimestampOrdering)
+            .site(LocalProtocolKind::TwoPhaseLocking)
+            .scheme(scheme)
+            .seed(11)
+            .mpl(5)
+            .prefill(ACCOUNTS, BALANCE)
+            .build();
+        let report = MdbsSystem::new(cfg).run(workload);
+        assert!(report.is_serializable(), "{scheme}");
+        let total: i128 = report.storage_totals.iter().sum();
+        assert_eq!(
+            total,
+            i128::from(BALANCE) * i128::from(ACCOUNTS) * BANKS as i128,
+            "{scheme}: conservation"
+        );
+    }
+}
+
+#[test]
+fn travel_bookings_never_oversell() {
+    const SLOTS: u64 = 6;
+    const CAPACITY: i64 = 50;
+    let scenario = Travel { slots: SLOTS };
+    for scheme in [SchemeKind::Scheme1, SchemeKind::Scheme3] {
+        let bookings = scenario.bookings(20, 13);
+        let n = bookings.len();
+        let workload = Workload {
+            globals: bookings,
+            locals: Vec::new(),
+            spec: shell_spec(3, n, SLOTS, 13),
+        };
+        let cfg = SystemConfig::builder()
+            .site(LocalProtocolKind::TwoPhaseLocking)
+            .site(LocalProtocolKind::Optimistic)
+            .site(LocalProtocolKind::SerializationGraphTesting)
+            .scheme(scheme)
+            .seed(13)
+            .mpl(4)
+            .prefill(SLOTS, CAPACITY)
+            .build();
+        let report = MdbsSystem::new(cfg).run(workload);
+        assert!(report.is_serializable(), "{scheme}");
+        // Total decrements cannot exceed committed bookings' demand.
+        let consumed: i128 = report
+            .storage_totals
+            .iter()
+            .map(|&t| i128::from(CAPACITY) * i128::from(SLOTS) - t)
+            .sum();
+        assert!(consumed >= 0, "{scheme}: availability can only shrink");
+        assert!(
+            consumed <= 3 * report.metrics.global_commits as i128,
+            "{scheme}: at most 3 slots per committed booking"
+        );
+    }
+}
+
+#[test]
+fn inventory_ledger_matches_stock_movements() {
+    let inv = Inventory {
+        warehouses: 2,
+        skus: 6,
+    };
+    const STOCK: i64 = 200;
+    let orders = inv.orders(18, 17);
+    let n = orders.len();
+    let workload = Workload {
+        globals: orders,
+        locals: Vec::new(), // restocks would change totals; keep the invariant crisp
+        spec: shell_spec(inv.sites(), n, 6, 17),
+    };
+    let cfg = SystemConfig::builder()
+        .site(LocalProtocolKind::TwoPhaseLocking)
+        .site(LocalProtocolKind::TwoPhaseLocking)
+        .site(LocalProtocolKind::TimestampOrdering) // ledger
+        .scheme(SchemeKind::Scheme2)
+        .seed(17)
+        .mpl(5)
+        .prefill(6, STOCK)
+        .build();
+    let report = MdbsSystem::new(cfg).run(workload);
+    assert!(report.is_serializable());
+    // Every committed order moved qty from a warehouse to the ledger:
+    // stock decrease == ledger increase above its prefill.
+    let wh_decrease: i128 = (0..2)
+        .map(|i| i128::from(STOCK) * 6 - report.storage_totals[i])
+        .sum();
+    let ledger_increase: i128 = report.storage_totals[2] - i128::from(STOCK) * 6;
+    assert_eq!(
+        wh_decrease, ledger_increase,
+        "ledger must balance stock movements"
+    );
+    assert!(wh_decrease > 0, "orders actually ran");
+}

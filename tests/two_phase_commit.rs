@@ -1,0 +1,180 @@
+//! Two-phase commit integration: the extension beyond the paper (it
+//! defers fault tolerance / atomic commitment to future work).
+//!
+//! Under 2PC, every subtransaction votes (prepare) before any commits;
+//! optimistic sites validate at the prepare — which becomes their
+//! serialization event — so a late validation failure can no longer strand
+//! a half-applied global transaction. The banking conservation invariant
+//! therefore holds even with optimistic banks in the federation.
+
+use mdbs::prelude::*;
+use mdbs::workload::generator::Workload;
+use mdbs::workload::scenarios::Banking;
+use mdbs::workload::spec::WorkloadSpec;
+
+fn shell_spec(sites: usize, globals: usize, items: u64, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        sites,
+        global_txns: globals,
+        avg_sites_per_txn: 2.0,
+        ops_per_subtxn: 1,
+        read_ratio: 0.0,
+        items_per_site: items,
+        distribution: mdbs::workload::AccessDistribution::Uniform,
+        local_txns_per_site: 0,
+        ops_per_local_txn: 0,
+        seed,
+    }
+}
+
+/// With an OCC bank in the mix, conservation requires 2PC: validation
+/// failures must surface at the vote, before any partner bank commits.
+#[test]
+fn banking_with_occ_bank_conserves_under_2pc() {
+    const BANKS: usize = 3;
+    const ACCOUNTS: u64 = 6; // few accounts: force validation conflicts
+    const BALANCE: i64 = 500;
+    let scenario = Banking {
+        banks: BANKS,
+        accounts: ACCOUNTS,
+        initial_balance: BALANCE,
+    };
+    for scheme in SchemeKind::CONSERVATIVE {
+        for seed in [3u64, 7, 21] {
+            let transfers = scenario.transfers(30, seed);
+            let workload = Workload {
+                globals: transfers,
+                locals: Vec::new(),
+                spec: shell_spec(BANKS, 30, ACCOUNTS, seed),
+            };
+            let cfg = SystemConfig::builder()
+                .site(LocalProtocolKind::TwoPhaseLocking)
+                .site(LocalProtocolKind::Optimistic) // the dangerous bank
+                .site(LocalProtocolKind::Optimistic)
+                .scheme(scheme)
+                .seed(seed)
+                .mpl(6)
+                .prefill(ACCOUNTS, BALANCE)
+                .two_phase_commit(true)
+                .build();
+            let report = MdbsSystem::new(cfg).run(workload);
+            assert!(report.is_serializable(), "{scheme} seed {seed}");
+            assert!(report.ser_s_ok, "{scheme} seed {seed}");
+            let total: i128 = report.storage_totals.iter().sum();
+            assert_eq!(
+                total,
+                i128::from(BALANCE) * i128::from(ACCOUNTS) * BANKS as i128,
+                "{scheme} seed {seed}: conservation under 2PC"
+            );
+        }
+    }
+}
+
+/// 2PC across every protocol mix stays globally serializable (the prepare
+/// event is a valid serialization function at commit-event sites).
+#[test]
+fn two_pc_all_mixes_serializable() {
+    use LocalProtocolKind::*;
+    let mixes: Vec<Vec<LocalProtocolKind>> = vec![
+        vec![TwoPhaseLocking, Optimistic],
+        vec![TimestampOrdering, Optimistic, TwoPhaseLocking],
+        vec![SerializationGraphTesting, Optimistic],
+        vec![TwoPhaseLockingWaitDie, TwoPhaseLockingWoundWait, Optimistic],
+    ];
+    for (i, mix) in mixes.into_iter().enumerate() {
+        for scheme in SchemeKind::CONSERVATIVE {
+            let seed = 300 + i as u64;
+            let spec = WorkloadSpec {
+                sites: mix.len(),
+                global_txns: 12,
+                avg_sites_per_txn: 2.0,
+                ops_per_subtxn: 2,
+                read_ratio: 0.5,
+                items_per_site: 10,
+                distribution: mdbs::workload::AccessDistribution::Uniform,
+                local_txns_per_site: 3,
+                ops_per_local_txn: 2,
+                seed,
+            };
+            let mut b = SystemConfig::builder()
+                .scheme(scheme)
+                .seed(seed)
+                .mpl(5)
+                .two_phase_commit(true);
+            for &p in &mix {
+                b = b.site(p);
+            }
+            let report = MdbsSystem::new(b.build()).run(Workload::generate(&spec));
+            assert!(
+                report.is_serializable(),
+                "{scheme} mix {i}: {:?}",
+                report.audit
+            );
+            assert!(report.ser_s_ok, "{scheme} mix {i}");
+            assert_eq!(
+                report.metrics.global_commits + report.metrics.global_failures,
+                12,
+                "{scheme} mix {i}"
+            );
+        }
+    }
+}
+
+/// Atomicity: in 2PC mode a transaction is either committed at all its
+/// sites or none — checked via per-site histories.
+#[test]
+fn two_pc_atomicity_of_outcomes() {
+    use mdbs::common::TxnId;
+    let spec = WorkloadSpec {
+        sites: 3,
+        global_txns: 15,
+        avg_sites_per_txn: 2.5,
+        ops_per_subtxn: 2,
+        read_ratio: 0.3,
+        items_per_site: 6, // contention -> some aborts
+        distribution: mdbs::workload::AccessDistribution::Uniform,
+        local_txns_per_site: 2,
+        ops_per_local_txn: 2,
+        seed: 99,
+    };
+    let cfg = SystemConfig::builder()
+        .site(LocalProtocolKind::Optimistic)
+        .site(LocalProtocolKind::Optimistic)
+        .site(LocalProtocolKind::TwoPhaseLocking)
+        .scheme(SchemeKind::Scheme3)
+        .seed(99)
+        .mpl(6)
+        .max_retries(2)
+        .two_phase_commit(true)
+        .build();
+    let mut system = MdbsSystem::new(cfg);
+    let report = system.run(Workload::generate(&spec));
+    assert!(report.is_serializable());
+    // For every global transaction: the set of sites where it committed is
+    // all-or-nothing relative to the sites where it begain.
+    use std::collections::BTreeMap;
+    let mut committed_at: BTreeMap<TxnId, usize> = BTreeMap::new();
+    let mut begun_at: BTreeMap<TxnId, usize> = BTreeMap::new();
+    for s in 0..3u32 {
+        let h = system.site(mdbs::common::SiteId(s)).history();
+        for t in h.committed_txns() {
+            if t.is_global() {
+                *committed_at.entry(t).or_default() += 1;
+            }
+        }
+        for t in h.txns() {
+            if t.is_global() {
+                *begun_at.entry(t).or_default() += 1;
+            }
+        }
+    }
+    for (txn, &commits) in &committed_at {
+        // A committed-anywhere transaction must have committed at every
+        // site it appeared at (its degree).
+        assert_eq!(
+            commits, begun_at[txn],
+            "{txn:?} committed at {commits} of {} sites — atomicity broken",
+            begun_at[txn]
+        );
+    }
+}
