@@ -1,0 +1,176 @@
+//! Perf smoke run: a fixed matrix of the four conservative schemes ×
+//! {replay, full DES} × three workload sizes, written as `BENCH_PR1.json`.
+//!
+//! The goal is a cheap, repeatable baseline — a few seconds of wall time —
+//! whose numbers later PRs can diff against, not a rigorous benchmark
+//! (`cargo bench` holds those). Schema (`mdbs-bench-smoke-v1`):
+//!
+//! ```text
+//! { "schema": "mdbs-bench-smoke-v1",
+//!   "cells": [ { "scheme", "mode", "size", "txns", "wall_ms",
+//!                "throughput_txn_per_sec", "p50_response_us",
+//!                "p99_response_us", "steps_cond", "steps_act",
+//!                "steps_wait_scan", "waits", "peak_wait",
+//!                "peak_active" }, ... ] }
+//! ```
+//!
+//! Replay cells measure pure scheduler cost: throughput is transactions
+//! per *wall* second and the response percentiles are `null` (replay has
+//! no clock). DES cells run the full simulator: throughput and response
+//! percentiles are in *simulated* time.
+
+use mdbs_core::replay::{replay, Script};
+use mdbs_core::scheme::SchemeKind;
+use mdbs_localdb::protocol::LocalProtocolKind;
+use mdbs_sim::system::{MdbsSystem, SystemConfig};
+use mdbs_workload::distributions::AccessDistribution;
+use mdbs_workload::generator::Workload;
+use mdbs_workload::spec::WorkloadSpec;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct BenchCell {
+    scheme: String,
+    mode: &'static str,
+    size: &'static str,
+    txns: usize,
+    wall_ms: f64,
+    throughput_txn_per_sec: f64,
+    p50_response_us: Option<u64>,
+    p99_response_us: Option<u64>,
+    steps_cond: u64,
+    steps_act: u64,
+    steps_wait_scan: u64,
+    waits: u64,
+    peak_wait: u64,
+    peak_active: u64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    schema: &'static str,
+    cells: Vec<BenchCell>,
+}
+
+/// (size label, txns, sites, avg sites per txn) for replay scripts.
+/// Sizes are capped so the worst cell (Scheme 2, whose TSGD bookkeeping is
+/// superlinear in n) stays in the low seconds — this is a smoke run.
+const REPLAY_SIZES: [(&str, usize, usize, f64); 3] = [
+    ("small", 50, 4, 2.0),
+    ("medium", 150, 6, 2.5),
+    ("large", 300, 8, 3.0),
+];
+
+/// (size label, global txns, sites, mpl) for full DES runs.
+const DES_SIZES: [(&str, usize, usize, usize); 3] = [
+    ("small", 30, 3, 4),
+    ("medium", 80, 4, 6),
+    ("large", 160, 6, 8),
+];
+
+fn replay_cell(scheme: SchemeKind, size: &'static str, n: usize, m: usize, dav: f64) -> BenchCell {
+    let script = Script::random(n, m, dav, 42);
+    let start = Instant::now();
+    let outcome = replay(scheme, &script);
+    let wall = start.elapsed();
+    assert_eq!(outcome.completed, n, "replay must complete every txn");
+    BenchCell {
+        scheme: format!("{scheme:?}"),
+        mode: "replay",
+        size,
+        txns: n,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        throughput_txn_per_sec: n as f64 / wall.as_secs_f64(),
+        p50_response_us: None,
+        p99_response_us: None,
+        steps_cond: outcome.steps.cond,
+        steps_act: outcome.steps.act,
+        steps_wait_scan: outcome.steps.wait_scan,
+        waits: outcome.stats.waited,
+        peak_wait: outcome.stats.peak_wait,
+        peak_active: outcome.stats.peak_active,
+    }
+}
+
+fn des_cell(
+    scheme: SchemeKind,
+    size: &'static str,
+    globals: usize,
+    sites: usize,
+    mpl: usize,
+) -> BenchCell {
+    let spec = WorkloadSpec {
+        sites,
+        global_txns: globals,
+        avg_sites_per_txn: 2.0_f64.min(sites as f64),
+        ops_per_subtxn: 2,
+        read_ratio: 0.5,
+        items_per_site: 16,
+        distribution: AccessDistribution::Uniform,
+        local_txns_per_site: 2,
+        ops_per_local_txn: 2,
+        seed: 42,
+    };
+    let mut b = SystemConfig::builder()
+        .scheme(scheme)
+        .seed(spec.seed)
+        .mpl(mpl);
+    for _ in 0..sites {
+        b = b.site(LocalProtocolKind::TwoPhaseLocking);
+    }
+    let mut system = MdbsSystem::new(b.build());
+    let start = Instant::now();
+    let report = system.run(Workload::generate(&spec));
+    let wall = start.elapsed();
+    assert!(
+        report.is_serializable(),
+        "{scheme:?}/{size}: not serializable"
+    );
+    assert!(
+        report.ser_s_ok,
+        "{scheme:?}/{size}: ser(S) not serializable"
+    );
+    BenchCell {
+        scheme: format!("{scheme:?}"),
+        mode: "des",
+        size,
+        txns: globals,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        throughput_txn_per_sec: report.metrics.throughput_per_sec(),
+        p50_response_us: Some(report.metrics.global_response.percentile(50.0)),
+        p99_response_us: Some(report.metrics.global_response.percentile(99.0)),
+        steps_cond: report.gtm2_steps.cond,
+        steps_act: report.gtm2_steps.act,
+        steps_wait_scan: report.gtm2_steps.wait_scan,
+        waits: report.gtm2.waited,
+        peak_wait: report.gtm2.peak_wait,
+        peak_active: report.gtm2.peak_active,
+    }
+}
+
+fn main() {
+    let mut cells = Vec::new();
+    for scheme in SchemeKind::CONSERVATIVE {
+        for (size, n, m, dav) in REPLAY_SIZES {
+            cells.push(replay_cell(scheme, size, n, m, dav));
+        }
+        for (size, globals, sites, mpl) in DES_SIZES {
+            cells.push(des_cell(scheme, size, globals, sites, mpl));
+        }
+    }
+    let report = BenchReport {
+        schema: "mdbs-bench-smoke-v1",
+        cells,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let path = "BENCH_PR1.json";
+    std::fs::write(path, &json).expect("write BENCH_PR1.json");
+    eprintln!("wrote {path} ({} cells)", report.cells.len());
+    for c in &report.cells {
+        eprintln!(
+            "  {:<8} {:<6} {:<6} {:>5} txns  {:>9.2} ms  {:>12.0} txn/s  waits={}",
+            c.scheme, c.mode, c.size, c.txns, c.wall_ms, c.throughput_txn_per_sec, c.waits
+        );
+    }
+}

@@ -16,6 +16,9 @@
 //!   `write`, `commit`, `abort`) executed at local DBMSs, and the GTM2 queue
 //!   operations of the paper (`init_i`, `ser_k(G_i)`, `ack(ser_k(G_i))`,
 //!   `fin_i`).
+//! - [`instrument`] — structured instrumentation: the metrics [`Registry`]
+//!   (counters, gauges, log₂-bucket histograms) every component exports
+//!   into, and the pluggable [`TraceSink`] for typed scheduling events.
 //! - [`step`] — abstract step counting. The paper analyses scheme complexity
 //!   in abstract "steps"; instrumenting the schemes with an explicit counter
 //!   lets the experiment harness measure exactly the quantity Theorems 4, 6
@@ -32,6 +35,7 @@
 pub mod config;
 pub mod error;
 pub mod ids;
+pub mod instrument;
 pub mod ops;
 pub mod rng;
 pub mod step;
@@ -39,5 +43,6 @@ pub mod step;
 pub use config::MdbsParams;
 pub use error::{MdbsError, Result};
 pub use ids::{DataItemId, GlobalTxnId, LocalTxnId, SiteId, TxnId};
+pub use instrument::{Histogram, Registry, SchedEvent, TraceSink};
 pub use ops::{DataOp, DataOpKind, QueueOp, QueueOpKind};
 pub use step::StepCounter;

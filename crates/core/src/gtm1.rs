@@ -21,6 +21,7 @@
 use crate::txn::{GlobalTransaction, Step, StepKind};
 use mdbs_common::error::AbortReason;
 use mdbs_common::ids::{DataItemId, GlobalTxnId, SiteId};
+use mdbs_common::instrument::{Registry, SchedEvent, TraceSink};
 use mdbs_common::ops::QueueOp;
 use mdbs_localdb::serfn::SerializationEvent;
 use mdbs_localdb::storage::Value;
@@ -177,7 +178,6 @@ struct TxnCtl {
 }
 
 /// The GTM1 state machine.
-#[derive(Debug)]
 pub struct Gtm1 {
     site_events: BTreeMap<SiteId, SerializationEvent>,
     txns: BTreeMap<GlobalTxnId, TxnCtl>,
@@ -186,6 +186,21 @@ pub struct Gtm1 {
     /// any subtransaction commits, making global commitment atomic — the
     /// fault-tolerance direction the paper leaves as future work.
     two_pc: bool,
+    /// Structured event sink (global aborts); `None` = disabled.
+    sink: Option<Box<dyn TraceSink + Send>>,
+    /// Timestamp stamped onto sink events (simulated time when driven by
+    /// the DES; 0 elsewhere).
+    clock: u64,
+}
+
+impl std::fmt::Debug for Gtm1 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gtm1")
+            .field("txns", &self.txns)
+            .field("stats", &self.stats)
+            .field("two_pc", &self.two_pc)
+            .finish()
+    }
 }
 
 impl Gtm1 {
@@ -196,6 +211,8 @@ impl Gtm1 {
             txns: BTreeMap::new(),
             stats: Gtm1Stats::default(),
             two_pc: false,
+            sink: None,
+            clock: 0,
         }
     }
 
@@ -207,7 +224,30 @@ impl Gtm1 {
             txns: BTreeMap::new(),
             stats: Gtm1Stats::default(),
             two_pc: true,
+            sink: None,
+            clock: 0,
         }
+    }
+
+    /// Attach (or with `None`, detach) a structured event sink. GTM1
+    /// reports global aborts through it.
+    pub fn set_sink(&mut self, sink: Option<Box<dyn TraceSink + Send>>) {
+        self.sink = sink;
+    }
+
+    /// Set the timestamp stamped onto subsequent sink events.
+    pub fn set_now(&mut self, at: u64) {
+        self.clock = at;
+    }
+
+    /// Export GTM1's counters into `registry` under the `gtm1.` prefix.
+    pub fn export_metrics(&self, registry: &mut Registry) {
+        registry.inc("gtm1.submitted", self.stats.submitted);
+        registry.inc("gtm1.committed", self.stats.committed);
+        registry.inc("gtm1.aborted", self.stats.aborted);
+        registry.inc("gtm1.direct_ops", self.stats.direct_ops);
+        registry.inc("gtm1.ser_ops", self.stats.ser_ops);
+        registry.max_gauge("gtm1.active_txns", self.txns.len() as i64);
     }
 
     /// The serialization event effective at a site under the current mode.
@@ -359,6 +399,9 @@ impl Gtm1 {
             return;
         }
         ctl.zombie = Some(reason);
+        if let Some(sink) = &mut self.sink {
+            sink.record(self.clock, SchedEvent::Abort { txn });
+        }
         for site in std::mem::take(&mut ctl.live_sites) {
             effects.push(Gtm1Effect::Server {
                 txn,

@@ -24,18 +24,11 @@
 
 use crate::scheme::{Gtm2Scheme, SchemeEffect, WaitSet, WakeCandidates};
 use crate::ser_s::SerSLog;
+use mdbs_common::instrument::{Histogram, Registry, SchedEvent, StderrSink, TraceSink};
 use mdbs_common::ops::{QueueOp, QueueOpKind};
 use mdbs_common::step::StepCounter;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
-use std::sync::OnceLock;
-
-/// Debug tracing flag, read once from the `MDBS_TRACE` environment
-/// variable (emits every QUEUE insertion and act to stderr).
-fn trace_enabled() -> bool {
-    static FLAG: OnceLock<bool> = OnceLock::new();
-    *FLAG.get_or_init(|| std::env::var_os("MDBS_TRACE").is_some())
-}
 
 /// Counters for experiments.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -62,6 +55,9 @@ pub struct Gtm2Stats {
     pub peak_wait: u64,
     /// Peak number of concurrently active transactions (`n` observed).
     pub peak_active: u64,
+    /// Malformed operations detected (unmatched fins, out-of-order acks —
+    /// surfaced by schemes as [`SchemeEffect::ProtocolViolation`]).
+    pub protocol_violations: u64,
 }
 
 /// The GTM2 scheduler: QUEUE + WAIT + a scheme.
@@ -88,14 +84,29 @@ pub struct Gtm2 {
     steps: StepCounter,
     stats: Gtm2Stats,
     ser_log: SerSLog,
-    active: i64,
+    active: u64,
     /// Validate scheme invariants after every act (used by tests).
     validate: bool,
+    /// Wake candidates examined per act (log₂ histogram).
+    wake_scan: Histogram,
+    /// Structured event sink; `None` = tracing disabled (one branch, no
+    /// formatting or allocation on the hot path).
+    sink: Option<Box<dyn TraceSink + Send>>,
+    /// Producer clock stamped onto sink events (set by the embedding
+    /// runtime; stays 0 where there is no clock).
+    clock: u64,
 }
 
 impl Gtm2 {
-    /// Create an engine around a scheme.
+    /// Create an engine around a scheme. The `MDBS_TRACE` environment
+    /// variable attaches a [`StderrSink`] for parity with the old debug
+    /// tracing; use [`Gtm2::set_sink`] for structured collection.
     pub fn new(scheme: Box<dyn Gtm2Scheme + Send>) -> Self {
+        let sink: Option<Box<dyn TraceSink + Send>> = if std::env::var_os("MDBS_TRACE").is_some() {
+            Some(Box::new(StderrSink))
+        } else {
+            None
+        };
         Gtm2 {
             scheme,
             queue: VecDeque::new(),
@@ -105,12 +116,59 @@ impl Gtm2 {
             ser_log: SerSLog::new(),
             active: 0,
             validate: cfg!(debug_assertions),
+            wake_scan: Histogram::new(),
+            sink,
+            clock: 0,
         }
     }
 
     /// Enable/disable per-act scheme invariant validation.
     pub fn set_validate(&mut self, on: bool) {
         self.validate = on;
+    }
+
+    /// Attach (or with `None`, detach) a structured event sink. Can be
+    /// toggled mid-run; scheduling behavior is unaffected either way.
+    pub fn set_sink(&mut self, sink: Option<Box<dyn TraceSink + Send>>) {
+        self.sink = sink;
+    }
+
+    /// Detach and return the current sink.
+    pub fn take_sink(&mut self) -> Option<Box<dyn TraceSink + Send>> {
+        self.sink.take()
+    }
+
+    /// Set the clock value stamped onto subsequent sink events.
+    pub fn set_now(&mut self, at: u64) {
+        self.clock = at;
+    }
+
+    /// Wake candidates examined per act.
+    pub fn wake_scan_histogram(&self) -> &Histogram {
+        &self.wake_scan
+    }
+
+    /// Export counters, gauges and histograms into `registry` under the
+    /// `gtm2.` prefix.
+    pub fn export_metrics(&self, registry: &mut Registry) {
+        let s = &self.stats;
+        registry.inc("gtm2.enqueued", s.enqueued);
+        registry.inc("gtm2.processed", s.processed);
+        registry.inc("gtm2.waited", s.waited);
+        registry.inc("gtm2.waited.init", s.waited_kind[0]);
+        registry.inc("gtm2.waited.ser", s.waited_kind[1]);
+        registry.inc("gtm2.waited.ack", s.waited_kind[2]);
+        registry.inc("gtm2.waited.fin", s.waited_kind[3]);
+        registry.inc("gtm2.scheme_aborts", s.scheme_aborts);
+        registry.inc("gtm2.inits", s.inits);
+        registry.inc("gtm2.fins", s.fins);
+        registry.inc("gtm2.protocol_violations", s.protocol_violations);
+        registry.inc("gtm2.steps.cond", self.steps.cond);
+        registry.inc("gtm2.steps.act", self.steps.act);
+        registry.inc("gtm2.steps.wait_scan", self.steps.wait_scan);
+        registry.max_gauge("gtm2.peak_wait", s.peak_wait as i64);
+        registry.max_gauge("gtm2.peak_active", s.peak_active as i64);
+        registry.merge_histogram("gtm2.wake_scan", &self.wake_scan);
     }
 
     /// The scheme's display name.
@@ -145,8 +203,8 @@ impl Gtm2 {
 
     /// Insert an operation at the end of QUEUE.
     pub fn enqueue(&mut self, op: QueueOp) {
-        if trace_enabled() {
-            eprintln!("[gtm2] enqueue {op:?}");
+        if let Some(sink) = &mut self.sink {
+            sink.record(self.clock, SchedEvent::enqueue(&op));
         }
         self.stats.enqueued += 1;
         self.queue.push_back(op);
@@ -157,9 +215,16 @@ impl Gtm2 {
     pub fn pump(&mut self) -> Vec<SchemeEffect> {
         let mut effects = Vec::new();
         while let Some(op) = self.queue.pop_front() {
-            if self.scheme.cond(&op, &mut self.steps) {
+            let eligible = self.scheme.cond(&op, &mut self.steps);
+            if let Some(sink) = &mut self.sink {
+                sink.record(self.clock, SchedEvent::cond(&op, eligible));
+            }
+            if eligible {
                 self.do_act(op, &mut effects);
             } else {
+                if let Some(sink) = &mut self.sink {
+                    sink.record(self.clock, SchedEvent::wait(&op));
+                }
                 self.stats.waited += 1;
                 self.stats.waited_kind[kind_index(op.kind())] += 1;
                 self.wait.insert(op);
@@ -178,41 +243,63 @@ impl Gtm2 {
     /// (e.g. two ser ops at one site whose conds both looked true before
     /// either acted) slip through together.
     fn do_act(&mut self, op: QueueOp, effects: &mut Vec<SchemeEffect>) {
-        let act_now = |this: &mut Self, acted: &QueueOp, effects: &mut Vec<SchemeEffect>| {
-            if trace_enabled() {
-                eprintln!("[gtm2] act {acted:?}");
-            }
-            this.note_processed(acted);
-            let fx = this.scheme.act(acted, &mut this.steps);
-            if this.validate {
-                this.scheme.debug_validate();
-            }
-            for effect in &fx {
-                match effect {
-                    SchemeEffect::SubmitSer { txn, site } => this.ser_log.record(*txn, *site),
-                    SchemeEffect::AbortGlobal { .. } => this.stats.scheme_aborts += 1,
-                    SchemeEffect::ForwardAck { .. } => {}
+        let act_now =
+            |this: &mut Self, acted: &QueueOp, woken: bool, effects: &mut Vec<SchemeEffect>| {
+                if let Some(sink) = &mut this.sink {
+                    let ev = if woken {
+                        SchedEvent::wake(acted)
+                    } else {
+                        SchedEvent::act(acted)
+                    };
+                    sink.record(this.clock, ev);
                 }
-            }
-            effects.extend(fx.iter().copied());
-            match this
-                .scheme
-                .wake_candidates(acted, &this.wait, &mut this.steps)
-            {
-                WakeCandidates::None => Vec::new(),
-                WakeCandidates::All => this.wait.keys(),
-                WakeCandidates::Keys(keys) => keys,
-            }
-        };
-        let mut candidates: VecDeque<crate::scheme::WaitKey> = act_now(self, &op, effects).into();
+                this.note_processed(acted);
+                let fx = this.scheme.act(acted, &mut this.steps);
+                if this.validate {
+                    this.scheme.debug_validate();
+                }
+                for effect in &fx {
+                    match effect {
+                        SchemeEffect::SubmitSer { txn, site } => this.ser_log.record(*txn, *site),
+                        SchemeEffect::AbortGlobal { txn } => {
+                            this.stats.scheme_aborts += 1;
+                            if let Some(sink) = &mut this.sink {
+                                sink.record(this.clock, SchedEvent::Abort { txn: *txn });
+                            }
+                        }
+                        SchemeEffect::ForwardAck { .. } => {}
+                        SchemeEffect::ProtocolViolation { .. } => {
+                            this.stats.protocol_violations += 1;
+                        }
+                    }
+                }
+                effects.extend(fx.iter().copied());
+                let candidates =
+                    match this
+                        .scheme
+                        .wake_candidates(acted, &this.wait, &mut this.steps)
+                    {
+                        WakeCandidates::None => Vec::new(),
+                        WakeCandidates::All => this.wait.keys(),
+                        WakeCandidates::Keys(keys) => keys,
+                    };
+                this.wake_scan.observe(candidates.len() as u64);
+                candidates
+            };
+        let mut candidates: VecDeque<crate::scheme::WaitKey> =
+            act_now(self, &op, false, effects).into();
         while let Some(key) = candidates.pop_front() {
             // The op may have been woken (or re-examined) already.
             let Some(waiting) = self.wait.remove(&key) else {
                 continue;
             };
-            if self.scheme.cond(&waiting, &mut self.steps) {
+            let eligible = self.scheme.cond(&waiting, &mut self.steps);
+            if let Some(sink) = &mut self.sink {
+                sink.record(self.clock, SchedEvent::cond(&waiting, eligible));
+            }
+            if eligible {
                 // Act immediately; its own wake candidates join the queue.
-                candidates.extend(act_now(self, &waiting, effects));
+                candidates.extend(act_now(self, &waiting, true, effects));
             } else {
                 self.wait.insert(waiting);
             }
@@ -225,11 +312,16 @@ impl Gtm2 {
             QueueOpKind::Init => {
                 self.stats.inits += 1;
                 self.active += 1;
-                self.stats.peak_active = self.stats.peak_active.max(self.active as u64);
+                self.stats.peak_active = self.stats.peak_active.max(self.active);
             }
             QueueOpKind::Fin => {
                 self.stats.fins += 1;
-                self.active -= 1;
+                // An unmatched fin must not underflow the active count
+                // (and thereby skew peak_active for the rest of the run).
+                match self.active.checked_sub(1) {
+                    Some(a) => self.active = a,
+                    None => self.stats.protocol_violations += 1,
+                }
             }
             QueueOpKind::Ser | QueueOpKind::Ack => {}
         }

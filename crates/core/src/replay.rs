@@ -331,6 +331,14 @@ fn drain(engine: &mut Gtm2, ctl: &mut DrainCtl) {
                         engine.enqueue(QueueOp::Fin { txn });
                     }
                 }
+                SchemeEffect::ProtocolViolation { txn, site, kind } => {
+                    // Scripts are validated and acks are generated by this
+                    // harness, so a violation here is a scheme bug.
+                    panic!(
+                        "{}: protocol violation {kind} ({txn}, {site:?})",
+                        engine.scheme_name()
+                    );
+                }
             }
         }
     }

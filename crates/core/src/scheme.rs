@@ -126,6 +126,34 @@ pub enum WakeCandidates {
     Keys(Vec<WaitKey>),
 }
 
+/// How a queue operation violated the GTM2 protocol (malformed input —
+/// distinct from scheduling decisions, which never produce these).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtocolViolationKind {
+    /// An `ack` referenced a site the scheme has no queue/bookkeeping for.
+    UnknownSite,
+    /// An `ack` arrived for a transaction that is queued at the site but
+    /// not at the front — acknowledgements must match submission order.
+    AckOutOfOrder,
+    /// An `ack` arrived for a transaction with no pending `ser` at the
+    /// site at all.
+    AckNotQueued,
+    /// A `fin` arrived with no matching active transaction.
+    UnmatchedFin,
+}
+
+impl std::fmt::Display for ProtocolViolationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ProtocolViolationKind::UnknownSite => "ack for unknown site",
+            ProtocolViolationKind::AckOutOfOrder => "ack out of submission order",
+            ProtocolViolationKind::AckNotQueued => "ack with no pending ser",
+            ProtocolViolationKind::UnmatchedFin => "fin with no active txn",
+        };
+        f.write_str(s)
+    }
+}
+
 /// Effects an `act` can request from the surrounding system.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SchemeEffect {
@@ -148,6 +176,18 @@ pub enum SchemeEffect {
     AbortGlobal {
         /// Victim.
         txn: GlobalTxnId,
+    },
+    /// The operation was malformed with respect to the GTM2 protocol
+    /// (e.g. an out-of-order or unknown-site `ack`). The scheme keeps its
+    /// data structures consistent and reports instead of panicking; the
+    /// engine counts these in `Gtm2Stats::protocol_violations`.
+    ProtocolViolation {
+        /// Transaction named by the offending operation.
+        txn: GlobalTxnId,
+        /// Site named by the offending operation, if any.
+        site: Option<SiteId>,
+        /// What was violated.
+        kind: ProtocolViolationKind,
     },
 }
 

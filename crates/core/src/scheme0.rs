@@ -16,7 +16,7 @@
 //! and after `act(ack(ser_k(G_i)))` only the *new front* of `s_k`'s queue
 //! can have become eligible — a single wake candidate.
 
-use crate::scheme::{Gtm2Scheme, SchemeEffect, WaitSet, WakeCandidates};
+use crate::scheme::{Gtm2Scheme, ProtocolViolationKind, SchemeEffect, WaitSet, WakeCandidates};
 use mdbs_common::ids::{GlobalTxnId, SiteId};
 use mdbs_common::ops::QueueOp;
 use mdbs_common::step::{StepCounter, StepKind};
@@ -70,16 +70,51 @@ impl Gtm2Scheme for Scheme0 {
             }
             QueueOp::Ack { txn, site } => {
                 steps.tick(StepKind::Act);
-                let q = self
-                    .queues
-                    .get_mut(site)
-                    .expect("queue exists for acked site");
-                let front = q.pop_front();
-                debug_assert_eq!(front, Some(*txn), "ack must match the queue front");
-                vec![SchemeEffect::ForwardAck {
-                    txn: *txn,
-                    site: *site,
-                }]
+                // Acks are produced by site servers; a malformed one must
+                // not panic the scheduler or silently corrupt the queue.
+                let Some(q) = self.queues.get_mut(site) else {
+                    return vec![SchemeEffect::ProtocolViolation {
+                        txn: *txn,
+                        site: Some(*site),
+                        kind: ProtocolViolationKind::UnknownSite,
+                    }];
+                };
+                match q.front() {
+                    Some(front) if front == txn => {
+                        q.pop_front();
+                        vec![SchemeEffect::ForwardAck {
+                            txn: *txn,
+                            site: *site,
+                        }]
+                    }
+                    _ => {
+                        // Out of order: remove exactly this transaction if
+                        // queued (keeping everyone else's positions) and
+                        // still forward — the local DBMS genuinely acked,
+                        // and GTM1 is waiting on it.
+                        match q.iter().position(|t| t == txn) {
+                            Some(pos) => {
+                                q.remove(pos);
+                                vec![
+                                    SchemeEffect::ProtocolViolation {
+                                        txn: *txn,
+                                        site: Some(*site),
+                                        kind: ProtocolViolationKind::AckOutOfOrder,
+                                    },
+                                    SchemeEffect::ForwardAck {
+                                        txn: *txn,
+                                        site: *site,
+                                    },
+                                ]
+                            }
+                            None => vec![SchemeEffect::ProtocolViolation {
+                                txn: *txn,
+                                site: Some(*site),
+                                kind: ProtocolViolationKind::AckNotQueued,
+                            }],
+                        }
+                    }
+                }
             }
             QueueOp::Fin { .. } => {
                 steps.tick(StepKind::Act);

@@ -1,0 +1,144 @@
+//! Deterministic replays of proptest shrink cases.
+//!
+//! `prop_schemes.proptest-regressions` stores the shrunk failure seeds,
+//! but those only re-run under the proptest harness. Each script is
+//! transcribed here literally so the cases stay reproducible as plain
+//! `#[test]`s — independent of proptest's RNG, shrinking, or regression
+//! file handling — and so a bisect can point at the exact scheme change
+//! that regressed them.
+
+use mdbs_common::ids::{GlobalTxnId, SiteId};
+use mdbs_core::gtm2::Gtm2;
+use mdbs_core::replay::{replay, replay_with, Script, ScriptEvent};
+use mdbs_core::scheme::{FullRescan, SchemeKind};
+
+fn init(txn: u64, sites: &[u32]) -> ScriptEvent {
+    ScriptEvent::Init(GlobalTxnId(txn), sites.iter().map(|&s| SiteId(s)).collect())
+}
+
+fn ser(txn: u64, site: u32) -> ScriptEvent {
+    ScriptEvent::Ser(GlobalTxnId(txn), SiteId(site))
+}
+
+/// Shrink case `59eeaa2e…`: 8 transactions, all spanning 3 sites, with a
+/// heavily interleaved insertion order. Historically tripped the
+/// wake-hint-completeness / safety properties.
+fn shrink_case_dense_8txn_3site() -> Script {
+    let script = Script {
+        events: vec![
+            init(5, &[0, 1, 2]),
+            ser(5, 1),
+            init(7, &[0, 1, 2]),
+            ser(7, 0),
+            ser(7, 2),
+            init(8, &[0, 1, 2]),
+            ser(8, 0),
+            init(4, &[0, 1, 2]),
+            ser(4, 2),
+            ser(8, 2),
+            init(3, &[0, 1, 2]),
+            ser(3, 1),
+            ser(5, 2),
+            init(1, &[0, 1, 2]),
+            ser(1, 0),
+            ser(5, 0),
+            ser(1, 2),
+            ser(1, 1),
+            ser(3, 2),
+            init(6, &[0, 1, 2]),
+            ser(6, 2),
+            ser(7, 1),
+            init(2, &[0, 1, 2]),
+            ser(2, 2),
+            ser(6, 1),
+            ser(8, 1),
+            ser(2, 0),
+            ser(4, 0),
+            ser(6, 0),
+            ser(3, 0),
+            ser(2, 1),
+            ser(4, 1),
+        ],
+    };
+    assert_eq!(script.validate(), Ok(()));
+    script
+}
+
+/// Shrink case `753a3c91…`: 3 transactions on overlapping 2-site sets,
+/// the minimal overlap chain (G2 bridges G3 and G1 through s2/s1 while
+/// G3 and G1 share only s0).
+fn shrink_case_overlap_chain_3txn() -> Script {
+    let script = Script {
+        events: vec![
+            init(3, &[0, 2]),
+            ser(3, 2),
+            init(2, &[1, 2]),
+            ser(2, 2),
+            ser(2, 1),
+            init(1, &[0, 1]),
+            ser(1, 0),
+            ser(3, 0),
+            ser(1, 1),
+        ],
+    };
+    assert_eq!(script.validate(), Ok(()));
+    script
+}
+
+/// Safety on the shrunk scripts: every conservative scheme completes all
+/// transactions, aborts none, and leaves a serializable ser(S).
+fn assert_safe(script: &Script) {
+    let n = script.txn_count();
+    for kind in SchemeKind::CONSERVATIVE {
+        let out = replay(kind, script);
+        assert!(out.ser_serializable, "{kind}: ser(S) not serializable");
+        assert!(out.aborted.is_empty(), "{kind}: aborted {:?}", out.aborted);
+        assert_eq!(out.completed, n, "{kind}: incomplete");
+    }
+}
+
+/// Wake-hint completeness on the shrunk scripts: replacing each scheme's
+/// wake hints with a full WAIT rescan must not change what gets
+/// processed, how often operations wait, or who completes.
+fn assert_hints_complete(script: &Script) {
+    for kind in SchemeKind::CONSERVATIVE {
+        let mut hinted_engine = Gtm2::new(kind.build());
+        hinted_engine.set_validate(true);
+        let hinted = replay_with(hinted_engine, script);
+
+        let mut full_engine = Gtm2::new(Box::new(FullRescan(kind.build())));
+        full_engine.set_validate(true);
+        let full = replay_with(full_engine, script);
+
+        assert_eq!(
+            hinted.stats.processed, full.stats.processed,
+            "{kind}: hinted vs full processed"
+        );
+        assert_eq!(
+            hinted.stats.waited, full.stats.waited,
+            "{kind}: hinted vs full waits"
+        );
+        assert_eq!(hinted.completed, full.completed, "{kind}: completions");
+        assert!(hinted.ser_serializable && full.ser_serializable, "{kind}");
+    }
+}
+
+#[test]
+fn dense_8txn_3site_schemes_safe() {
+    assert_safe(&shrink_case_dense_8txn_3site());
+}
+
+#[test]
+fn dense_8txn_3site_wake_hints_complete() {
+    assert_hints_complete(&shrink_case_dense_8txn_3site());
+}
+
+#[test]
+fn overlap_chain_3txn_schemes_safe() {
+    assert_safe(&shrink_case_overlap_chain_3txn());
+}
+
+#[test]
+fn overlap_chain_3txn_wake_hints_complete() {
+    assert_hints_complete(&shrink_case_overlap_chain_3txn());
+}

@@ -30,6 +30,7 @@ use crate::serfn::SerializationEvent;
 use crate::storage::{Storage, Value};
 use mdbs_common::error::{AbortReason, MdbsError, Result};
 use mdbs_common::ids::{DataItemId, SiteId, TxnId};
+use mdbs_common::instrument::Registry;
 use mdbs_common::ops::DataOp;
 use mdbs_schedule::History;
 use serde::{Deserialize, Serialize};
@@ -82,6 +83,26 @@ pub struct EngineStats {
     pub blocked: u64,
     /// Deadlock victims chosen at this site.
     pub deadlock_victims: u64,
+}
+
+impl EngineStats {
+    /// Export these counters into a metrics [`Registry`], keyed by site,
+    /// e.g. `site.0.commits`. Exporting several sites into one registry
+    /// also accumulates the `site.total.*` roll-up counters.
+    pub fn export_metrics(&self, site: SiteId, registry: &mut Registry) {
+        for (name, value) in [
+            ("begins", self.begins),
+            ("commits", self.commits),
+            ("aborts", self.aborts),
+            ("global_aborts", self.global_aborts),
+            ("granted", self.granted),
+            ("blocked", self.blocked),
+            ("deadlock_victims", self.deadlock_victims),
+        ] {
+            registry.inc(&format!("site.{}.{name}", site.0), value);
+            registry.inc(&format!("site.total.{name}"), value);
+        }
+    }
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -207,6 +228,16 @@ impl LocalDbms {
     /// Engine counters.
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// Export engine counters into a metrics [`Registry`], keyed by site
+    /// (see [`EngineStats::export_metrics`]).
+    pub fn export_metrics(&self, registry: &mut Registry) {
+        self.stats.export_metrics(self.site, registry);
+        registry.max_gauge(
+            &format!("site.{}.active_txns", self.site.0),
+            self.txns.len() as i64,
+        );
     }
 
     /// Number of live (begun, unfinished) transactions.

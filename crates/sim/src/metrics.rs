@@ -1,6 +1,7 @@
 //! Run metrics.
 
 use crate::event::SimTime;
+use mdbs_common::instrument::{Histogram, Registry};
 use serde::{Deserialize, Serialize};
 
 /// Aggregated response-time statistics (microseconds of simulated time).
@@ -42,6 +43,15 @@ impl ResponseStats {
     /// Maximum sample, or 0 when empty.
     pub fn max(&self) -> SimTime {
         self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The samples re-bucketed as a log2 [`Histogram`].
+    pub fn to_histogram(&self) -> Histogram {
+        let mut h = Histogram::default();
+        for &s in &self.samples {
+            h.observe(s);
+        }
+        h
     }
 }
 
@@ -87,6 +97,24 @@ impl Metrics {
             return 0.0;
         }
         self.global_aborts as f64 / attempts as f64
+    }
+
+    /// Export the run counters and the response-time distribution into a
+    /// metrics [`Registry`] under the `sim.` prefix.
+    pub fn export_metrics(&self, registry: &mut Registry) {
+        registry.inc("sim.global_commits", self.global_commits);
+        registry.inc("sim.global_aborts", self.global_aborts);
+        registry.inc("sim.global_failures", self.global_failures);
+        registry.inc("sim.local_commits", self.local_commits);
+        registry.inc("sim.local_aborts", self.local_aborts);
+        registry.inc("sim.timeouts", self.timeouts);
+        registry.inc("sim.crashes", self.crashes);
+        registry.inc("sim.events", self.events);
+        registry.max_gauge("sim.makespan_us", self.makespan as i64);
+        registry.merge_histogram(
+            "sim.global_response_us",
+            &self.global_response.to_histogram(),
+        );
     }
 }
 

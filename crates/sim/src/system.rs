@@ -25,6 +25,7 @@ use crate::metrics::Metrics;
 use crate::trace::{Trace, TraceRecord};
 use mdbs_common::error::{AbortReason, MdbsError};
 use mdbs_common::ids::{GlobalTxnId, LocalTxnId, SiteId, TxnId};
+use mdbs_common::instrument::{Registry, SharedSink};
 use mdbs_common::rng::{derive_rng, DetRng};
 use mdbs_common::step::StepCounter;
 use mdbs_core::gtm1::{Gtm1, Gtm1Effect, Gtm1Event, ServerCommand};
@@ -240,6 +241,9 @@ pub struct RunReport {
     /// Sum of all item values per site after the run (for conservation
     /// checks in example scenarios).
     pub storage_totals: Vec<i128>,
+    /// Metrics snapshot: GTM1, GTM2, per-site engine and simulator
+    /// counters exported into one registry.
+    pub registry: Registry,
 }
 
 impl RunReport {
@@ -331,6 +335,10 @@ pub struct MdbsSystem {
     /// Sites currently down, with the time they come back.
     down_until: BTreeMap<SiteId, SimTime>,
     trace: Option<Trace>,
+    /// Our handle on the sink attached to GTM1/GTM2 while tracing: the
+    /// GTMs record structured scheduling events into it and we drain them
+    /// into `trace` after each GTM round.
+    sched_sink: Option<SharedSink>,
 }
 
 impl MdbsSystem {
@@ -383,6 +391,7 @@ impl MdbsSystem {
             rng,
             down_until: BTreeMap::new(),
             trace: None,
+            sched_sink: None,
             cfg,
         }
     }
@@ -437,6 +446,7 @@ impl MdbsSystem {
 
         RunReport {
             metrics: self.metrics.clone(),
+            registry: self.export_metrics(),
             audit: audit_sites(&self.sites),
             gtm1: self.gtm1.stats(),
             gtm2: self.gtm2.stats(),
@@ -469,14 +479,49 @@ impl MdbsSystem {
         &self.sites[site.index()]
     }
 
-    /// Enable structured tracing for the next run.
+    /// Snapshot every component's counters into one metrics [`Registry`]:
+    /// `gtm1.*`, `gtm2.*`, `site.*` and `sim.*`.
+    pub fn export_metrics(&self) -> Registry {
+        let mut registry = Registry::default();
+        self.gtm1.export_metrics(&mut registry);
+        self.gtm2.export_metrics(&mut registry);
+        for db in &self.sites {
+            db.export_metrics(&mut registry);
+        }
+        self.metrics.export_metrics(&mut registry);
+        registry
+    }
+
+    /// Enable structured tracing for the next run. Besides the simulator's
+    /// own records, this attaches a shared [`TraceSink`] to GTM1 and GTM2
+    /// so their scheduling events (enqueue, cond, act, wake, wait, abort)
+    /// converge into the same [`Trace`].
+    ///
+    /// [`TraceSink`]: mdbs_common::instrument::TraceSink
     pub fn enable_trace(&mut self) {
         self.trace = Some(Trace::new());
+        let sink = SharedSink::new();
+        self.gtm1.set_sink(Some(Box::new(sink.clone())));
+        self.gtm2.set_sink(Some(Box::new(sink.clone())));
+        self.sched_sink = Some(sink);
     }
 
     /// Take the trace recorded by the last run (if tracing was enabled).
     pub fn take_trace(&mut self) -> Option<Trace> {
+        self.drain_sched_events();
+        self.sched_sink = None;
+        self.gtm1.set_sink(None);
+        self.gtm2.set_sink(None);
         self.trace.take()
+    }
+
+    /// Move scheduling events recorded by the GTM sinks into the trace.
+    fn drain_sched_events(&mut self) {
+        if let (Some(sink), Some(trace)) = (&self.sched_sink, &mut self.trace) {
+            for ev in sink.drain() {
+                trace.push(ev.at, TraceRecord::Sched { event: ev.event });
+            }
+        }
     }
 
     fn record(&mut self, record: TraceRecord) {
@@ -522,6 +567,7 @@ impl MdbsSystem {
                 self.server_execute(txn, site, cmd)
             }
             SimEvent::DeliverAck { txn, site } => {
+                self.gtm2.set_now(self.queue.now());
                 self.gtm2
                     .enqueue(mdbs_common::ops::QueueOp::Ack { txn, site });
                 self.gtm_round(VecDeque::new());
@@ -603,6 +649,9 @@ impl MdbsSystem {
     // ------------------------------------------------------------------
 
     fn gtm_round(&mut self, mut pending: VecDeque<Gtm1Event>) {
+        let now = self.queue.now();
+        self.gtm1.set_now(now);
+        self.gtm2.set_now(now);
         loop {
             while let Some(ev) = pending.pop_front() {
                 for fx in self.gtm1.handle(ev) {
@@ -636,9 +685,15 @@ impl MdbsSystem {
                     SchemeEffect::AbortGlobal { .. } => {
                         unreachable!("conservative schemes never abort; baselines run in replay")
                     }
+                    SchemeEffect::ProtocolViolation { txn, site, kind } => {
+                        // The DES generates acks/fins itself; reaching this
+                        // means a simulator (not workload) bug.
+                        unreachable!("gtm2 protocol violation: {kind} ({txn}, {site:?})")
+                    }
                 }
             }
             if pending.is_empty() {
+                self.drain_sched_events();
                 return;
             }
         }

@@ -15,11 +15,12 @@
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use mdbs_common::error::{AbortReason, MdbsError};
 use mdbs_common::ids::{DataItemId, GlobalTxnId, SiteId};
+use mdbs_common::instrument::{Registry, SharedSink, TracedEvent};
 use mdbs_core::gtm1::{Gtm1, Gtm1Effect, Gtm1Event, ServerCommand};
 use mdbs_core::gtm2::Gtm2;
 use mdbs_core::scheme::{SchemeEffect, SchemeKind};
 use mdbs_core::txn::GlobalTransaction;
-use mdbs_localdb::engine::{LocalDbms, OpOutcome, SubmitResult};
+use mdbs_localdb::engine::{EngineStats, LocalDbms, OpOutcome, SubmitResult};
 use mdbs_localdb::protocol::LocalProtocolKind;
 use mdbs_localdb::serfn::SerializationEvent;
 use mdbs_localdb::storage::Value;
@@ -52,6 +53,7 @@ enum FromSite {
         site: SiteId,
         history: History,
         committed_values: Vec<(DataItemId, Value)>,
+        stats: EngineStats,
     },
 }
 
@@ -69,6 +71,14 @@ pub struct ThreadedRunReport {
     /// Per-site sum of committed item values (ticket excluded) — lets
     /// callers check conservation invariants after a live run.
     pub storage_totals: Vec<i128>,
+    /// Metrics snapshot: GTM1, GTM2 and per-site engine counters exported
+    /// into one registry.
+    pub registry: Registry,
+    /// Structured scheduling events recorded by the GTM sinks while
+    /// tracing was enabled (empty otherwise). Timestamps are 0 — the
+    /// threaded runtime has no simulated clock; ordering is the record
+    /// order at the coordinator.
+    pub events: Vec<TracedEvent>,
 }
 
 impl ThreadedRunReport {
@@ -114,6 +124,7 @@ impl SiteWorker {
             site: self.site,
             history: self.db.history().clone(),
             committed_values,
+            stats: self.db.stats(),
         });
     }
 
@@ -308,6 +319,7 @@ pub struct ThreadedMdbs {
     scheme: SchemeKind,
     mpl: usize,
     block_timeout: Duration,
+    trace: bool,
 }
 
 impl ThreadedMdbs {
@@ -318,7 +330,14 @@ impl ThreadedMdbs {
             scheme,
             mpl,
             block_timeout: Duration::from_millis(200),
+            trace: false,
         }
+    }
+
+    /// Record structured GTM scheduling events during runs; they come back
+    /// in [`ThreadedRunReport::events`].
+    pub fn enable_trace(&mut self) {
+        self.trace = true;
     }
 
     /// Run the programs to completion on live threads and audit.
@@ -349,6 +368,14 @@ impl ThreadedMdbs {
             .collect();
         let mut gtm1 = Gtm1::new(site_events);
         let mut gtm2 = Gtm2::new(self.scheme.build());
+        let sched_sink = if self.trace {
+            let sink = SharedSink::new();
+            gtm1.set_sink(Some(Box::new(sink.clone())));
+            gtm2.set_sink(Some(Box::new(sink.clone())));
+            Some(sink)
+        } else {
+            None
+        };
 
         let total = programs.len();
         let mut queue: VecDeque<GlobalTransaction> = programs.into();
@@ -394,6 +421,9 @@ impl ThreadedMdbs {
                         SchemeEffect::AbortGlobal { .. } => {
                             unreachable!("conservative schemes only")
                         }
+                        SchemeEffect::ProtocolViolation { txn, site, kind } => {
+                            unreachable!("gtm2 protocol violation: {kind} ({txn}, {site:?})")
+                        }
                     }
                 }
             }
@@ -415,6 +445,9 @@ impl ThreadedMdbs {
                                 pending_events.push_back(Gtm1Event::Gtm2Ack { txn, site });
                             }
                             SchemeEffect::AbortGlobal { .. } => unreachable!(),
+                            SchemeEffect::ProtocolViolation { txn, site, kind } => {
+                                unreachable!("gtm2 protocol violation: {kind} ({txn}, {site:?})")
+                            }
                         }
                     }
                 }
@@ -429,12 +462,14 @@ impl ThreadedMdbs {
         }
         let mut histories: BTreeMap<SiteId, History> = BTreeMap::new();
         let mut totals: BTreeMap<SiteId, i128> = BTreeMap::new();
+        let mut registry = Registry::default();
         while histories.len() < self.protocols.len() {
             match from_sites.recv_timeout(Duration::from_secs(10)) {
                 Ok(FromSite::Final {
                     site,
                     history,
                     committed_values,
+                    stats,
                 }) => {
                     let total = committed_values
                         .iter()
@@ -443,6 +478,7 @@ impl ThreadedMdbs {
                         .sum();
                     totals.insert(site, total);
                     histories.insert(site, history);
+                    stats.export_metrics(site, &mut registry);
                 }
                 Ok(_) => {} // stragglers from already-completed txns
                 Err(_) => panic!("site threads did not shut down"),
@@ -451,6 +487,8 @@ impl ThreadedMdbs {
         for h in handles {
             h.join().expect("site thread");
         }
+        gtm1.export_metrics(&mut registry);
+        gtm2.export_metrics(&mut registry);
 
         ThreadedRunReport {
             commits,
@@ -458,6 +496,8 @@ impl ThreadedMdbs {
             audit: check_global(histories.iter().map(|(&s, h)| (s, h))),
             ser_s_ok: gtm2.ser_log().check().is_ok(),
             storage_totals: totals.into_values().collect(),
+            registry,
+            events: sched_sink.map(|s| s.drain()).unwrap_or_default(),
         }
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::event::SimTime;
 use mdbs_common::ids::{GlobalTxnId, SiteId};
+use mdbs_common::instrument::{SchedEvent, TraceSink};
 use serde::{Deserialize, Serialize};
 
 /// One traced occurrence.
@@ -48,6 +49,14 @@ pub enum TraceRecord {
         site: SiteId,
         /// When it comes back.
         until: SimTime,
+    },
+    /// A structured scheduling event from the shared instrumentation
+    /// layer ([`mdbs_common::instrument`]) — GTM1/GTM2 enqueue, cond,
+    /// act, wake, wait and abort decisions converge into the same trace
+    /// as the simulator's own records.
+    Sched {
+        /// The scheduling event.
+        event: SchedEvent,
     },
 }
 
@@ -107,6 +116,12 @@ impl Trace {
             .map(|e| serde_json::to_string(e).expect("trace entries serialize"))
             .collect::<Vec<_>>()
             .join("\n")
+    }
+}
+
+impl TraceSink for Trace {
+    fn record(&mut self, at: u64, event: SchedEvent) {
+        self.push(at, TraceRecord::Sched { event });
     }
 }
 

@@ -1,0 +1,253 @@
+//! Vendored offline `criterion` subset.
+//!
+//! Provides the `criterion_group!`/`criterion_main!` harness, benchmark
+//! groups, and `Bencher::iter` with the same call-site API as upstream.
+//! Measurement is simpler: each benchmark is warmed up, then timed over
+//! enough iterations to cover a minimum measurement window, and the
+//! median per-iteration time of several samples is printed as
+//!
+//! ```text
+//! group/name              time: [1.2345 µs 1.2400 µs 1.2460 µs]
+//! ```
+//!
+//! (low / median / high over samples, like upstream's abbreviated
+//! output). No statistical regression analysis and no HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+    /// Samples per benchmark (overridable per group).
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(200),
+            sample_size: 12,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Run a free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let report = run_bench(self.measurement, self.sample_size, &mut f);
+        report.print(name);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        let report = run_bench(self.parent.measurement, samples, &mut f);
+        report.print(&format!("{}/{}", self.name, id.label));
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        let report = run_bench(self.parent.measurement, samples, &mut |b| f(b, input));
+        report.print(&format!("{}/{}", self.name, id.label));
+        self
+    }
+
+    /// Finish the group (prints nothing extra in this subset).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` style id.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Id carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Iterations to run in the timed section.
+    iters: u64,
+    /// Measured elapsed time for those iterations.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` executions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+struct Report {
+    low_ns: f64,
+    median_ns: f64,
+    high_ns: f64,
+}
+
+impl Report {
+    fn print(&self, label: &str) {
+        println!(
+            "{label:<40} time: [{} {} {}]",
+            format_ns(self.low_ns),
+            format_ns(self.median_ns),
+            format_ns(self.high_ns),
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.4} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.4} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.4} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(measurement: Duration, samples: usize, f: &mut F) -> Report {
+    // Calibrate: how many iterations fit in one sample window?
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let window = measurement / samples.max(1) as u32;
+    let iters = (window.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut per_iter_ns: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    Report {
+        low_ns: per_iter_ns[0],
+        median_ns: per_iter_ns[per_iter_ns.len() / 2],
+        high_ns: per_iter_ns[per_iter_ns.len() - 1],
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(5),
+            sample_size: 3,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut ran = 0u64;
+        group.bench_function(BenchmarkId::from_parameter(1), |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        group.finish();
+        assert!(ran > 0, "benchmark closure must execute");
+    }
+}

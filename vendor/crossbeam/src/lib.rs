@@ -1,0 +1,76 @@
+//! Vendored offline subset of `crossbeam`.
+//!
+//! Only [`channel::bounded`] is used by the workspace (multi-producer,
+//! single-consumer with a capacity and `recv_timeout`), which maps
+//! directly onto `std::sync::mpsc::sync_channel`. The API mirrors
+//! crossbeam's names so call sites compile unchanged; true MPMC cloning
+//! of receivers is not provided (and not used).
+
+pub mod channel {
+    //! Bounded channels with timeouts.
+
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending half (cloneable).
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the message is enqueued (or the channel closes).
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg)
+        }
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block for a message.
+        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+            self.0.recv()
+        }
+
+        /// Block up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Non-blocking poll.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Create a bounded channel of the given capacity.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_roundtrip() {
+            let (tx, rx) = bounded::<u32>(4);
+            let tx2 = tx.clone();
+            std::thread::spawn(move || tx2.send(7).unwrap());
+            assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(7));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+    }
+}

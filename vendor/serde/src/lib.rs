@@ -1,0 +1,404 @@
+//! Vendored offline serde facade.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! a minimal serde-compatible surface: [`Serialize`] / [`Deserialize`]
+//! traits, derive macros (re-exported from the vendored `serde_derive`
+//! proc-macro crate), and a self-describing [`Value`] data model that the
+//! vendored `serde_json` prints and parses.
+//!
+//! The encoding convention matches real `serde_json` for every shape the
+//! workspace derives: newtype structs are transparent, unit enum variants
+//! are strings, data-carrying variants are single-key objects, structs are
+//! objects, sequences are arrays. Integers keep full `u64`/`i64`
+//! precision (no `f64` round-trip).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model values serialize into.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer (kept exact).
+    U64(u64),
+    /// Negative integer (kept exact).
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object; insertion-ordered key/value pairs.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short name of the value's shape, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: what was expected, and what was found.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl DeError {
+    /// Build an error.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// Type-mismatch helper.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError::new(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialize into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert to a value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Deserialize from the [`Value`] data model. The lifetime parameter
+/// exists for signature compatibility with real serde bounds
+/// (`for<'de> Deserialize<'de>`); this facade always borrows nothing.
+pub trait Deserialize<'de>: Sized {
+    /// Reconstruct from a value tree.
+    fn deserialize(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Owned deserialization alias, as in real serde.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+// ---- primitive impls ----------------------------------------------------
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::new(format!("{n} out of range for {}", stringify!($t)))),
+                    _ => Err(DeError::expected(stringify!($t), v)),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let wide: i128 = match v {
+                    Value::U64(n) => *n as i128,
+                    Value::I64(n) => *n as i128,
+                    _ => return Err(DeError::expected(stringify!($t), v)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::new(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn serialize(&self) -> Value {
+        Value::U64(u64::try_from(*self).expect("u128 value exceeds u64 data model"))
+    }
+}
+impl<'de> Deserialize<'de> for u128 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        u64::deserialize(v).map(u128::from)
+    }
+}
+
+impl Serialize for i128 {
+    fn serialize(&self) -> Value {
+        let n = i64::try_from(*self).expect("i128 value exceeds i64 data model");
+        n.serialize()
+    }
+}
+impl<'de> Deserialize<'de> for i128 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        i64::deserialize(v).map(i128::from)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            Value::Null => Ok(f64::NAN), // real serde_json prints NaN as null
+            _ => Err(DeError::expected("f64", v)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        f64::deserialize(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl<'de> Deserialize<'de> for String {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl<'de> Deserialize<'de> for char {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            _ => Err(DeError::expected("single-char string", v)),
+        }
+    }
+}
+
+// ---- composite impls ----------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.serialize(),
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::deserialize).collect(),
+            _ => Err(DeError::expected("array", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<'de, T: Deserialize<'de> + std::fmt::Debug, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) if items.len() == N => {
+                let parsed: Result<Vec<T>, DeError> = items.iter().map(T::deserialize).collect();
+                parsed.map(|v| v.try_into().expect("length checked before conversion"))
+            }
+            _ => Err(DeError::expected(&format!("array of length {N}"), v)),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = [$($idx),+].len();
+                match v {
+                    Value::Arr(items) if items.len() == LEN => {
+                        Ok(($($name::deserialize(&items[$idx])?,)+))
+                    }
+                    _ => Err(DeError::expected("tuple array", v)),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        // JSON object keys are strings; scalar keys are stringified the
+        // way real serde_json does for integer-keyed maps.
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = match k.serialize() {
+                        Value::Str(s) => s,
+                        Value::U64(n) => n.to_string(),
+                        Value::I64(n) => n.to_string(),
+                        other => panic!("unsupported map key shape: {}", other.kind()),
+                    };
+                    (key, v.serialize())
+                })
+                .collect(),
+        )
+    }
+}
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Obj(pairs) => pairs
+                .iter()
+                .map(|(k, v)| {
+                    // Try the key as a string first, then as an integer
+                    // (covering newtype-over-integer keys).
+                    let key = K::deserialize(&Value::Str(k.clone())).or_else(|string_err| {
+                        if let Ok(n) = k.parse::<u64>() {
+                            K::deserialize(&Value::U64(n))
+                        } else if let Ok(n) = k.parse::<i64>() {
+                            K::deserialize(&Value::I64(n))
+                        } else {
+                            Err(string_err)
+                        }
+                    })?;
+                    Ok((key, V::deserialize(v)?))
+                })
+                .collect(),
+            _ => Err(DeError::expected("object", v)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}

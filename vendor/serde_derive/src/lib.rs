@@ -1,0 +1,424 @@
+//! Vendored offline `serde_derive`.
+//!
+//! Hand-rolled derive macros for the vendored serde facade — the build
+//! environment has no crates.io access, so `syn`/`quote` are unavailable
+//! and the item is parsed directly from the [`proc_macro::TokenStream`].
+//!
+//! Supported shapes (everything this workspace derives):
+//! - unit structs, newtype structs, tuple structs, named-field structs
+//! - enums with unit, newtype, tuple and struct variants
+//!
+//! Encoding matches real `serde_json` defaults: newtypes are transparent,
+//! unit variants are strings, data variants single-key objects. Generic
+//! types and `#[serde(...)]` attributes are intentionally unsupported and
+//! panic with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field layout of a struct or an enum variant.
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derive `Serialize` for the vendored serde facade.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derive `Deserialize` for the vendored serde facade.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ---- parsing ------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive: generic type `{name}` is unsupported");
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_top_level_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("vendored serde_derive: malformed enum body: {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("vendored serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advance past leading `#[...]` attributes and `pub`/`pub(...)`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("vendored serde_derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Count comma-separated fields at angle-bracket depth 0 (tuple structs /
+/// tuple variants). Only the count matters — types are never inspected.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut fields = 0usize;
+    let mut angle_depth = 0i32;
+    let mut saw_token_in_field = false;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                saw_token_in_field = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                saw_token_in_field = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                fields += 1;
+                saw_token_in_field = false;
+            }
+            _ => saw_token_in_field = true,
+        }
+    }
+    if saw_token_in_field {
+        fields += 1;
+    }
+    fields
+}
+
+/// Field names of a named-field struct / struct variant body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        names.push(expect_ident(&tokens, &mut pos));
+        // Skip `: Type` up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+    }
+    names
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_top_level_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip to the separating comma (covers `= discriminant`).
+        while pos < tokens.len() {
+            if matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == ',') {
+                pos += 1;
+                break;
+            }
+            pos += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---- codegen ------------------------------------------------------------
+
+fn serialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+        }
+        Fields::Named(names) => obj_expr(names, |f| format!("&self.{f}")),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                ));
+            }
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let inner = if *n == 1 {
+                    "::serde::Serialize::serialize(__f0)".to_string()
+                } else {
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::serialize({b})"))
+                        .collect();
+                    format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+                };
+                arms.push_str(&format!(
+                    "{name}::{vn}({}) => ::serde::Value::Obj(vec![(\"{vn}\".to_string(), {inner})]),\n",
+                    binds.join(", ")
+                ));
+            }
+            Fields::Named(fieldnames) => {
+                let inner = obj_expr(fieldnames, |f| f.to_string());
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {} }} => ::serde::Value::Obj(vec![(\"{vn}\".to_string(), {inner})]),\n",
+                    fieldnames.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}\n}}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// `Value::Obj(vec![("f", serialize(<expr f>)), ...])`.
+fn obj_expr(names: &[String], expr: impl Fn(&str) -> String) -> String {
+    let pairs: Vec<String> = names
+        .iter()
+        .map(|f| {
+            format!(
+                "(\"{f}\".to_string(), ::serde::Serialize::serialize({}))",
+                expr(f)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Obj(vec![{}])", pairs.join(", "))
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!(
+            "match __v {{ ::serde::Value::Null => Ok({name}), \
+             _ => Err(::serde::DeError::expected(\"unit struct {name}\", __v)) }}"
+        ),
+        Fields::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Arr(__items) if __items.len() == {n} => \
+                         Ok({name}({})),\n\
+                     _ => Err(::serde::DeError::expected(\"{n}-tuple for {name}\", __v)),\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let fields_src = named_fields_de(name, names);
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Obj(_) => Ok({name} {{ {fields_src} }}),\n\
+                     _ => Err(::serde::DeError::expected(\"object for {name}\", __v)),\n\
+                 }}"
+            )
+        }
+    };
+    de_impl(name, &body)
+}
+
+/// `f: Deserialize::deserialize(field(v, "f"))?, ...` — a missing field
+/// deserializes from `Null` so `Option` fields default to `None`.
+fn named_fields_de(type_name: &str, names: &[String]) -> String {
+    names
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::deserialize(\
+                     __v.get(\"{f}\").unwrap_or(&::serde::Value::Null))\
+                     .map_err(|e| ::serde::DeError::new(\
+                         format!(\"{type_name}.{f}: {{}}\", e)))?,"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut str_arms = String::new();
+    let mut obj_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                str_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+            }
+            Fields::Tuple(1) => {
+                obj_arms.push_str(&format!(
+                    "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::deserialize(__inner)?)),\n"
+                ));
+            }
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+                    .collect();
+                obj_arms.push_str(&format!(
+                    "\"{vn}\" => match __inner {{\n\
+                         ::serde::Value::Arr(__items) if __items.len() == {n} => \
+                             Ok({name}::{vn}({})),\n\
+                         _ => Err(::serde::DeError::expected(\"{n}-tuple for {name}::{vn}\", __inner)),\n\
+                     }},\n",
+                    items.join(", ")
+                ));
+            }
+            Fields::Named(fieldnames) => {
+                let fields_src = named_fields_de(&format!("{name}::{vn}"), fieldnames);
+                obj_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                         let __v = __inner;\n\
+                         match __v {{\n\
+                             ::serde::Value::Obj(_) => Ok({name}::{vn} {{ {fields_src} }}),\n\
+                             _ => Err(::serde::DeError::expected(\"object for {name}::{vn}\", __v)),\n\
+                         }}\n\
+                     }},\n"
+                ));
+            }
+        }
+    }
+    let body = format!(
+        "match __v {{\n\
+             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {str_arms}\n\
+                 __other => Err(::serde::DeError::new(\
+                     format!(\"unknown unit variant {{}} for {name}\", __other))),\n\
+             }},\n\
+             ::serde::Value::Obj(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__pairs[0];\n\
+                 match __tag.as_str() {{\n\
+                     {obj_arms}\n\
+                     __other => Err(::serde::DeError::new(\
+                         format!(\"unknown variant {{}} for {name}\", __other))),\n\
+                 }}\n\
+             }},\n\
+             _ => Err(::serde::DeError::expected(\"enum {name}\", __v)),\n\
+         }}"
+    );
+    de_impl(name, &body)
+}
+
+fn de_impl(name: &str, body: &str) -> String {
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize(__v: &::serde::Value) \
+                 -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
