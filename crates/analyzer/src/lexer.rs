@@ -1,0 +1,502 @@
+//! A minimal, hand-rolled Rust lexer.
+//!
+//! `mdbs-lint` needs just enough fidelity to reason about source text
+//! without false positives from strings and comments: identifiers,
+//! literals (strings, raw strings, chars, bytes, numbers), lifetimes and
+//! single-character punctuation, each carrying a 1-based line/column span.
+//! Comments are captured out-of-band so the rule engine can extract
+//! `mdbs-lint: allow(...)` directives.
+//!
+//! The lexer is intentionally permissive: on malformed input it degrades
+//! to single-character punctuation tokens rather than erroring, because a
+//! lint tool must never take the build down harder than `rustc` would.
+
+/// Kind of a lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `_`, `r#match`).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Any literal: string, raw string, byte string, char, byte, number.
+    Literal,
+    /// A single punctuation character (`.`, `{`, `=`, ...).
+    Punct,
+}
+
+/// One token with its source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text exactly as written (including quotes for literals).
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True iff this is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True iff this is a punctuation token with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// A comment (line or block) captured during lexing.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Comment body without the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// The result of lexing one file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src` into tokens and comments. Never fails.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line);
+            } else if c == '"' {
+                let text = self.string_literal();
+                self.push(TokKind::Literal, text, line, col);
+            } else if c == '\'' {
+                self.char_or_lifetime(line, col);
+            } else if is_ident_start(c) {
+                self.ident_or_prefixed_literal(line, col);
+            } else if c.is_ascii_digit() {
+                let text = self.number_literal();
+                self.push(TokKind::Literal, text, line, col);
+            } else {
+                self.bump();
+                self.push(TokKind::Punct, c.to_string(), line, col);
+            }
+        }
+        self.out
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { text, line });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+                text.push_str("/*");
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment { text, line });
+    }
+
+    /// Consume a `"..."` string starting at the current `"`.
+    fn string_literal(&mut self) -> String {
+        let mut text = String::new();
+        text.push(self.bump().unwrap_or('"'));
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                text.push(c);
+                self.bump();
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+            } else if c == '"' {
+                text.push(c);
+                self.bump();
+                break;
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        text
+    }
+
+    /// Consume `r"..."` / `r#"..."#` style raw strings; the caller has
+    /// already verified the shape and consumed nothing.
+    fn raw_string_literal(&mut self) -> String {
+        let mut text = String::new();
+        // Leading 'r' (the caller strips any 'b' before calling).
+        if let Some(c) = self.bump() {
+            text.push(c);
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            text.push('#');
+            self.bump();
+        }
+        if self.peek(0) == Some('"') {
+            text.push('"');
+            self.bump();
+        }
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some('"') => {
+                    text.push('"');
+                    self.bump();
+                    let mut close = 0usize;
+                    while close < hashes && self.peek(0) == Some('#') {
+                        close += 1;
+                        text.push('#');
+                        self.bump();
+                    }
+                    if close == hashes {
+                        break;
+                    }
+                }
+                Some(c) => {
+                    text.push(c);
+                    self.bump();
+                }
+            }
+        }
+        text
+    }
+
+    /// `'` starts either a char literal or a lifetime.
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        let mut text = String::from('\'');
+        self.bump();
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: '\n', '\'', '\u{..}'.
+                text.push('\\');
+                self.bump();
+                while let Some(c) = self.peek(0) {
+                    text.push(c);
+                    self.bump();
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Literal, text, line, col);
+            }
+            Some(c) if is_ident_start(c) => {
+                let mut ident = String::new();
+                while let Some(c) = self.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    ident.push(c);
+                    self.bump();
+                }
+                if self.peek(0) == Some('\'') {
+                    // 'a' — char literal.
+                    self.bump();
+                    text.push_str(&ident);
+                    text.push('\'');
+                    self.push(TokKind::Literal, text, line, col);
+                } else {
+                    // 'ident — lifetime.
+                    text.push_str(&ident);
+                    self.push(TokKind::Lifetime, text, line, col);
+                }
+            }
+            Some(c) => {
+                // Plain char literal like '(' or '0'.
+                text.push(c);
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    text.push('\'');
+                    self.bump();
+                }
+                self.push(TokKind::Literal, text, line, col);
+            }
+            None => self.push(TokKind::Punct, text, line, col),
+        }
+    }
+
+    /// An identifier, or a literal with an ident-like prefix (`r"`, `b"`,
+    /// `br"`, `b'`, `r#ident`).
+    fn ident_or_prefixed_literal(&mut self, line: u32, col: u32) {
+        let c = self.peek(0).unwrap_or('_');
+        let next = self.peek(1);
+        let raw_after = |i: usize| -> bool {
+            // After position i, zero or more '#' then '"'.
+            let mut j = i;
+            while self.peek(j) == Some('#') {
+                j += 1;
+            }
+            // `r#ident` is a raw identifier, not a raw string: require the
+            // quote right after the hashes.
+            self.peek(j) == Some('"') && (self.peek(i) == Some('"') || self.peek(i) == Some('#'))
+        };
+        if c == 'r' && raw_after(1) {
+            let text = self.raw_string_literal();
+            self.push(TokKind::Literal, text, line, col);
+            return;
+        }
+        if c == 'b' {
+            match next {
+                Some('"') => {
+                    self.bump();
+                    let mut text = String::from('b');
+                    text.push_str(&self.string_literal());
+                    self.push(TokKind::Literal, text, line, col);
+                    return;
+                }
+                Some('\'') => {
+                    self.bump();
+                    self.bump();
+                    let mut text = String::from("b'");
+                    while let Some(ch) = self.peek(0) {
+                        if ch == '\\' {
+                            text.push(ch);
+                            self.bump();
+                            if let Some(e) = self.bump() {
+                                text.push(e);
+                            }
+                        } else {
+                            text.push(ch);
+                            self.bump();
+                            if ch == '\'' {
+                                break;
+                            }
+                        }
+                    }
+                    self.push(TokKind::Literal, text, line, col);
+                    return;
+                }
+                Some('r') if raw_after(2) => {
+                    self.bump();
+                    let mut text = String::from('b');
+                    text.push_str(&self.raw_string_literal());
+                    self.push(TokKind::Literal, text, line, col);
+                    return;
+                }
+                _ => {}
+            }
+        }
+        let mut text = String::new();
+        while let Some(ch) = self.peek(0) {
+            if !is_ident_continue(ch) {
+                break;
+            }
+            text.push(ch);
+            self.bump();
+        }
+        // Raw identifier `r#match`: keep the prefix in the text; rules
+        // compare against plain names so `r#match` intentionally differs
+        // from `match`.
+        if text == "r" && self.peek(0) == Some('#') {
+            if let Some(ch) = self.peek(1) {
+                if is_ident_start(ch) {
+                    text.push('#');
+                    self.bump();
+                    while let Some(ch) = self.peek(0) {
+                        if !is_ident_continue(ch) {
+                            break;
+                        }
+                        text.push(ch);
+                        self.bump();
+                    }
+                }
+            }
+        }
+        self.push(TokKind::Ident, text, line, col);
+    }
+
+    /// A numeric literal: integers, floats, hex/oct/bin, suffixes.
+    fn number_literal(&mut self) -> String {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else if c == '.'
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                && !text.contains('.')
+            {
+                // `1.5` is a float; `1..5` is a range — only consume the
+                // dot when a digit follows.
+                text.push(c);
+                self.bump();
+            } else if (c == '+' || c == '-')
+                && matches!(text.chars().last(), Some('e') | Some('E'))
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_code() {
+        let toks = kinds(r#"let s = "x.unwrap()";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokKind::Ident || t != "unwrap"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Literal && t.contains("unwrap")));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let toks = kinds(r##"let s = r#"a "quoted" b"#; let t = "\"";"##);
+        let lits: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Literal)
+            .collect();
+        assert_eq!(lits.len(), 2);
+        assert!(lits[0].1.contains("quoted"));
+    }
+
+    #[test]
+    fn comments_are_captured() {
+        let out = lex("// top\nfn f() {} /* block\nspan */ let x = 1;");
+        assert_eq!(out.comments.len(), 2);
+        assert_eq!(out.comments[0].text, " top");
+        assert_eq!(out.comments[0].line, 1);
+        assert_eq!(out.comments[1].line, 2);
+        assert!(out.comments[1].text.contains("block"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|(k, _)| *k == TokKind::Literal).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let toks = kinds("a[0]; 1.5; 0..n; 0xFF_u8; 1e-3;");
+        let lits: Vec<&String> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Literal)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(lits, ["0", "1.5", "0", "0xFF_u8", "1e-3"]);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let out = lex("ab\n  cd");
+        assert_eq!(out.tokens[0].line, 1);
+        assert_eq!(out.tokens[0].col, 1);
+        assert_eq!(out.tokens[1].line, 2);
+        assert_eq!(out.tokens[1].col, 3);
+    }
+}

@@ -1,0 +1,118 @@
+//! `mdbs-lint` — static analysis for the mdbs workspace.
+//!
+//! The paper's Section 3 argument — a multidatabase scheduler must be
+//! *conservative* because aborting a global transaction is prohibitively
+//! expensive — translates into code discipline: the GTM2 pump, the
+//! scheme `cond`/`act` implementations and the site servers must never
+//! panic or silently drop protocol messages. PR 1 converted panics into
+//! [`SchemeEffect::ProtocolViolation`] effects; this crate is the gate
+//! that keeps it that way.
+//!
+//! See [`rules`] for the five invariants, [`report`] for the JSON schema,
+//! and the repository README's "Static analysis" section for the
+//! allow-comment escape hatch.
+//!
+//! Run it as a tool:
+//!
+//! ```text
+//! cargo run -p mdbs-analyzer -- --workspace
+//! ```
+//!
+//! [`SchemeEffect::ProtocolViolation`]: ../mdbs_core/scheme/enum.SchemeEffect.html
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use report::Report;
+use rules::SourceFile;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never scanned: vendored deps, build output, test code
+/// (exempt from every rule) and the analyzer's own deliberately-violating
+/// fixtures.
+const SKIP_DIRS: [&str; 7] = [
+    "vendor", "target", ".git", "tests", "benches", "fixtures", "results",
+];
+
+/// Walk upward from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Collect every lintable `.rs` file under `root`, workspace-relative and
+/// sorted.
+pub fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    walk(root, root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lint the whole workspace rooted at `root` (including `README.md` for
+/// the `metric-docs-sync` rule).
+pub fn run_workspace(root: &Path) -> io::Result<Report> {
+    let files = collect_files(root)?;
+    let mut sources = Vec::with_capacity(files.len());
+    for rel in &files {
+        let source = fs::read_to_string(root.join(rel))?;
+        sources.push(SourceFile {
+            path: rel
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/"),
+            source,
+        });
+    }
+    let readme = fs::read_to_string(root.join("README.md")).ok();
+    let violations = rules::analyze(&sources, readme.as_deref());
+    Ok(Report {
+        files_scanned: sources.len(),
+        violations,
+    })
+}
+
+/// Lint an in-memory set of sources — the entry point fixture tests use.
+pub fn run_sources(sources: &[SourceFile], readme: Option<&str>) -> Report {
+    Report {
+        files_scanned: sources.len(),
+        violations: rules::analyze(sources, readme),
+    }
+}

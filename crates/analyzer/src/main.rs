@@ -1,0 +1,103 @@
+//! `mdbs-lint` CLI.
+//!
+//! ```text
+//! cargo run -p mdbs-analyzer -- --workspace [--json PATH] [--quiet]
+//! cargo run -p mdbs-analyzer -- FILE.rs [FILE.rs ...]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use mdbs_analyzer::rules::SourceFile;
+use mdbs_analyzer::{find_workspace_root, run_sources, run_workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut workspace = false;
+    let mut quiet = false;
+    let mut json_path: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--quiet" | "-q" => quiet = true,
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("mdbs-lint: --json needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "mdbs-lint: static analysis for the mdbs workspace\n\n\
+                     USAGE:\n  mdbs-lint --workspace [--json PATH] [--quiet]\n  \
+                     mdbs-lint FILE.rs [FILE.rs ...]\n\n\
+                     Scans workspace sources for the five invariants documented in the\n\
+                     README's \"Static analysis\" section; exits 1 on any violation."
+                );
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("mdbs-lint: unknown flag `{arg}` (try --help)");
+                return ExitCode::from(2);
+            }
+            _ => files.push(PathBuf::from(arg)),
+        }
+    }
+
+    let report = if workspace {
+        let cwd = match std::env::current_dir() {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("mdbs-lint: cannot read cwd: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let Some(root) = find_workspace_root(&cwd) else {
+            eprintln!("mdbs-lint: no workspace root above {}", cwd.display());
+            return ExitCode::from(2);
+        };
+        match run_workspace(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("mdbs-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else if files.is_empty() {
+        eprintln!("mdbs-lint: pass --workspace or explicit files (try --help)");
+        return ExitCode::from(2);
+    } else {
+        let mut sources = Vec::new();
+        for f in &files {
+            match std::fs::read_to_string(f) {
+                Ok(source) => sources.push(SourceFile {
+                    path: f.to_string_lossy().replace('\\', "/"),
+                    source,
+                }),
+                Err(e) => {
+                    eprintln!("mdbs-lint: {}: {e}", f.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        run_sources(&sources, None)
+    };
+
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("mdbs-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if !quiet {
+        print!("{}", report.render_human());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,170 @@
+//! Machine-readable and human-readable lint reports.
+//!
+//! The JSON schema (stable; CI parses it):
+//!
+//! ```json
+//! {
+//!   "tool": "mdbs-lint",
+//!   "version": "0.1.0",
+//!   "files_scanned": 61,
+//!   "total_violations": 2,
+//!   "by_rule": { "no-panic-in-scheduler": 2 },
+//!   "violations": [
+//!     { "rule": "no-panic-in-scheduler", "file": "crates/core/src/gtm1.rs",
+//!       "line": 337, "col": 40, "message": "..." }
+//!   ]
+//! }
+//! ```
+//!
+//! Hand-written emission — the analyzer is dependency-free by design, so
+//! it can never be the crate that drags a vendored tree into the build.
+
+use crate::rules::Violation;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Tool version stamped into every report.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// The outcome of one analysis run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All violations, sorted by file/line/col/rule.
+    pub violations: Vec<Violation>,
+}
+
+impl Report {
+    /// True iff the run found nothing.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violation counts keyed by rule name.
+    pub fn by_rule(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for v in &self.violations {
+            *counts.entry(v.rule).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Serialize to the stable JSON schema.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"tool\": \"mdbs-lint\",");
+        let _ = writeln!(s, "  \"version\": {},", json_str(VERSION));
+        let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(s, "  \"total_violations\": {},", self.violations.len());
+        s.push_str("  \"by_rule\": {");
+        let by_rule = self.by_rule();
+        for (i, (rule, n)) in by_rule.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('\n');
+            let _ = write!(s, "    {}: {n}", json_str(rule));
+        }
+        if !by_rule.is_empty() {
+            s.push('\n');
+            s.push_str("  ");
+        }
+        s.push_str("},\n");
+        s.push_str("  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('\n');
+            let _ = write!(
+                s,
+                "    {{ \"rule\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \"message\": {} }}",
+                json_str(v.rule),
+                json_str(&v.file),
+                v.line,
+                v.col,
+                json_str(&v.message)
+            );
+        }
+        if !self.violations.is_empty() {
+            s.push('\n');
+            s.push_str("  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+
+    /// Render compiler-style human diagnostics.
+    pub fn render_human(&self) -> String {
+        let mut s = String::new();
+        for v in &self.violations {
+            let _ = writeln!(
+                s,
+                "error[{}]: {}\n  --> {}:{}:{}",
+                v.rule, v.message, v.file, v.line, v.col
+            );
+        }
+        if self.violations.is_empty() {
+            let _ = writeln!(
+                s,
+                "mdbs-lint: {} files scanned, no violations",
+                self.files_scanned
+            );
+        } else {
+            let _ = writeln!(
+                s,
+                "mdbs-lint: {} violation(s) across {} file(s) scanned",
+                self.violations.len(),
+                self.files_scanned
+            );
+        }
+        s
+    }
+}
+
+/// Escape a string per RFC 8259.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_str("em—dash"), "\"em—dash\"");
+    }
+
+    #[test]
+    fn empty_report_shape() {
+        let r = Report {
+            files_scanned: 3,
+            violations: vec![],
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"total_violations\": 0"));
+        assert!(j.contains("\"by_rule\": {}"));
+        assert!(j.contains("\"violations\": []"));
+        assert!(r.is_clean());
+    }
+}

@@ -1,0 +1,889 @@
+//! The `mdbs-lint` rule engine.
+//!
+//! Five workspace invariants, each motivated by the paper's conservatism
+//! argument (Section 3: aborting a global transaction is prohibitively
+//! expensive, so the scheduler must not fail where it can refuse):
+//!
+//! | rule | scope | invariant |
+//! |------|-------|-----------|
+//! | `no-panic-in-scheduler` | `crates/core/src`, `crates/localdb/src` | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`/indexing in protocol paths |
+//! | `no-lock-across-send` | workspace | a `.lock()` binding may not be live across `.send(`/`.recv(` in the same block |
+//! | `no-silent-send-drop` | workspace | `let _ = ...send(...)` is forbidden — count the drop instead |
+//! | `metric-docs-sync` | workspace + README.md | every literal metric name registered on the instrument `Registry` is unique per kind and documented |
+//! | `exhaustive-scheme-match` | `crates/core/src` | no `_ =>` arm in a `match` whose patterns name `SchemeEffect`/`QueueOp` |
+//!
+//! Escape hatch: `// mdbs-lint: allow(<rule>) — <justification>` on the
+//! same line or the line above suppresses one rule there; a directive
+//! without a justification is itself reported (rule `bad-allow`).
+//!
+//! Test code (`#[test]` / `#[cfg(test)]` items, files under `tests/`)
+//! is exempt from every rule.
+
+use crate::lexer::{lex, Comment, TokKind, Token};
+use std::collections::BTreeMap;
+
+/// Rule: panics forbidden in scheduler/protocol paths.
+pub const NO_PANIC: &str = "no-panic-in-scheduler";
+/// Rule: no lock guard live across a channel send/recv.
+pub const NO_LOCK_ACROSS_SEND: &str = "no-lock-across-send";
+/// Rule: no `let _ = ...send(...)`.
+pub const NO_SILENT_SEND_DROP: &str = "no-silent-send-drop";
+/// Rule: Registry metric names unique and documented in README.md.
+pub const METRIC_DOCS_SYNC: &str = "metric-docs-sync";
+/// Rule: no wildcard arms over `SchemeEffect`/`QueueOp` in crates/core.
+pub const EXHAUSTIVE_SCHEME_MATCH: &str = "exhaustive-scheme-match";
+/// Meta-rule: malformed or unjustified allow directives.
+pub const BAD_ALLOW: &str = "bad-allow";
+
+/// All suppressible rules (BAD_ALLOW itself cannot be allowed away).
+pub const RULES: [&str; 5] = [
+    NO_PANIC,
+    NO_LOCK_ACROSS_SEND,
+    NO_SILENT_SEND_DROP,
+    METRIC_DOCS_SYNC,
+    EXHAUSTIVE_SCHEME_MATCH,
+];
+
+/// One diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule identifier (one of the `pub const` names above).
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// A source file handed to the analyzer: workspace-relative path
+/// (`/`-separated) plus contents.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// Full file contents.
+    pub source: String,
+}
+
+/// Analyze a set of sources plus the README (for `metric-docs-sync`).
+/// Returns all surviving (non-suppressed) violations, sorted by file,
+/// line, column, rule.
+pub fn analyze(files: &[SourceFile], readme: Option<&str>) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut metrics = MetricTable::default();
+    for f in files {
+        analyze_file(f, &mut violations, &mut metrics);
+    }
+    if let Some(text) = readme {
+        metrics.check_against_readme(text, &mut violations);
+    }
+    violations
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    violations
+}
+
+fn analyze_file(file: &SourceFile, out: &mut Vec<Violation>, metrics: &mut MetricTable) {
+    let lexed = lex(&file.source);
+    let tokens = strip_test_items(&lexed.tokens);
+    let allows = AllowDirectives::parse(&file.path, &lexed.comments, out);
+
+    let mut raw = Vec::new();
+    if in_scheduler_scope(&file.path) {
+        rule_no_panic(&file.path, &tokens, &mut raw);
+    }
+    rule_lock_across_send(&file.path, &tokens, &mut raw);
+    rule_silent_send_drop(&file.path, &tokens, &mut raw);
+    metrics.collect(&file.path, &tokens);
+    if file.path.starts_with("crates/core/src/") {
+        rule_exhaustive_match(&file.path, &tokens, &mut raw);
+    }
+    for v in raw {
+        if !allows.suppresses(v.rule, v.line) {
+            out.push(v);
+        }
+    }
+}
+
+/// `no-panic-in-scheduler` applies to the protocol paths only.
+fn in_scheduler_scope(path: &str) -> bool {
+    path.starts_with("crates/core/src/") || path.starts_with("crates/localdb/src/")
+}
+
+// ---------------------------------------------------------------------------
+// Allow directives
+// ---------------------------------------------------------------------------
+
+struct AllowDirectives {
+    /// (rule, line) pairs; a directive covers its own line and the next.
+    entries: Vec<(String, u32)>,
+}
+
+impl AllowDirectives {
+    fn parse(path: &str, comments: &[Comment], out: &mut Vec<Violation>) -> Self {
+        let mut entries = Vec::new();
+        for c in comments {
+            let Some(pos) = c.text.find("mdbs-lint:") else {
+                continue;
+            };
+            let rest = c.text[pos + "mdbs-lint:".len()..].trim_start();
+            let Some(inner) = rest.strip_prefix("allow(") else {
+                out.push(Violation {
+                    rule: BAD_ALLOW,
+                    file: path.to_string(),
+                    line: c.line,
+                    col: 1,
+                    message: format!(
+                        "malformed mdbs-lint directive (expected `mdbs-lint: allow(<rule>) — \
+                         <justification>`): `{}`",
+                        c.text.trim()
+                    ),
+                });
+                continue;
+            };
+            let Some(close) = inner.find(')') else {
+                out.push(Violation {
+                    rule: BAD_ALLOW,
+                    file: path.to_string(),
+                    line: c.line,
+                    col: 1,
+                    message: "unterminated mdbs-lint allow directive".to_string(),
+                });
+                continue;
+            };
+            let rule = inner[..close].trim();
+            // Prose that *describes* the syntax (`allow(<rule>)`,
+            // `allow(...)`) is not a directive: only rule-shaped names
+            // are interpreted, so typos still get flagged below.
+            if !rule
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '-' || c == '_')
+                || rule.is_empty()
+            {
+                continue;
+            }
+            let justification = inner[close + 1..]
+                .trim_start_matches(|ch: char| {
+                    ch.is_whitespace() || ch == '—' || ch == '–' || ch == '-' || ch == ':'
+                })
+                .trim();
+            if !RULES.contains(&rule) {
+                out.push(Violation {
+                    rule: BAD_ALLOW,
+                    file: path.to_string(),
+                    line: c.line,
+                    col: 1,
+                    message: format!("mdbs-lint allow names unknown rule `{rule}`"),
+                });
+            } else if justification.is_empty() {
+                out.push(Violation {
+                    rule: BAD_ALLOW,
+                    file: path.to_string(),
+                    line: c.line,
+                    col: 1,
+                    message: format!(
+                        "mdbs-lint allow({rule}) has no justification — write \
+                         `mdbs-lint: allow({rule}) — <why this cannot fire>`"
+                    ),
+                });
+            } else {
+                entries.push((rule.to_string(), c.line));
+            }
+        }
+        AllowDirectives { entries }
+    }
+
+    /// A directive on line N covers violations on lines N and N+1.
+    fn suppresses(&self, rule: &str, line: u32) -> bool {
+        self.entries
+            .iter()
+            .any(|(r, l)| r == rule && (*l == line || *l + 1 == line))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Test-item stripping
+// ---------------------------------------------------------------------------
+
+/// Remove items annotated with an attribute containing the ident `test`
+/// (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ...))]`) — the following
+/// item (through its `;` or matching `}`) is dropped. Items are balanced,
+/// so the surviving stream keeps consistent brace depth.
+fn strip_test_items(tokens: &[Token]) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            let close = match matching(tokens, i + 1, "[", "]") {
+                Some(j) => j,
+                None => {
+                    out.push(tokens[i].clone());
+                    i += 1;
+                    continue;
+                }
+            };
+            let has_test = tokens[i + 2..close].iter().any(|t| t.is_ident("test"));
+            if !has_test {
+                out.extend(tokens[i..=close].iter().cloned());
+                i = close + 1;
+                continue;
+            }
+            i = close + 1;
+            // Further attributes on the same item are part of it.
+            while i < tokens.len()
+                && tokens[i].is_punct("#")
+                && tokens.get(i + 1).is_some_and(|t| t.is_punct("["))
+            {
+                match matching(tokens, i + 1, "[", "]") {
+                    Some(j) => i = j + 1,
+                    None => break,
+                }
+            }
+            i = skip_item(tokens, i);
+        } else {
+            out.push(tokens[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Find the index of the token matching the opener at `open_idx`.
+fn matching(tokens: &[Token], open_idx: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Skip one item starting at `i`: through the first `;` at bracket depth
+/// zero, or through the matching `}` of the first body brace.
+fn skip_item(tokens: &[Token], mut i: usize) -> usize {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                "{" if paren == 0 && bracket == 0 => {
+                    return match matching(tokens, i, "{", "}") {
+                        Some(j) => j + 1,
+                        None => tokens.len(),
+                    };
+                }
+                ";" if paren == 0 && bracket == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: no-panic-in-scheduler
+// ---------------------------------------------------------------------------
+
+/// Identifiers that may legitimately precede `[` without forming an index
+/// expression (`return [a, b]`, `match [x] {...}`).
+const NON_INDEX_KEYWORDS: [&str; 22] = [
+    "in", "return", "break", "if", "else", "match", "loop", "while", "move", "mut", "ref", "as",
+    "where", "unsafe", "dyn", "impl", "for", "let", "const", "static", "use", "type",
+];
+
+fn rule_no_panic(path: &str, tokens: &[Token], out: &mut Vec<Violation>) {
+    for (i, t) in tokens.iter().enumerate() {
+        match t.kind {
+            TokKind::Ident if t.text == "unwrap" || t.text == "expect" => {
+                let method_call = i > 0
+                    && tokens[i - 1].is_punct(".")
+                    && tokens.get(i + 1).is_some_and(|n| n.is_punct("("));
+                if method_call {
+                    out.push(Violation {
+                        rule: NO_PANIC,
+                        file: path.to_string(),
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "`.{}()` can panic the scheduler — route the failure through \
+                             `SchemeEffect::ProtocolViolation` or a `Result`",
+                            t.text
+                        ),
+                    });
+                }
+            }
+            TokKind::Ident
+                if matches!(
+                    t.text.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                ) && tokens.get(i + 1).is_some_and(|n| n.is_punct("!")) =>
+            {
+                out.push(Violation {
+                    rule: NO_PANIC,
+                    file: path.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "`{}!` aborts the scheduler — protocol paths must degrade to \
+                         `ProtocolViolation` effects instead",
+                        t.text
+                    ),
+                });
+            }
+            TokKind::Punct if t.text == "[" => {
+                let prev_is_place = i > 0
+                    && match tokens[i - 1].kind {
+                        TokKind::Ident => {
+                            !NON_INDEX_KEYWORDS.contains(&tokens[i - 1].text.as_str())
+                        }
+                        TokKind::Punct => tokens[i - 1].text == ")" || tokens[i - 1].text == "]",
+                        _ => false,
+                    };
+                if prev_is_place {
+                    // `x[0]` with a literal constant index is a deliberate
+                    // fixed-layout access (e.g. `waited_kind[1]`), not a
+                    // data-dependent panic path.
+                    if let Some(close) = matching(tokens, i, "[", "]") {
+                        let inner = &tokens[i + 1..close];
+                        let literal_only = inner.len() == 1
+                            && inner[0].kind == TokKind::Literal
+                            && inner[0].text.starts_with(|c: char| c.is_ascii_digit());
+                        // `x[..]` (full-range slice) cannot go out of
+                        // bounds; any bounded range still can.
+                        let full_range =
+                            inner.len() == 2 && inner[0].is_punct(".") && inner[1].is_punct(".");
+                        if !literal_only && !full_range && !inner.is_empty() {
+                            out.push(Violation {
+                                rule: NO_PANIC,
+                                file: path.to_string(),
+                                line: t.line,
+                                col: t.col,
+                                message: "index expression can panic on out-of-bounds — use \
+                                          `.get()` and handle the miss"
+                                    .to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: no-lock-across-send
+// ---------------------------------------------------------------------------
+
+const CHANNEL_METHODS: [&str; 5] = ["send", "try_send", "recv", "try_recv", "recv_timeout"];
+
+fn rule_lock_across_send(path: &str, tokens: &[Token], out: &mut Vec<Violation>) {
+    // Live lock guards: (binding name, brace depth, line bound).
+    let mut live: Vec<(String, i32, u32)> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            live.retain(|(_, d, _)| *d <= depth);
+        } else if t.is_ident("let")
+            && (i == 0 || !tokens[i - 1].is_ident("if"))
+            && (i == 0 || !tokens[i - 1].is_ident("while"))
+        {
+            if let Some((end, binding, has_lock)) = scan_let_statement(tokens, i) {
+                check_channel_calls(path, &tokens[i..end], &live, out);
+                if has_lock {
+                    if let Some(name) = binding {
+                        if name != "_" {
+                            live.push((name, depth, t.line));
+                        }
+                    }
+                }
+                i = end;
+                continue;
+            }
+        } else if t.is_ident("drop") && tokens.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+            if let (Some(arg), Some(close)) = (tokens.get(i + 2), tokens.get(i + 3)) {
+                if arg.kind == TokKind::Ident && close.is_punct(")") {
+                    live.retain(|(name, _, _)| *name != arg.text);
+                }
+            }
+        } else if is_channel_call(tokens, i) && !live.is_empty() {
+            report_lock_across_send(path, t, &live, out);
+        }
+        i += 1;
+    }
+}
+
+fn is_channel_call(tokens: &[Token], i: usize) -> bool {
+    tokens[i].kind == TokKind::Ident
+        && CHANNEL_METHODS.contains(&tokens[i].text.as_str())
+        && i > 0
+        && tokens[i - 1].is_punct(".")
+        && tokens.get(i + 1).is_some_and(|n| n.is_punct("("))
+}
+
+fn report_lock_across_send(
+    path: &str,
+    t: &Token,
+    live: &[(String, i32, u32)],
+    out: &mut Vec<Violation>,
+) {
+    let (guard, _, gline) = &live[live.len() - 1];
+    out.push(Violation {
+        rule: NO_LOCK_ACROSS_SEND,
+        file: path.to_string(),
+        line: t.line,
+        col: t.col,
+        message: format!(
+            "`.{}()` while lock guard `{guard}` (bound line {gline}) is live — a blocked \
+             channel with a held lock deadlocks the site pump; drop the guard first",
+            t.text
+        ),
+    });
+}
+
+/// Scan a `let` statement from the `let` at `start`. Returns
+/// `(index after ';', binding name, binding is a live lock guard)` or
+/// None when this isn't a plain statement (no terminating `;`).
+fn scan_let_statement(tokens: &[Token], start: usize) -> Option<(usize, Option<String>, bool)> {
+    // Binding: `let [mut] <ident>` — anything fancier (tuple/struct
+    // patterns) is never a lock guard in this codebase.
+    let mut j = start + 1;
+    if tokens.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    let binding = tokens
+        .get(j)
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone());
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut brace = 0i32;
+    let mut lock_close: Option<usize> = None;
+    let mut k = start + 1;
+    let end = loop {
+        let t = tokens.get(k)?;
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                "{" => brace += 1,
+                "}" => {
+                    brace -= 1;
+                    if brace < 0 {
+                        // Ran off the enclosing block without a `;` —
+                        // not a statement after all.
+                        return None;
+                    }
+                }
+                ";" if paren == 0 && bracket == 0 && brace == 0 => break k,
+                _ => {}
+            }
+        } else if t.is_ident("lock")
+            && k > 0
+            && tokens[k - 1].is_punct(".")
+            && tokens.get(k + 1).is_some_and(|n| n.is_punct("("))
+        {
+            lock_close = matching(tokens, k + 1, "(", ")");
+        }
+        k += 1;
+    };
+    // The binding is a guard only when nothing but guard-preserving
+    // adaptors follow the last `.lock(...)` call: `.unwrap()`,
+    // `.expect("...")`, `.await`, `?`. A trailing projection like
+    // `.len()` means the temporary guard died at the `;`.
+    let is_guard = match lock_close {
+        None => false,
+        Some(close) => tokens[close + 1..end].iter().all(|t| match t.kind {
+            TokKind::Punct => matches!(t.text.as_str(), "." | "(" | ")" | "?"),
+            TokKind::Ident => matches!(t.text.as_str(), "unwrap" | "expect" | "await"),
+            TokKind::Literal => true,
+            TokKind::Lifetime => false,
+        }),
+    };
+    Some((end + 1, binding, is_guard))
+}
+
+/// Report channel calls inside a statement while locks are live.
+fn check_channel_calls(
+    path: &str,
+    stmt: &[Token],
+    live: &[(String, i32, u32)],
+    out: &mut Vec<Violation>,
+) {
+    if live.is_empty() {
+        return;
+    }
+    for i in 0..stmt.len() {
+        if is_channel_call(stmt, i) {
+            report_lock_across_send(path, &stmt[i], live, out);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: no-silent-send-drop
+// ---------------------------------------------------------------------------
+
+fn rule_silent_send_drop(path: &str, tokens: &[Token], out: &mut Vec<Violation>) {
+    let mut i = 0;
+    while i + 2 < tokens.len() {
+        if tokens[i].is_ident("let") && tokens[i + 1].is_ident("_") && tokens[i + 2].is_punct("=") {
+            if let Some((end, _, _)) = scan_let_statement(tokens, i) {
+                let stmt = &tokens[i..end];
+                let has_send = (0..stmt.len()).any(|k| {
+                    stmt[k].kind == TokKind::Ident
+                        && (stmt[k].text == "send" || stmt[k].text == "try_send")
+                        && k > 0
+                        && stmt[k - 1].is_punct(".")
+                        && stmt.get(k + 1).is_some_and(|n| n.is_punct("("))
+                });
+                if has_send {
+                    out.push(Violation {
+                        rule: NO_SILENT_SEND_DROP,
+                        file: path.to_string(),
+                        line: tokens[i].line,
+                        col: tokens[i].col,
+                        message: "`let _ = ...send(...)` silently drops a protocol message — \
+                                  route it through a counting helper (e.g. one that increments \
+                                  `threaded.send_dropped`)"
+                            .to_string(),
+                    });
+                }
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: metric-docs-sync
+// ---------------------------------------------------------------------------
+
+/// Registry registration methods and the metric kind they imply.
+const METRIC_METHODS: [(&str, &str); 5] = [
+    ("inc", "counter"),
+    ("set_gauge", "gauge"),
+    ("max_gauge", "gauge"),
+    ("observe", "histogram"),
+    ("merge_histogram", "histogram"),
+];
+
+#[derive(Default)]
+struct MetricTable {
+    /// name -> (kind, first registration site).
+    registered: BTreeMap<String, (String, String, u32)>,
+    conflicts: Vec<Violation>,
+}
+
+impl MetricTable {
+    fn collect(&mut self, path: &str, tokens: &[Token]) {
+        // The instrument crate itself defines the Registry: its internal
+        // plumbing (`self.inc(name, v)`) and unit tests use placeholder
+        // names; only *literal* names registered by product code are
+        // required to be documented.
+        for (i, t) in tokens.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let Some((_, kind)) = METRIC_METHODS.iter().find(|(m, _)| *m == t.text) else {
+                continue;
+            };
+            if i == 0 || !tokens[i - 1].is_punct(".") {
+                continue;
+            }
+            if !tokens.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+                continue;
+            }
+            let Some(arg) = tokens.get(i + 2) else {
+                continue;
+            };
+            if arg.kind != TokKind::Literal || !arg.text.starts_with('"') {
+                continue; // dynamic name (format!/variable) — pattern-documented
+            }
+            let name = arg.text.trim_matches('"').to_string();
+            match self.registered.get(&name) {
+                Some((prev_kind, prev_file, prev_line)) if prev_kind != kind => {
+                    self.conflicts.push(Violation {
+                        rule: METRIC_DOCS_SYNC,
+                        file: path.to_string(),
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "metric `{name}` registered as {kind} here but as {prev_kind} at \
+                             {prev_file}:{prev_line} — one name, one kind"
+                        ),
+                    });
+                }
+                Some(_) => {}
+                None => {
+                    self.registered
+                        .insert(name, (kind.to_string(), path.to_string(), t.line));
+                }
+            }
+        }
+    }
+
+    fn check_against_readme(self, readme: &str, out: &mut Vec<Violation>) {
+        out.extend(self.conflicts);
+        let mut documented: BTreeMap<String, (String, u32)> = BTreeMap::new();
+        let mut in_section = false;
+        let mut found_section = false;
+        for (idx, line) in readme.lines().enumerate() {
+            let lineno = idx as u32 + 1;
+            if line.starts_with("## ") {
+                in_section = line.trim() == "## Observability";
+                found_section |= in_section;
+                continue;
+            }
+            if !in_section || !line.trim_start().starts_with('|') {
+                continue;
+            }
+            let cells: Vec<&str> = line.trim().trim_matches('|').split('|').collect();
+            if cells.len() < 2 {
+                continue;
+            }
+            let first = cells[0].trim();
+            // Rows look like: | `gtm2.waited` | counter | ... |
+            let Some(name) = first.strip_prefix('`').and_then(|s| s.strip_suffix('`')) else {
+                continue; // header or separator row
+            };
+            let kind = cells[1].trim().to_string();
+            documented.insert(name.to_string(), (kind, lineno));
+        }
+        if !found_section {
+            if !self.registered.is_empty() {
+                out.push(Violation {
+                    rule: METRIC_DOCS_SYNC,
+                    file: "README.md".to_string(),
+                    line: 1,
+                    col: 1,
+                    message: "README.md has no `## Observability` section documenting the \
+                              registered metrics"
+                        .to_string(),
+                });
+            }
+            return;
+        }
+        for (name, (kind, file, line)) in &self.registered {
+            match documented.get(name) {
+                None => out.push(Violation {
+                    rule: METRIC_DOCS_SYNC,
+                    file: file.clone(),
+                    line: *line,
+                    col: 1,
+                    message: format!(
+                        "metric `{name}` ({kind}) is not documented in README.md's \
+                         Observability metric table"
+                    ),
+                }),
+                Some((doc_kind, doc_line)) if doc_kind != kind => out.push(Violation {
+                    rule: METRIC_DOCS_SYNC,
+                    file: "README.md".to_string(),
+                    line: *doc_line,
+                    col: 1,
+                    message: format!(
+                        "metric `{name}` documented as {doc_kind} but registered as {kind} at \
+                         {file}:{line}"
+                    ),
+                }),
+                Some(_) => {}
+            }
+        }
+        for (name, (_, doc_line)) in &documented {
+            // Rows with `<...>` placeholders document dynamically-named
+            // families (`site.<id>.commits`) that registration-site
+            // scanning cannot see.
+            if name.contains('<') {
+                continue;
+            }
+            if !self.registered.contains_key(name) {
+                out.push(Violation {
+                    rule: METRIC_DOCS_SYNC,
+                    file: "README.md".to_string(),
+                    line: *doc_line,
+                    col: 1,
+                    message: format!(
+                        "README.md documents metric `{name}` but no code registers it — \
+                         remove the row or restore the metric"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: exhaustive-scheme-match
+// ---------------------------------------------------------------------------
+
+const PROTOCOL_ENUMS: [&str; 2] = ["SchemeEffect", "QueueOp"];
+
+fn rule_exhaustive_match(path: &str, tokens: &[Token], out: &mut Vec<Violation>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("match") {
+            continue;
+        }
+        // The match body is the first `{` after the scrutinee at paren/
+        // bracket depth zero (struct literals are not legal in scrutinee
+        // position without parentheses).
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        let mut body_open = None;
+        for (j, u) in tokens.iter().enumerate().skip(i + 1) {
+            if u.kind != TokKind::Punct {
+                continue;
+            }
+            match u.text.as_str() {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                "{" if paren == 0 && bracket == 0 => {
+                    body_open = Some(j);
+                    break;
+                }
+                ";" if paren == 0 && bracket == 0 => break, // not a match expr
+                _ => {}
+            }
+        }
+        let Some(open) = body_open else { continue };
+        let Some(close) = matching(tokens, open, "{", "}") else {
+            continue;
+        };
+        check_match_arms(path, &tokens[open + 1..close], out);
+    }
+}
+
+/// Inspect the arms of one match body (tokens strictly inside the braces).
+fn check_match_arms(path: &str, body: &[Token], out: &mut Vec<Violation>) {
+    let mut i = 0;
+    let mut names_protocol_enum = false;
+    let mut wildcard_arm: Option<&Token> = None;
+    while i < body.len() {
+        // Pattern: up to `=>` at depth zero.
+        let start = i;
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        let mut brace = 0i32;
+        let mut arrow = None;
+        while i < body.len() {
+            let t = &body[i];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" => paren += 1,
+                    ")" => paren -= 1,
+                    "[" => bracket += 1,
+                    "]" => bracket -= 1,
+                    "{" => brace += 1,
+                    "}" => brace -= 1,
+                    "=" if paren == 0
+                        && bracket == 0
+                        && brace == 0
+                        && body.get(i + 1).is_some_and(|n| {
+                            n.is_punct(">") && n.line == t.line && n.col == t.col + 1
+                        }) =>
+                    {
+                        arrow = Some(i);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        let Some(arrow) = arrow else { break };
+        let pattern = &body[start..arrow];
+        for (k, p) in pattern.iter().enumerate() {
+            if p.kind == TokKind::Ident
+                && PROTOCOL_ENUMS.contains(&p.text.as_str())
+                && pattern.get(k + 1).is_some_and(|n| n.is_punct(":"))
+            {
+                names_protocol_enum = true;
+            }
+        }
+        if let Some(first) = pattern.first() {
+            let bare = first.is_ident("_")
+                && (pattern.len() == 1 || pattern.get(1).is_some_and(|t| t.is_ident("if")));
+            if bare {
+                wildcard_arm = wildcard_arm.or(Some(first));
+            }
+        }
+        // Arm body: a block, or an expression up to `,` at depth zero.
+        i = arrow + 2;
+        if body.get(i).is_some_and(|t| t.is_punct("{")) {
+            match matching(body, i, "{", "}") {
+                Some(j) => i = j + 1,
+                None => break,
+            }
+            if body.get(i).is_some_and(|t| t.is_punct(",")) {
+                i += 1;
+            }
+        } else {
+            let mut paren = 0i32;
+            let mut bracket = 0i32;
+            let mut brace = 0i32;
+            while i < body.len() {
+                let t = &body[i];
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "(" => paren += 1,
+                        ")" => paren -= 1,
+                        "[" => bracket += 1,
+                        "]" => bracket -= 1,
+                        "{" => brace += 1,
+                        "}" => brace -= 1,
+                        "," if paren == 0 && bracket == 0 && brace == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+    if names_protocol_enum {
+        if let Some(w) = wildcard_arm {
+            out.push(Violation {
+                rule: EXHAUSTIVE_SCHEME_MATCH,
+                file: path.to_string(),
+                line: w.line,
+                col: w.col,
+                message: "wildcard `_` arm in a match over SchemeEffect/QueueOp — name every \
+                          variant so new protocol operations fail the build, not the protocol"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+// Note: `pattern.get(k + 1).is_some_and(|n| n.is_punct(\":\"))` checks only
+// the first `:` of `::`; the lexer emits `::` as two adjacent `:` puncts,
+// and a struct-field `name: pat` inside a pattern never has an uppercase
+// protocol-enum ident directly before the colon, so the single-colon check
+// is sufficient and cheap.

@@ -1,0 +1,248 @@
+//! Fixture-driven tests: every rule is demonstrated by at least one
+//! triggering and one non-triggering snippet, the combined JSON report is
+//! pinned to a golden file, and the workspace itself must lint clean.
+
+use mdbs_analyzer::rules::{self, SourceFile};
+use mdbs_analyzer::{find_workspace_root, run_sources, run_workspace};
+use std::path::Path;
+
+/// A fixture README providing the Observability table the
+/// `metric-docs-sync` fixtures are checked against.
+const FIXTURE_README: &str = "\
+# fixture
+
+## Observability
+
+| metric | kind | meaning |
+|--------|------|---------|
+| `quux.documented` | counter | a documented counter |
+| `quux.<id>.events` | counter | pattern rows are exempt |
+
+## Next section
+";
+
+fn fixture(virtual_path: &str, source: &str) -> SourceFile {
+    SourceFile {
+        path: virtual_path.to_string(),
+        source: source.to_string(),
+    }
+}
+
+/// Run one fixture through the engine and return the rule names that
+/// fired. The README is omitted so only the metric-specific tests (which
+/// pass [`FIXTURE_README`] themselves) exercise the bidirectional
+/// docs-sync diff.
+fn rules_fired(virtual_path: &str, source: &str) -> Vec<String> {
+    rules_fired_with(virtual_path, source, None)
+}
+
+fn rules_fired_with(virtual_path: &str, source: &str, readme: Option<&str>) -> Vec<String> {
+    let report = run_sources(&[fixture(virtual_path, source)], readme);
+    let mut names: Vec<String> = report
+        .violations
+        .iter()
+        .map(|v| v.rule.to_string())
+        .collect();
+    names.dedup();
+    names
+}
+
+#[test]
+fn no_panic_bad_fires() {
+    let fired = rules_fired(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/no_panic_bad.rs"),
+    );
+    assert_eq!(fired, [rules::NO_PANIC]);
+}
+
+#[test]
+fn no_panic_good_is_quiet() {
+    let fired = rules_fired(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/no_panic_good.rs"),
+    );
+    assert!(fired.is_empty(), "unexpected: {fired:?}");
+}
+
+#[test]
+fn no_panic_is_scoped_to_scheduler_crates() {
+    // The same panicking source outside crates/core|localdb is legal.
+    let fired = rules_fired(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/no_panic_bad.rs"),
+    );
+    assert!(fired.is_empty(), "unexpected: {fired:?}");
+}
+
+#[test]
+fn lock_across_send_bad_fires() {
+    let fired = rules_fired(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/lock_across_send_bad.rs"),
+    );
+    assert_eq!(fired, [rules::NO_LOCK_ACROSS_SEND]);
+}
+
+#[test]
+fn lock_across_send_good_is_quiet() {
+    let fired = rules_fired(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/lock_across_send_good.rs"),
+    );
+    assert!(fired.is_empty(), "unexpected: {fired:?}");
+}
+
+#[test]
+fn silent_send_drop_bad_fires() {
+    let fired = rules_fired(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/silent_send_drop_bad.rs"),
+    );
+    assert_eq!(fired, [rules::NO_SILENT_SEND_DROP]);
+}
+
+#[test]
+fn silent_send_drop_good_is_quiet() {
+    let fired = rules_fired(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/silent_send_drop_good.rs"),
+    );
+    assert!(fired.is_empty(), "unexpected: {fired:?}");
+}
+
+#[test]
+fn metric_docs_bad_fires() {
+    let report = run_sources(
+        &[
+            fixture(
+                "crates/sim/src/fixture.rs",
+                include_str!("fixtures/metric_docs_bad.rs"),
+            ),
+            // Registers `quux.documented` so the README row is not stale.
+            fixture(
+                "crates/sim/src/fixture_good.rs",
+                include_str!("fixtures/metric_docs_good.rs"),
+            ),
+        ],
+        Some(FIXTURE_README),
+    );
+    let fired: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+    assert!(!fired.is_empty());
+    assert!(
+        fired.iter().all(|r| *r == rules::METRIC_DOCS_SYNC),
+        "{fired:?}"
+    );
+}
+
+#[test]
+fn metric_docs_good_is_quiet() {
+    let fired = rules_fired_with(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/metric_docs_good.rs"),
+        Some(FIXTURE_README),
+    );
+    assert!(fired.is_empty(), "unexpected: {fired:?}");
+}
+
+#[test]
+fn metric_docs_flags_stale_readme_rows() {
+    // A documented metric that no code registers is also a violation.
+    let report = run_sources(
+        &[fixture("crates/sim/src/fixture.rs", "pub fn noop() {}\n")],
+        Some(FIXTURE_README),
+    );
+    assert_eq!(report.violations.len(), 1);
+    assert_eq!(report.violations[0].rule, rules::METRIC_DOCS_SYNC);
+    assert!(report.violations[0].message.contains("quux.documented"));
+}
+
+#[test]
+fn exhaustive_match_bad_fires() {
+    let fired = rules_fired(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/exhaustive_match_bad.rs"),
+    );
+    assert_eq!(fired, [rules::EXHAUSTIVE_SCHEME_MATCH]);
+}
+
+#[test]
+fn exhaustive_match_good_is_quiet() {
+    let fired = rules_fired(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/exhaustive_match_good.rs"),
+    );
+    assert!(fired.is_empty(), "unexpected: {fired:?}");
+}
+
+#[test]
+fn bad_allow_fires() {
+    let fired = rules_fired(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/bad_allow.rs"),
+    );
+    assert_eq!(fired, [rules::BAD_ALLOW]);
+}
+
+/// The combined report over every triggering fixture, pinned as a golden
+/// JSON file. Regenerate by running this test with
+/// `UPDATE_GOLDEN=1 cargo test -p mdbs-analyzer`.
+#[test]
+fn golden_report() {
+    let sources = [
+        fixture(
+            "crates/core/src/exhaustive_match_bad.rs",
+            include_str!("fixtures/exhaustive_match_bad.rs"),
+        ),
+        fixture(
+            "crates/core/src/no_panic_bad.rs",
+            include_str!("fixtures/no_panic_bad.rs"),
+        ),
+        fixture(
+            "crates/sim/src/bad_allow.rs",
+            include_str!("fixtures/bad_allow.rs"),
+        ),
+        fixture(
+            "crates/sim/src/lock_across_send_bad.rs",
+            include_str!("fixtures/lock_across_send_bad.rs"),
+        ),
+        fixture(
+            "crates/sim/src/metric_docs_bad.rs",
+            include_str!("fixtures/metric_docs_bad.rs"),
+        ),
+        // Keeps the README's `quux.documented` row non-stale so the golden
+        // report only contains deliberate violations.
+        fixture(
+            "crates/sim/src/metric_docs_good.rs",
+            include_str!("fixtures/metric_docs_good.rs"),
+        ),
+        fixture(
+            "crates/sim/src/silent_send_drop_bad.rs",
+            include_str!("fixtures/silent_send_drop_bad.rs"),
+        ),
+    ];
+    let report = run_sources(&sources, Some(FIXTURE_README));
+    let got = report.to_json();
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, format!("{got}\n")).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&golden_path).unwrap();
+    assert_eq!(got.trim_end(), want.trim_end(), "golden report drifted");
+}
+
+/// The repository itself must lint clean — this is the same check CI runs
+/// via `cargo run -p mdbs-analyzer -- --workspace`.
+#[test]
+fn workspace_self_check() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above the analyzer crate");
+    let report = run_workspace(&root).expect("workspace scan");
+    assert!(
+        report.is_clean(),
+        "mdbs-lint found violations:\n{}",
+        report.render_human()
+    );
+    assert!(report.files_scanned > 20);
+}

@@ -1,0 +1,9 @@
+//! Triggering fixture for `bad-allow`: unknown rule name in one
+//! directive, missing justification in the other.
+
+pub fn noop() {
+    // mdbs-lint: allow(no-panics-in-scheduler) — typo in the rule name.
+    let _x = 1;
+    // mdbs-lint: allow(no-lock-across-send)
+    let _y = 2;
+}

@@ -1,0 +1,14 @@
+//! Triggering fixture for `exhaustive-scheme-match` (virtual path puts
+//! it inside `crates/core/src/`): a match naming `SchemeEffect` variants
+//! hides future variants behind a wildcard arm.
+
+pub fn count_submits(effects: &[SchemeEffect]) -> usize {
+    let mut n = 0;
+    for fx in effects {
+        match fx {
+            SchemeEffect::SubmitSer { .. } => n += 1,
+            _ => {}
+        }
+    }
+    n
+}

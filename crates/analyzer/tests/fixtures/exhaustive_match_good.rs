@@ -1,0 +1,23 @@
+//! Non-triggering fixture for `exhaustive-scheme-match`: every variant
+//! is named, so adding one forces this match to be revisited.
+
+pub fn count_submits(effects: &[SchemeEffect]) -> usize {
+    let mut n = 0;
+    for fx in effects {
+        match fx {
+            SchemeEffect::SubmitSer { .. } => n += 1,
+            SchemeEffect::ForwardAck { .. }
+            | SchemeEffect::AbortGlobal { .. }
+            | SchemeEffect::ProtocolViolation { .. } => {}
+        }
+    }
+    n
+}
+
+pub fn classify(flag: bool) -> u32 {
+    // Wildcards over types that are not scheme enums stay legal.
+    match flag {
+        true => 1,
+        _ => 0,
+    }
+}

@@ -1,0 +1,10 @@
+//! Triggering fixture for `no-lock-across-send`: the mutex guard is
+//! still live when the channel send happens.
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub fn publish(state: &Mutex<u64>, tx: &Sender<u64>) {
+    let guard = state.lock().unwrap();
+    tx.send(*guard).ok();
+}

@@ -1,0 +1,20 @@
+//! Non-triggering fixture for `no-lock-across-send`: the guard is
+//! dropped (by scope or explicitly) before the channel call.
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub fn publish(state: &Mutex<u64>, tx: &Sender<u64>) {
+    let value = {
+        let guard = state.lock().unwrap();
+        *guard
+    };
+    tx.send(value).ok();
+}
+
+pub fn publish_explicit_drop(state: &Mutex<u64>, tx: &Sender<u64>) {
+    let guard = state.lock().unwrap();
+    let value = *guard;
+    drop(guard);
+    tx.send(value).ok();
+}

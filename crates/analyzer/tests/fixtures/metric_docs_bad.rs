@@ -1,0 +1,9 @@
+//! Triggering fixture for `metric-docs-sync`: `quux.undocumented` is not
+//! in the README table, and `quux.kind_clash` is registered with two
+//! different kinds.
+
+pub fn export(registry: &mut Registry) {
+    registry.inc("quux.undocumented", 1);
+    registry.inc("quux.kind_clash", 1);
+    registry.max_gauge("quux.kind_clash", 2);
+}

@@ -1,0 +1,8 @@
+//! Non-triggering fixture for `metric-docs-sync`: the one registered
+//! metric matches the fixture README row by name and kind, and
+//! dynamically-formatted names are out of the rule's scope.
+
+pub fn export(registry: &mut Registry, site: u32) {
+    registry.inc("quux.documented", 1);
+    registry.inc(&format!("quux.{site}.events"), 1);
+}

@@ -1,0 +1,18 @@
+//! Triggering fixture for `no-panic-in-scheduler` (virtual path puts it
+//! inside `crates/core/src/`).
+
+pub fn pump(ops: &std::collections::BTreeMap<u32, u32>, order: &[u32]) -> u32 {
+    let first = order[0];
+    let v = ops.get(&first).expect("known op");
+    if *v == 0 {
+        panic!("zero effect");
+    }
+    match v {
+        1 => 1,
+        _ => unreachable!(),
+    }
+}
+
+pub fn helper(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

@@ -1,0 +1,23 @@
+//! Non-triggering fixture for `no-panic-in-scheduler`: failures are
+//! routed through `Option`/`Result`, indexes are literal or full-range,
+//! and one residual `expect` carries a justified allow directive.
+
+pub fn pump(ops: &std::collections::BTreeMap<u32, u32>, order: &[u32]) -> Option<u32> {
+    let first = *order.first()?;
+    let v = ops.get(&first)?;
+    let all = &order[..];
+    let fixed = [10u32, 20];
+    let second = fixed[1]; // literal indexes into literal arrays are exempt
+    Some(*v + all.len() as u32 + second)
+}
+
+pub fn lookup(ops: &std::collections::BTreeMap<u32, u32>, key: u32) -> u32 {
+    // mdbs-lint: allow(no-panic-in-scheduler) — fixture: the caller inserts `key` immediately before calling.
+    *ops.get(&key).expect("key present")
+}
+
+#[test]
+fn test_code_is_exempt() {
+    let v: Option<u32> = Some(1);
+    assert_eq!(v.unwrap(), 1);
+}

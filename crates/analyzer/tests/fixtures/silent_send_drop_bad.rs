@@ -1,0 +1,7 @@
+//! Triggering fixture for `no-silent-send-drop`.
+
+use std::sync::mpsc::Sender;
+
+pub fn reply(tx: &Sender<u64>, value: u64) {
+    let _ = tx.send(value);
+}

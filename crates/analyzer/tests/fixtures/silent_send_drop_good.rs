@@ -1,0 +1,10 @@
+//! Non-triggering fixture for `no-silent-send-drop`: the failed send is
+//! counted instead of discarded.
+
+use std::sync::mpsc::Sender;
+
+pub fn reply(tx: &Sender<u64>, value: u64, dropped: &mut u64) {
+    if tx.send(value).is_err() {
+        *dropped += 1;
+    }
+}

@@ -21,7 +21,7 @@
 //! locally committed subtransactions would need global atomic commitment,
 //! which the paper leaves to future work.
 
-use crate::scheme::{Gtm2Scheme, SchemeEffect, WaitSet, WakeCandidates};
+use crate::scheme::{Gtm2Scheme, ProtocolViolationKind, SchemeEffect, WaitSet, WakeCandidates};
 use mdbs_common::ids::{GlobalTxnId, SiteId};
 use mdbs_common::ops::QueueOp;
 use mdbs_common::step::{StepCounter, StepKind};
@@ -69,7 +69,13 @@ impl Gtm2Scheme for AbortingTo {
                 if self.aborted.contains(txn) {
                     return Vec::new(); // remaining events of a victim are vacuous
                 }
-                let ts = self.ts[txn];
+                let Some(&ts) = self.ts.get(txn) else {
+                    return vec![SchemeEffect::ProtocolViolation {
+                        txn: *txn,
+                        site: Some(*site),
+                        kind: ProtocolViolationKind::SerWithoutInit,
+                    }];
+                };
                 match self.max_ts.get(site) {
                     Some(&max) if ts < max => {
                         // Event arrives too late: abort the transaction.

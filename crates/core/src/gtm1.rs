@@ -144,6 +144,11 @@ pub struct Gtm1Stats {
     pub direct_ops: u64,
     /// Serialization events routed through GTM2.
     pub ser_ops: u64,
+    /// Events that referenced an unknown transaction or site. A correct
+    /// surrounding system never produces these; GTM1 refuses the event
+    /// and counts it rather than panicking (the scheduler must outlive
+    /// any single misbehaving server).
+    pub protocol_violations: u64,
 }
 
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -247,17 +252,19 @@ impl Gtm1 {
         registry.inc("gtm1.aborted", self.stats.aborted);
         registry.inc("gtm1.direct_ops", self.stats.direct_ops);
         registry.inc("gtm1.ser_ops", self.stats.ser_ops);
+        registry.inc("gtm1.protocol_violations", self.stats.protocol_violations);
         registry.max_gauge("gtm1.active_txns", self.txns.len() as i64);
     }
 
-    /// The serialization event effective at a site under the current mode.
-    fn effective_event(&self, site: SiteId) -> SerializationEvent {
-        let ev = self.site_events[&site];
-        if self.two_pc {
+    /// The serialization event effective at a site under the current
+    /// mode, or `None` for a site GTM1 was not configured with.
+    fn effective_event(&self, site: SiteId) -> Option<SerializationEvent> {
+        let ev = *self.site_events.get(&site)?;
+        Some(if self.two_pc {
             ev.under_two_phase_commit()
         } else {
             ev
-        }
+        })
     }
 
     /// Counters.
@@ -334,7 +341,13 @@ impl Gtm1 {
                 self.issue_next(txn, &mut effects);
             }
             Gtm1Event::ServerDone { txn, site } => {
-                let ctl = self.txns.get_mut(&txn).expect("live txn");
+                // Events for unknown transactions (a server replying after
+                // the global decision, or a buggy server inventing work)
+                // are refused and counted, never panicked on.
+                let Some(ctl) = self.txns.get_mut(&txn) else {
+                    self.stats.protocol_violations += 1;
+                    return effects;
+                };
                 debug_assert_eq!(ctl.awaiting, Awaiting::Server(site));
                 ctl.awaiting = Awaiting::Nothing;
                 ctl.cursor += 1;
@@ -342,15 +355,24 @@ impl Gtm1 {
             }
             Gtm1Event::ServerFailed { txn, site, reason } => {
                 self.mark_zombie(txn, site, reason, &mut effects);
-                let ctl = self.txns.get_mut(&txn).expect("live txn");
+                let Some(ctl) = self.txns.get_mut(&txn) else {
+                    self.stats.protocol_violations += 1;
+                    return effects;
+                };
                 debug_assert_eq!(ctl.awaiting, Awaiting::Server(site));
                 ctl.awaiting = Awaiting::Nothing;
                 ctl.cursor += 1;
                 self.issue_next(txn, &mut effects);
             }
             Gtm1Event::Gtm2SubmitSer { txn, site } => {
-                let event = self.effective_event(site);
-                let ctl = self.txns.get_mut(&txn).expect("live txn");
+                let Some(event) = self.effective_event(site) else {
+                    self.stats.protocol_violations += 1;
+                    return effects;
+                };
+                let Some(ctl) = self.txns.get_mut(&txn) else {
+                    self.stats.protocol_violations += 1;
+                    return effects;
+                };
                 debug_assert_eq!(ctl.awaiting, Awaiting::SerAck(site));
                 let vacuous = ctl.zombie.is_some();
                 if !vacuous && event == SerializationEvent::Begin {
@@ -368,8 +390,14 @@ impl Gtm1 {
                 self.mark_zombie(txn, site, reason, &mut effects);
             }
             Gtm1Event::Gtm2Ack { txn, site } => {
-                let event = self.effective_event(site);
-                let ctl = self.txns.get_mut(&txn).expect("live txn");
+                let Some(event) = self.effective_event(site) else {
+                    self.stats.protocol_violations += 1;
+                    return effects;
+                };
+                let Some(ctl) = self.txns.get_mut(&txn) else {
+                    self.stats.protocol_violations += 1;
+                    return effects;
+                };
                 debug_assert_eq!(ctl.awaiting, Awaiting::SerAck(site));
                 // A successful commit-event terminates the subtransaction
                 // (a prepare event does not — the second phase commits).
@@ -393,7 +421,10 @@ impl Gtm1 {
         reason: AbortReason,
         effects: &mut Vec<Gtm1Effect>,
     ) {
-        let ctl = self.txns.get_mut(&txn).expect("live txn");
+        let Some(ctl) = self.txns.get_mut(&txn) else {
+            self.stats.protocol_violations += 1;
+            return;
+        };
         ctl.live_sites.remove(&failed_site); // already dead there
         if ctl.zombie.is_some() {
             return;
@@ -414,9 +445,12 @@ impl Gtm1 {
     /// Issue plan steps until one is outstanding or the plan ends.
     fn issue_next(&mut self, txn: GlobalTxnId, effects: &mut Vec<Gtm1Effect>) {
         loop {
-            let ctl = self.txns.get_mut(&txn).expect("live txn");
+            let Some(ctl) = self.txns.get_mut(&txn) else {
+                self.stats.protocol_violations += 1;
+                return;
+            };
             debug_assert_eq!(ctl.awaiting, Awaiting::Nothing);
-            if ctl.cursor >= ctl.plan.len() {
+            let Some(step) = ctl.plan.get(ctl.cursor).cloned() else {
                 // Plan complete: every ser op was acked along the way.
                 effects.push(Gtm1Effect::EnqueueGtm2(QueueOp::Fin { txn }));
                 let aborted = ctl.zombie;
@@ -427,8 +461,8 @@ impl Gtm1 {
                 effects.push(Gtm1Effect::Completed { txn, aborted });
                 self.txns.remove(&txn);
                 return;
-            }
-            match ctl.plan[ctl.cursor].clone() {
+            };
+            match step {
                 PlanStep::Direct(step) => {
                     if ctl.zombie.is_some() {
                         // Vacuous: skip local work.

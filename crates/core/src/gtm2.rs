@@ -226,6 +226,7 @@ impl Gtm2 {
                     sink.record(self.clock, SchedEvent::wait(&op));
                 }
                 self.stats.waited += 1;
+                // mdbs-lint: allow(no-panic-in-scheduler) — kind_index maps the four QueueOp kinds to 0..=3, within the fixed-size array.
                 self.stats.waited_kind[kind_index(op.kind())] += 1;
                 self.wait.insert(op);
                 self.stats.peak_wait = self.stats.peak_wait.max(self.wait.len() as u64);

@@ -121,6 +121,7 @@ impl Script {
         std::mem::swap(&mut pending, &mut remaining);
         while !remaining.is_empty() {
             let idx = rng.gen_range(0..remaining.len());
+            // mdbs-lint: allow(no-panic-in-scheduler) — idx was just sampled from 0..remaining.len().
             let (txn, sites) = &mut remaining[idx];
             if inited.insert(*txn) {
                 events.push(ScriptEvent::Init(*txn, sites.clone()));
@@ -174,11 +175,14 @@ impl Script {
             if ready.is_empty() {
                 break;
             }
+            // mdbs-lint: allow(no-panic-in-scheduler) — index sampled from 0..ready.len(), which is non-empty here.
             let site = ready[rng.gen_range(0..ready.len())];
             let cursor = cursors.entry(site).or_insert(0);
+            // mdbs-lint: allow(no-panic-in-scheduler) — `ready` only lists sites whose cursor is still within the queue.
             let txn = site_queues[&site][*cursor];
             *cursor += 1;
             if inited.insert(txn) {
+                // mdbs-lint: allow(no-panic-in-scheduler) — site_sets holds every txn that appears in a queue.
                 events.push(ScriptEvent::Init(txn, site_sets[&txn].clone()));
             }
             events.push(ScriptEvent::Ser(txn, site));
@@ -231,6 +235,11 @@ pub struct ReplayOutcome {
     pub ser_serializable: bool,
     /// Transactions that completed (fin processed).
     pub completed: usize,
+    /// Protocol violations reported by the scheme during the replay.
+    /// Scripts are validated and acks are generated by the harness, so a
+    /// non-zero count indicates a scheme bug; the count is surfaced (not
+    /// panicked on) so callers can assert on it.
+    pub protocol_violations: u64,
 }
 
 /// Replay a script through a scheme with zero-latency acks and automatic
@@ -286,6 +295,7 @@ pub fn replay_with(mut engine: Gtm2, script: &Script) -> ReplayOutcome {
         // execute events of transactions they later abort.
         ser_serializable: engine.ser_log().check_excluding(&aborted).is_ok(),
         aborted,
+        protocol_violations: ctl.protocol_violations,
     }
 }
 
@@ -295,6 +305,7 @@ struct DrainCtl {
     acks_needed: BTreeMap<GlobalTxnId, usize>,
     aborted: BTreeSet<GlobalTxnId>,
     fin_sent: BTreeSet<GlobalTxnId>,
+    protocol_violations: u64,
 }
 
 /// Pump and respond to effects (acks, fins) until quiescent.
@@ -331,13 +342,12 @@ fn drain(engine: &mut Gtm2, ctl: &mut DrainCtl) {
                         engine.enqueue(QueueOp::Fin { txn });
                     }
                 }
-                SchemeEffect::ProtocolViolation { txn, site, kind } => {
+                SchemeEffect::ProtocolViolation { .. } => {
                     // Scripts are validated and acks are generated by this
-                    // harness, so a violation here is a scheme bug.
-                    panic!(
-                        "{}: protocol violation {kind} ({txn}, {site:?})",
-                        engine.scheme_name()
-                    );
+                    // harness, so a violation here is a scheme bug. Count
+                    // it (surfaced via ReplayOutcome) instead of bringing
+                    // the replay down.
+                    ctl.protocol_violations += 1;
                 }
             }
         }
@@ -398,6 +408,10 @@ mod tests {
                 assert_eq!(out.completed, 10, "{kind} seed {seed}");
                 assert!(out.ser_serializable, "{kind} seed {seed}");
                 assert!(out.aborted.is_empty(), "{kind} must not abort");
+                assert_eq!(
+                    out.protocol_violations, 0,
+                    "{kind} seed {seed}: scheme reported protocol violations"
+                );
             }
         }
     }

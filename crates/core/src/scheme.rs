@@ -140,6 +140,9 @@ pub enum ProtocolViolationKind {
     AckNotQueued,
     /// A `fin` arrived with no matching active transaction.
     UnmatchedFin,
+    /// A `ser` arrived for a transaction whose `init` was never
+    /// processed — GTM1 must announce a transaction before serializing it.
+    SerWithoutInit,
 }
 
 impl std::fmt::Display for ProtocolViolationKind {
@@ -149,6 +152,7 @@ impl std::fmt::Display for ProtocolViolationKind {
             ProtocolViolationKind::AckOutOfOrder => "ack out of submission order",
             ProtocolViolationKind::AckNotQueued => "ack with no pending ser",
             ProtocolViolationKind::UnmatchedFin => "fin with no active txn",
+            ProtocolViolationKind::SerWithoutInit => "ser before init",
         };
         f.write_str(s)
     }

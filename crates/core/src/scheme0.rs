@@ -48,7 +48,7 @@ impl Gtm2Scheme for Scheme0 {
         steps.tick(StepKind::Cond);
         match op {
             QueueOp::Ser { txn, site } => self.front(*site) == Some(*txn),
-            _ => true,
+            QueueOp::Init { .. } | QueueOp::Ack { .. } | QueueOp::Fin { .. } => true,
         }
     }
 
@@ -140,7 +140,9 @@ impl Gtm2Scheme for Scheme0 {
                 },
                 None => WakeCandidates::None,
             },
-            _ => WakeCandidates::None,
+            QueueOp::Init { .. } | QueueOp::Ser { .. } | QueueOp::Fin { .. } => {
+                WakeCandidates::None
+            }
         }
     }
 

@@ -15,7 +15,7 @@
 //! cycle iff it is not a bridge — which is what gives Theorem 4's
 //! `O(m + n + n·d_av)` bound (one DFS per `init`, not one per edge).
 
-use crate::scheme::{Gtm2Scheme, SchemeEffect, WaitSet, WakeCandidates};
+use crate::scheme::{Gtm2Scheme, ProtocolViolationKind, SchemeEffect, WaitSet, WakeCandidates};
 use mdbs_common::ids::{GlobalTxnId, SiteId};
 use mdbs_common::ops::QueueOp;
 use mdbs_common::step::{StepCounter, StepKind};
@@ -108,7 +108,7 @@ impl Gtm2Scheme for Scheme1 {
                 steps.bump(StepKind::Cond, sites.len() as u64);
                 sites.iter().all(|&k| self.delete_front(k) == Some(*txn))
             }
-            _ => true,
+            QueueOp::Init { .. } | QueueOp::Ack { .. } => true,
         }
     }
 
@@ -151,12 +151,23 @@ impl Gtm2Scheme for Scheme1 {
                 debug_assert_eq!(self.outstanding.get(site), Some(txn));
                 self.outstanding.remove(site);
                 // Delete from the insert queue (note: not necessarily the
-                // front — unmarked operations overtake marked ones).
-                let q = self.insert_queues.get_mut(site).expect("insert queue");
-                let pos = q
-                    .iter()
-                    .position(|t| t == txn)
-                    .expect("acked op was inserted");
+                // front — unmarked operations overtake marked ones). A
+                // malformed ack is refused, not panicked on: acks come
+                // from site servers, outside the scheduler's trust base.
+                let Some(q) = self.insert_queues.get_mut(site) else {
+                    return vec![SchemeEffect::ProtocolViolation {
+                        txn: *txn,
+                        site: Some(*site),
+                        kind: ProtocolViolationKind::UnknownSite,
+                    }];
+                };
+                let Some(pos) = q.iter().position(|t| t == txn) else {
+                    return vec![SchemeEffect::ProtocolViolation {
+                        txn: *txn,
+                        site: Some(*site),
+                        kind: ProtocolViolationKind::AckNotQueued,
+                    }];
+                };
                 steps.bump(StepKind::Act, pos as u64 + 1);
                 q.remove(pos);
                 self.marked.remove(&(*txn, *site));
@@ -167,17 +178,31 @@ impl Gtm2Scheme for Scheme1 {
                 }]
             }
             QueueOp::Fin { txn } => {
-                let sites = self.sites.remove(txn).expect("init preceded fin");
+                let Some(sites) = self.sites.remove(txn) else {
+                    return vec![SchemeEffect::ProtocolViolation {
+                        txn: *txn,
+                        site: None,
+                        kind: ProtocolViolationKind::UnmatchedFin,
+                    }];
+                };
+                let mut effects = Vec::new();
                 for &site in &sites {
                     steps.tick(StepKind::Act);
-                    let q = self.delete_queues.get_mut(&site).expect("delete queue");
+                    let Some(q) = self.delete_queues.get_mut(&site) else {
+                        effects.push(SchemeEffect::ProtocolViolation {
+                            txn: *txn,
+                            site: Some(site),
+                            kind: ProtocolViolationKind::UnknownSite,
+                        });
+                        continue;
+                    };
                     let front = q.pop_front();
                     debug_assert_eq!(front, Some(*txn), "cond(fin) guaranteed front");
                     self.tsg
                         .remove_edge(TsgNode::Txn(*txn), TsgNode::Site(site));
                 }
                 self.tsg.remove_node(TsgNode::Txn(*txn));
-                Vec::new()
+                effects
             }
         }
     }
@@ -206,7 +231,7 @@ impl Gtm2Scheme for Scheme1 {
                 steps.bump(StepKind::WaitScan, keys.len() as u64);
                 WakeCandidates::Keys(keys)
             }
-            _ => WakeCandidates::None,
+            QueueOp::Init { .. } | QueueOp::Ser { .. } => WakeCandidates::None,
         }
     }
 

@@ -96,7 +96,7 @@ impl Gtm2Scheme for Scheme2 {
                 steps.bump(StepKind::Cond, self.tsgd.dep_count() as u64);
                 !self.has_incoming_dep(*txn)
             }
-            _ => true,
+            QueueOp::Init { .. } | QueueOp::Ack { .. } => true,
         }
     }
 
@@ -131,8 +131,12 @@ impl Gtm2Scheme for Scheme2 {
                     if candidates <= 16 {
                         // Charge the exponential enumeration honestly.
                         steps.bump(StepKind::Act, 1u64 << candidates.min(30));
+                        // The exact search enumerates the full candidate
+                        // set, so on a well-formed TSGD it always finds a
+                        // delta; fall back to the greedy eliminator rather
+                        // than panic the pump if that ever breaks.
                         crate::tsgd::minimal_delta_exact(&self.tsgd, *txn)
-                            .expect("full candidate set suffices")
+                            .unwrap_or_else(|| eliminate_cycles(&self.tsgd, *txn, steps))
                     } else {
                         eliminate_cycles(&self.tsgd, *txn, steps)
                     }
@@ -205,7 +209,7 @@ impl Gtm2Scheme for Scheme2 {
                 steps.bump(StepKind::WaitScan, keys.len() as u64);
                 WakeCandidates::Keys(keys)
             }
-            _ => WakeCandidates::None,
+            QueueOp::Init { .. } | QueueOp::Ser { .. } => WakeCandidates::None,
         }
     }
 

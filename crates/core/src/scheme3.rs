@@ -23,7 +23,7 @@
 //! order. Complexity `O(n²·d_av)` (Theorem 9), dominated by the
 //! `ser_bef` propagation at `act(ser)`.
 
-use crate::scheme::{Gtm2Scheme, SchemeEffect, WaitSet, WakeCandidates};
+use crate::scheme::{Gtm2Scheme, ProtocolViolationKind, SchemeEffect, WaitSet, WakeCandidates};
 use mdbs_common::ids::{GlobalTxnId, SiteId};
 use mdbs_common::ops::QueueOp;
 use mdbs_common::step::{StepCounter, StepKind};
@@ -89,7 +89,7 @@ impl Gtm2Scheme for Scheme3 {
                 }
             }
             QueueOp::Fin { txn } => self.ser_bef.get(txn).is_none_or(BTreeSet::is_empty),
-            _ => true,
+            QueueOp::Init { .. } | QueueOp::Ack { .. } => true,
         }
     }
 
@@ -116,10 +116,14 @@ impl Gtm2Scheme for Scheme3 {
             }
             QueueOp::Ser { txn, site } => {
                 steps.tick(StepKind::Act);
-                self.sets
-                    .get_mut(site)
-                    .expect("init preceded ser")
-                    .remove(txn);
+                let Some(set) = self.sets.get_mut(site) else {
+                    return vec![SchemeEffect::ProtocolViolation {
+                        txn: *txn,
+                        site: Some(*site),
+                        kind: ProtocolViolationKind::SerWithoutInit,
+                    }];
+                };
+                set.remove(txn);
                 self.last.insert(*site, *txn);
                 // Set1 = ser_bef(Ĝ_i) ∪ {Ĝ_i}.
                 let mut set1 = self.ser_bef.get(txn).cloned().unwrap_or_default();
@@ -139,7 +143,12 @@ impl Gtm2Scheme for Scheme3 {
                     .collect();
                 steps.bump(StepKind::Act, self.ser_bef.len() as u64);
                 for j in targets {
-                    let bef_j = self.ser_bef.get_mut(&j).expect("target known");
+                    // Targets were collected from `ser_bef` above, so the
+                    // re-borrow only misses if the map changed in between
+                    // (it cannot); skip rather than panic.
+                    let Some(bef_j) = self.ser_bef.get_mut(&j) else {
+                        continue;
+                    };
                     steps.bump(StepKind::Act, set1.len() as u64);
                     bef_j.extend(set1.iter().copied());
                     debug_assert!(!bef_j.contains(&j), "{j} serialized before itself");
@@ -202,7 +211,7 @@ impl Gtm2Scheme for Scheme3 {
                 steps.bump(StepKind::WaitScan, keys.len() as u64);
                 WakeCandidates::Keys(keys)
             }
-            _ => WakeCandidates::None,
+            QueueOp::Init { .. } | QueueOp::Ser { .. } => WakeCandidates::None,
         }
     }
 

@@ -101,7 +101,7 @@ impl Gtm2Scheme for SiteGraphScheme {
                 // site must have no outstanding event.
                 self.active.contains_key(txn) && !self.outstanding.contains_key(site)
             }
-            _ => true,
+            QueueOp::Ack { .. } | QueueOp::Fin { .. } => true,
         }
     }
 

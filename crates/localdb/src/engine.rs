@@ -316,6 +316,7 @@ impl LocalDbms {
         }
         match self.protocol.on_prepare(txn) {
             Decision::Grant => {
+                // mdbs-lint: allow(no-panic-in-scheduler) — check_live above guarantees the entry exists.
                 self.txns.get_mut(&txn).expect("live").prepared = true;
                 Ok(())
             }
@@ -434,6 +435,7 @@ impl LocalDbms {
     fn execute(&mut self, txn: TxnId, op: PendingOp) -> OpOutcome {
         match op {
             PendingOp::Read(item) => {
+                // mdbs-lint: allow(no-panic-in-scheduler) — execute() is only reached for transactions the protocol just granted, which are live.
                 let state = self.txns.get(&txn).expect("live txn");
                 let value = match state.buffer.get(&item) {
                     Some(&v) => v,
@@ -446,11 +448,13 @@ impl LocalDbms {
                 match self.protocol.write_style() {
                     WriteStyle::Immediate => {
                         let prev = self.storage.write(item, value);
+                        // mdbs-lint: allow(no-panic-in-scheduler) — granted op implies a live transaction.
                         let state = self.txns.get_mut(&txn).expect("live txn");
                         state.undo.push((item, prev));
                         self.history.push(DataOp::write(txn, item));
                     }
                     WriteStyle::Deferred => {
+                        // mdbs-lint: allow(no-panic-in-scheduler) — granted op implies a live transaction.
                         let state = self.txns.get_mut(&txn).expect("live txn");
                         state.buffer.insert(item, value);
                         // Recorded in the history at commit, when applied.
@@ -459,6 +463,7 @@ impl LocalDbms {
                 OpOutcome::Write
             }
             PendingOp::Commit => {
+                // mdbs-lint: allow(no-panic-in-scheduler) — granted commit implies a live transaction.
                 let state = self.txns.remove(&txn).expect("live txn");
                 // Apply deferred writes atomically (serial write phase).
                 for (item, value) in state.buffer {
@@ -476,6 +481,7 @@ impl LocalDbms {
     }
 
     fn set_blocked(&mut self, txn: TxnId, op: PendingOp) {
+        // mdbs-lint: allow(no-panic-in-scheduler) — callers block a transaction they just looked up via check_live/decide.
         let state = self.txns.get_mut(&txn).expect("live txn");
         state.status = TxnStatus::Blocked(op);
     }
@@ -484,6 +490,7 @@ impl LocalDbms {
     /// resources and wake others. If it had a blocked operation and
     /// `notify`, a failure [`Completion`] is emitted.
     fn abort_txn(&mut self, txn: TxnId, reason: AbortReason, notify: bool) {
+        // mdbs-lint: allow(no-panic-in-scheduler) — every abort path checks liveness before calling abort_txn.
         let state = self.txns.remove(&txn).expect("abort of live txn");
         if let TxnStatus::Blocked(_) = state.status {
             if notify {
@@ -512,17 +519,14 @@ impl LocalDbms {
         let mut queue: VecDeque<TxnId> = initial.into();
         while let Some(txn) = queue.pop_front() {
             let op = match self.txns.get_mut(&txn) {
-                Some(TxnState {
-                    status: status @ TxnStatus::Blocked(_),
-                    ..
-                }) => {
-                    let TxnStatus::Blocked(op) = *status else {
-                        unreachable!()
-                    };
-                    *status = TxnStatus::Active;
-                    op
-                }
-                _ => continue, // aborted or already resolved
+                Some(state) => match state.status {
+                    TxnStatus::Blocked(op) => {
+                        state.status = TxnStatus::Active;
+                        op
+                    }
+                    TxnStatus::Active => continue, // already resolved
+                },
+                None => continue, // aborted
             };
             match self.decide(txn, op) {
                 Decision::Grant => {

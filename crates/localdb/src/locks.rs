@@ -157,6 +157,7 @@ impl LockManager {
             .map(|(&i, _)| i)
             .collect();
         for item in affected {
+            // mdbs-lint: allow(no-panic-in-scheduler) — `affected` keys were collected from `items` just above; nothing is removed in between.
             let lock = self.items.get_mut(&item).expect("item present");
             lock.queue.retain(|r| r.txn != txn);
             self.drain_queue(item, &mut granted);

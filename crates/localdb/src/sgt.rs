@@ -93,6 +93,7 @@ impl SerializationGraphTesting {
                 if dirty != txn {
                     self.items
                         .get_mut(&item)
+                        // mdbs-lint: allow(no-panic-in-scheduler) — the entry was found by the `get` on this same key above.
                         .expect("entry")
                         .waiters
                         .insert(txn);

@@ -45,6 +45,7 @@ impl TimestampOrdering {
     }
 
     fn timestamp(&self, txn: TxnId) -> u64 {
+        // mdbs-lint: allow(no-panic-in-scheduler) — the engine contract guarantees on_begin before any other protocol call.
         *self.ts.get(&txn).expect("on_begin precedes operations")
     }
 
@@ -81,11 +82,13 @@ impl CcProtocol for TimestampOrdering {
             // acyclic).
             self.items
                 .get_mut(&item)
+                // mdbs-lint: allow(no-panic-in-scheduler) — is_dirty_for only returns true for an existing entry.
                 .expect("entry")
                 .waiters
                 .insert(txn);
             return Decision::Block;
         }
+        // mdbs-lint: allow(no-panic-in-scheduler) — the entry was created by or_default earlier in on_read.
         let state = self.items.get_mut(&item).expect("entry");
         state.rts = state.rts.max(ts);
         Decision::Grant
@@ -100,11 +103,13 @@ impl CcProtocol for TimestampOrdering {
         if self.is_dirty_for(item, txn) {
             self.items
                 .get_mut(&item)
+                // mdbs-lint: allow(no-panic-in-scheduler) — is_dirty_for only returns true for an existing entry.
                 .expect("entry")
                 .waiters
                 .insert(txn);
             return Decision::Block;
         }
+        // mdbs-lint: allow(no-panic-in-scheduler) — the entry was created by or_default at the top of on_write.
         let state = self.items.get_mut(&item).expect("entry");
         state.wts = state.wts.max(ts);
         state.dirty.insert(txn);
@@ -121,6 +126,7 @@ impl CcProtocol for TimestampOrdering {
         let mut woken: Vec<(u64, TxnId)> = Vec::new();
         let written = self.writes.remove(&txn).unwrap_or_default();
         for item in written {
+            // mdbs-lint: allow(no-panic-in-scheduler) — every item in `writes` got an `items` entry when the write was granted.
             let state = self.items.get_mut(&item).expect("written item exists");
             state.dirty.remove(&txn);
             if state.dirty.is_empty() {

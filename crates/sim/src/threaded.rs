@@ -54,6 +54,8 @@ enum FromSite {
         history: History,
         committed_values: Vec<(DataItemId, Value)>,
         stats: EngineStats,
+        /// Messages this worker failed to deliver (coordinator gone).
+        send_dropped: u64,
     },
 }
 
@@ -104,9 +106,22 @@ struct SiteWorker {
     tx: Sender<FromSite>,
     pending: BTreeMap<GlobalTxnId, (Cont, Instant)>,
     block_timeout: Duration,
+    /// Sends that failed because the coordinator already hung up. The
+    /// count travels back in [`FromSite::Final`] and surfaces as the
+    /// `threaded.send_dropped` counter — a protocol message is never
+    /// dropped without being accounted for.
+    send_dropped: u64,
 }
 
 impl SiteWorker {
+    /// Deliver a message to the coordinator, counting failures instead of
+    /// ignoring them.
+    fn send_counted(&mut self, msg: FromSite) {
+        if self.tx.send(msg).is_err() {
+            self.send_dropped += 1;
+        }
+    }
+
     fn run(mut self) {
         loop {
             match self.rx.recv_timeout(Duration::from_millis(2)) {
@@ -120,12 +135,14 @@ impl SiteWorker {
             }
         }
         let committed_values: Vec<(DataItemId, Value)> = self.db.storage().iter().collect();
-        let _ = self.tx.send(FromSite::Final {
+        let msg = FromSite::Final {
             site: self.site,
             history: self.db.history().clone(),
             committed_values,
             stats: self.db.stats(),
-        });
+            send_dropped: self.send_dropped,
+        };
+        self.send_counted(msg);
     }
 
     fn expire_blocked(&mut self) {
@@ -256,7 +273,7 @@ impl SiteWorker {
     }
 
     fn reply_done(&mut self, txn: GlobalTxnId) {
-        let _ = self.tx.send(FromSite::Gtm1(Gtm1Event::ServerDone {
+        self.send_counted(FromSite::Gtm1(Gtm1Event::ServerDone {
             txn,
             site: self.site,
         }));
@@ -280,11 +297,11 @@ impl SiteWorker {
                 reason,
             }
         };
-        let _ = self.tx.send(FromSite::Gtm1(event));
+        self.send_counted(FromSite::Gtm1(event));
     }
 
     fn send_ack(&mut self, txn: GlobalTxnId) {
-        let _ = self.tx.send(FromSite::Ack {
+        self.send_counted(FromSite::Ack {
             txn,
             site: self.site,
         });
@@ -355,6 +372,7 @@ impl ThreadedMdbs {
                 tx: to_coord.clone(),
                 pending: BTreeMap::new(),
                 block_timeout: self.block_timeout,
+                send_dropped: 0,
             };
             handles.push(std::thread::spawn(move || worker.run()));
         }
@@ -382,6 +400,7 @@ impl ThreadedMdbs {
         let mut commits = 0u64;
         let mut aborts = 0u64;
         let mut done = 0usize;
+        let mut send_dropped = 0u64;
 
         // Closed-loop admission up to mpl.
         let mut pending_events: VecDeque<Gtm1Event> = VecDeque::new();
@@ -396,7 +415,14 @@ impl ThreadedMdbs {
                     match fx {
                         Gtm1Effect::EnqueueGtm2(op) => gtm2.enqueue(op),
                         Gtm1Effect::Server { txn, site, cmd } => {
-                            let _ = site_txs[site.index()].send(ToSite::Command { txn, cmd });
+                            // A dead site thread is tolerated (timeouts
+                            // abort its transactions) but never silent.
+                            if site_txs[site.index()]
+                                .send(ToSite::Command { txn, cmd })
+                                .is_err()
+                            {
+                                send_dropped += 1;
+                            }
                         }
                         Gtm1Effect::Completed { aborted, .. } => {
                             done += 1;
@@ -458,7 +484,9 @@ impl ThreadedMdbs {
 
         // Shut down sites and collect histories.
         for tx in &site_txs {
-            let _ = tx.send(ToSite::Shutdown);
+            if tx.send(ToSite::Shutdown).is_err() {
+                send_dropped += 1;
+            }
         }
         let mut histories: BTreeMap<SiteId, History> = BTreeMap::new();
         let mut totals: BTreeMap<SiteId, i128> = BTreeMap::new();
@@ -470,7 +498,9 @@ impl ThreadedMdbs {
                     history,
                     committed_values,
                     stats,
+                    send_dropped: site_dropped,
                 }) => {
+                    send_dropped += site_dropped;
                     let total = committed_values
                         .iter()
                         .filter(|(item, _)| *item != DataItemId::TICKET)
@@ -489,6 +519,7 @@ impl ThreadedMdbs {
         }
         gtm1.export_metrics(&mut registry);
         gtm2.export_metrics(&mut registry);
+        registry.inc("threaded.send_dropped", send_dropped);
 
         ThreadedRunReport {
             commits,
