@@ -261,9 +261,16 @@ impl Lexer {
         self.bump();
         match self.peek(0) {
             Some('\\') => {
-                // Escaped char literal: '\n', '\'', '\u{..}'.
+                // Escaped char literal: '\n', '\'', '\u{..}'. The character
+                // right after the backslash is consumed unconditionally —
+                // in '\'' it is a quote that must not be mistaken for the
+                // closing delimiter.
                 text.push('\\');
                 self.bump();
+                if let Some(c) = self.peek(0) {
+                    text.push(c);
+                    self.bump();
+                }
                 while let Some(c) = self.peek(0) {
                     text.push(c);
                     self.bump();
@@ -478,6 +485,31 @@ mod tests {
         let chars = toks.iter().filter(|(k, _)| *k == TokKind::Literal).count();
         assert_eq!(lifetimes, 2);
         assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_does_not_swallow_delimiters() {
+        // Regression: the escaped quote in '\'' was once taken for the
+        // closing delimiter, so the real closer started a bogus char
+        // literal that ate the `)` after it.
+        let toks = kinds(r"f('\''); g('\\');");
+        let lits: Vec<&String> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Literal)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(lits, [r"'\''", r"'\\'"]);
+        let closers = toks.iter().filter(|(_, t)| *t == ")").count();
+        assert_eq!(closers, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let out = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(out.comments.len(), 1);
+        assert!(out.comments[0].text.contains("inner"));
+        assert!(out.comments[0].text.contains("still comment"));
+        assert!(out.tokens.iter().any(|t| t.is_ident("fn")));
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! [`SchemeEffect::ProtocolViolation`] effects; this crate is the gate
 //! that keeps it that way.
 //!
-//! See [`rules`] for the five invariants, [`report`] for the JSON schema,
+//! See [`rules`] for the eight invariants, [`report`] for the JSON schema,
+//! [`parser`]/[`facts`]/[`graph`] for the three interprocedural stages,
 //! and the repository README's "Static analysis" section for the
 //! allow-comment escape hatch.
 //!
@@ -20,7 +21,10 @@
 //!
 //! [`SchemeEffect::ProtocolViolation`]: ../mdbs_core/scheme/enum.SchemeEffect.html
 
+pub mod facts;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
 
@@ -102,17 +106,20 @@ pub fn run_workspace(root: &Path) -> io::Result<Report> {
         });
     }
     let readme = fs::read_to_string(root.join("README.md")).ok();
-    let violations = rules::analyze(&sources, readme.as_deref());
+    let analysis = rules::analyze(&sources, readme.as_deref());
     Ok(Report {
         files_scanned: sources.len(),
-        violations,
+        violations: analysis.violations,
+        graphs: analysis.graphs,
     })
 }
 
 /// Lint an in-memory set of sources — the entry point fixture tests use.
 pub fn run_sources(sources: &[SourceFile], readme: Option<&str>) -> Report {
+    let analysis = rules::analyze(sources, readme);
     Report {
         files_scanned: sources.len(),
-        violations: rules::analyze(sources, readme),
+        violations: analysis.violations,
+        graphs: analysis.graphs,
     }
 }

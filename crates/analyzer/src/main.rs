@@ -1,7 +1,7 @@
 //! `mdbs-lint` CLI.
 //!
 //! ```text
-//! cargo run -p mdbs-analyzer -- --workspace [--json PATH] [--quiet]
+//! cargo run -p mdbs-analyzer -- --workspace [--json PATH] [--emit-graphs DIR] [--quiet]
 //! cargo run -p mdbs-analyzer -- FILE.rs [FILE.rs ...]
 //! ```
 //!
@@ -16,6 +16,7 @@ fn main() -> ExitCode {
     let mut workspace = false;
     let mut quiet = false;
     let mut json_path: Option<PathBuf> = None;
+    let mut graphs_dir: Option<PathBuf> = None;
     let mut files: Vec<PathBuf> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -29,13 +30,23 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--emit-graphs" => match args.next() {
+                Some(p) => graphs_dir = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("mdbs-lint: --emit-graphs needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 println!(
                     "mdbs-lint: static analysis for the mdbs workspace\n\n\
-                     USAGE:\n  mdbs-lint --workspace [--json PATH] [--quiet]\n  \
+                     USAGE:\n  mdbs-lint --workspace [--json PATH] [--emit-graphs DIR] \
+                     [--quiet]\n  \
                      mdbs-lint FILE.rs [FILE.rs ...]\n\n\
-                     Scans workspace sources for the five invariants documented in the\n\
-                     README's \"Static analysis\" section; exits 1 on any violation."
+                     Scans workspace sources for the eight invariants documented in the\n\
+                     README's \"Static analysis\" section; exits 1 on any violation.\n\
+                     --emit-graphs writes lock_order.dot and channel_topology.dot from\n\
+                     the interprocedural pass into DIR (created if missing)."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -89,6 +100,22 @@ fn main() -> ExitCode {
     if let Some(path) = &json_path {
         if let Err(e) = std::fs::write(path, report.to_json()) {
             eprintln!("mdbs-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(dir) = &graphs_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("mdbs-lint: creating {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+        let lock = dir.join("lock_order.dot");
+        let chan = dir.join("channel_topology.dot");
+        if let Err(e) = std::fs::write(&lock, report.graphs.lock_dot()) {
+            eprintln!("mdbs-lint: writing {}: {e}", lock.display());
+            return ExitCode::from(2);
+        }
+        if let Err(e) = std::fs::write(&chan, report.graphs.channel_dot(None)) {
+            eprintln!("mdbs-lint: writing {}: {e}", chan.display());
             return ExitCode::from(2);
         }
     }

@@ -1,0 +1,288 @@
+//! Stage 1 of the graph analyzer: a token-tree parser.
+//!
+//! Groups the flat token stream from [`crate::lexer`] into nested trees
+//! at the three bracket delimiters (`()`, `[]`, `{}`), the same shape
+//! `rustc`'s own token trees take before parsing proper. Everything the
+//! fact extractor ([`crate::facts`]) needs — function boundaries, block
+//! structure, statement splitting — falls out of this nesting; angle
+//! brackets (generics, turbofish) deliberately stay flat leaves because
+//! `<`/`>` are ambiguous with comparison operators and nothing downstream
+//! needs them grouped.
+//!
+//! Unbalanced delimiters produce [`ParseError`]s and a best-effort
+//! recovered tree — a lint must degrade, not panic, on code `rustc`
+//! itself would reject.
+
+use crate::lexer::Token;
+
+/// One node of the token tree.
+#[derive(Clone, Debug)]
+pub enum Tree {
+    /// A non-delimiter token.
+    Leaf(Token),
+    /// A delimited group and its contents.
+    Group(Group),
+}
+
+/// A `(...)`, `[...]` or `{...}` group.
+#[derive(Clone, Debug)]
+pub struct Group {
+    /// Opening delimiter: `(`, `[` or `{`.
+    pub delim: char,
+    /// 1-based line of the opening delimiter.
+    pub line: u32,
+    /// 1-based column of the opening delimiter.
+    pub col: u32,
+    /// Child trees, in source order.
+    pub trees: Vec<Tree>,
+}
+
+/// A delimiter-balance diagnostic produced during tree building.
+#[derive(Clone, Debug)]
+pub struct ParseError {
+    /// 1-based line of the offending delimiter.
+    pub line: u32,
+    /// 1-based column of the offending delimiter.
+    pub col: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+/// The result of parsing one file's token stream.
+#[derive(Clone, Debug, Default)]
+pub struct Parsed {
+    /// Top-level trees.
+    pub trees: Vec<Tree>,
+    /// Delimiter-balance diagnostics (empty for well-formed input).
+    pub errors: Vec<ParseError>,
+}
+
+impl Tree {
+    /// The token, if this is a leaf.
+    pub fn leaf(&self) -> Option<&Token> {
+        match self {
+            Tree::Leaf(t) => Some(t),
+            Tree::Group(_) => None,
+        }
+    }
+
+    /// The group, if this is one.
+    pub fn group(&self) -> Option<&Group> {
+        match self {
+            Tree::Leaf(_) => None,
+            Tree::Group(g) => Some(g),
+        }
+    }
+
+    /// The identifier text, if this is an identifier leaf.
+    pub fn ident(&self) -> Option<&str> {
+        self.leaf().and_then(|t| {
+            if t.kind == crate::lexer::TokKind::Ident {
+                Some(t.text.as_str())
+            } else {
+                None
+            }
+        })
+    }
+
+    /// True iff this is an identifier leaf with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.leaf().is_some_and(|t| t.is_ident(s))
+    }
+
+    /// True iff this is a punctuation leaf with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.leaf().is_some_and(|t| t.is_punct(s))
+    }
+
+    /// True iff this is a group opened by `delim`.
+    pub fn is_group(&self, delim: char) -> bool {
+        self.group().is_some_and(|g| g.delim == delim)
+    }
+
+    /// Source position of the first character of this tree.
+    pub fn pos(&self) -> (u32, u32) {
+        match self {
+            Tree::Leaf(t) => (t.line, t.col),
+            Tree::Group(g) => (g.line, g.col),
+        }
+    }
+}
+
+fn closer_for(open: char) -> char {
+    match open {
+        '(' => ')',
+        '[' => ']',
+        _ => '}',
+    }
+}
+
+/// Build token trees from a token stream. Never panics: stray closers are
+/// skipped and unclosed groups are closed at end of input, each with a
+/// [`ParseError`] recording the recovery.
+pub fn parse(tokens: &[Token]) -> Parsed {
+    let mut errors = Vec::new();
+    // Stack of open groups; the bottom pseudo-frame collects top-level trees.
+    let mut stack: Vec<Group> = vec![Group {
+        delim: '\0',
+        line: 0,
+        col: 0,
+        trees: Vec::new(),
+    }];
+    for t in tokens {
+        let c = if t.kind == crate::lexer::TokKind::Punct && t.text.len() == 1 {
+            t.text.chars().next()
+        } else {
+            None
+        };
+        match c {
+            Some(open @ ('(' | '[' | '{')) => {
+                stack.push(Group {
+                    delim: open,
+                    line: t.line,
+                    col: t.col,
+                    trees: Vec::new(),
+                });
+            }
+            Some(close @ (')' | ']' | '}')) => {
+                // Find the nearest open group this closer matches.
+                let matches_top = stack
+                    .last()
+                    .is_some_and(|g| g.delim != '\0' && closer_for(g.delim) == close);
+                if matches_top {
+                    let done = match stack.pop() {
+                        Some(g) => g,
+                        None => continue,
+                    };
+                    if let Some(parent) = stack.last_mut() {
+                        parent.trees.push(Tree::Group(done));
+                    }
+                } else if stack
+                    .iter()
+                    .any(|g| g.delim != '\0' && closer_for(g.delim) == close)
+                {
+                    // A matching opener exists further out: the inner
+                    // group(s) are unclosed. Close them implicitly.
+                    while let Some(top) = stack.last() {
+                        if top.delim == '\0' {
+                            break;
+                        }
+                        let is_match = closer_for(top.delim) == close;
+                        let done = match stack.pop() {
+                            Some(g) => g,
+                            None => break,
+                        };
+                        if !is_match {
+                            errors.push(ParseError {
+                                line: done.line,
+                                col: done.col,
+                                message: format!(
+                                    "unclosed `{}` opened here (implicitly closed by `{close}` \
+                                     at {}:{})",
+                                    done.delim, t.line, t.col
+                                ),
+                            });
+                        }
+                        if let Some(parent) = stack.last_mut() {
+                            parent.trees.push(Tree::Group(done));
+                        }
+                        if is_match {
+                            break;
+                        }
+                    }
+                } else {
+                    errors.push(ParseError {
+                        line: t.line,
+                        col: t.col,
+                        message: format!("stray `{close}` with no matching opener"),
+                    });
+                }
+            }
+            _ => {
+                if let Some(top) = stack.last_mut() {
+                    top.trees.push(Tree::Leaf(t.clone()));
+                }
+            }
+        }
+    }
+    // Close any groups left open at end of input.
+    while stack.len() > 1 {
+        let done = match stack.pop() {
+            Some(g) => g,
+            None => break,
+        };
+        errors.push(ParseError {
+            line: done.line,
+            col: done.col,
+            message: format!("unclosed `{}` still open at end of file", done.delim),
+        });
+        if let Some(parent) = stack.last_mut() {
+            parent.trees.push(Tree::Group(done));
+        }
+    }
+    let trees = stack.pop().map(|g| g.trees).unwrap_or_default();
+    Parsed { trees, errors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Parsed {
+        parse(&lex(src).tokens)
+    }
+
+    #[test]
+    fn nesting_recovers_structure() {
+        let p = parse_src("fn f(a: u32) { if a > 0 { g(a); } }");
+        assert!(p.errors.is_empty());
+        // fn, f, (..), {..}
+        assert_eq!(p.trees.len(), 4);
+        assert!(p.trees[2].is_group('('));
+        let body = p.trees[3].group().expect("body group");
+        assert_eq!(body.delim, '{');
+        // if, a, >, 0, {..}
+        assert!(body.trees.iter().any(|t| t.is_group('{')));
+    }
+
+    #[test]
+    fn turbofish_angles_stay_flat() {
+        let p = parse_src("let v = Vec::<u32>::new(); let w = a < b;");
+        assert!(p.errors.is_empty());
+        // `<` and `>` are leaves, not group delimiters.
+        let angles = p
+            .trees
+            .iter()
+            .filter(|t| t.is_punct("<") || t.is_punct(">"))
+            .count();
+        assert_eq!(angles, 3);
+    }
+
+    #[test]
+    fn stray_closer_reports_not_panics() {
+        let p = parse_src("fn f() { } }");
+        assert_eq!(p.errors.len(), 1);
+        assert!(p.errors[0].message.contains("stray"));
+        assert_eq!(p.trees.len(), 4);
+    }
+
+    #[test]
+    fn unclosed_group_reports_not_panics() {
+        let p = parse_src("fn f() { let x = (1;");
+        assert!(!p.errors.is_empty());
+        assert!(p
+            .errors
+            .iter()
+            .any(|e| e.message.contains("unclosed") || e.message.contains("implicitly")));
+    }
+
+    #[test]
+    fn mismatched_closer_recovers_outer_group() {
+        // `(` closed by `}` — the paren group is implicitly closed so the
+        // brace group still terminates.
+        let p = parse_src("fn f() { g(1 }");
+        assert!(!p.errors.is_empty());
+        assert!(p.trees.iter().any(|t| t.is_group('{')));
+    }
+}

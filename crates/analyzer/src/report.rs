@@ -9,6 +9,12 @@
 //!   "files_scanned": 61,
 //!   "total_violations": 2,
 //!   "by_rule": { "no-panic-in-scheduler": 2 },
+//!   "graphs": {
+//!     "lock_order": { "nodes": [...], "edges": [...], "cycles": [...] },
+//!     "channel_topology": { "channels": [
+//!       { "tx": "...", "rx": "...", "file": "...", "line": 1,
+//!         "created_in": "...", "senders": [...], "receivers": [...] } ] }
+//!   },
 //!   "violations": [
 //!     { "rule": "no-panic-in-scheduler", "file": "crates/core/src/gtm1.rs",
 //!       "line": 337, "col": 40, "message": "..." }
@@ -19,6 +25,7 @@
 //! Hand-written emission — the analyzer is dependency-free by design, so
 //! it can never be the crate that drags a vendored tree into the build.
 
+use crate::graph::Graphs;
 use crate::rules::Violation;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -33,6 +40,8 @@ pub struct Report {
     pub files_scanned: usize,
     /// All violations, sorted by file/line/col/rule.
     pub violations: Vec<Violation>,
+    /// Lock-order and channel-topology graphs from the interprocedural pass.
+    pub graphs: Graphs,
 }
 
 impl Report {
@@ -72,6 +81,7 @@ impl Report {
             s.push_str("  ");
         }
         s.push_str("},\n");
+        let _ = writeln!(s, "  \"graphs\": {},", self.graphs.to_json());
         s.push_str("  \"violations\": [");
         for (i, v) in self.violations.iter().enumerate() {
             if i > 0 {
@@ -125,7 +135,7 @@ impl Report {
 }
 
 /// Escape a string per RFC 8259.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -160,10 +170,14 @@ mod tests {
         let r = Report {
             files_scanned: 3,
             violations: vec![],
+            graphs: Graphs::default(),
         };
         let j = r.to_json();
         assert!(j.contains("\"total_violations\": 0"));
         assert!(j.contains("\"by_rule\": {}"));
+        assert!(j.contains("\"graphs\": {"));
+        assert!(j.contains("\"lock_order\""));
+        assert!(j.contains("\"channels\""));
         assert!(j.contains("\"violations\": []"));
         assert!(r.is_clean());
     }

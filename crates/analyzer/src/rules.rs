@@ -1,24 +1,34 @@
 //! The `mdbs-lint` rule engine.
 //!
-//! Five workspace invariants, each motivated by the paper's conservatism
+//! Eight workspace invariants, each motivated by the paper's conservatism
 //! argument (Section 3: aborting a global transaction is prohibitively
 //! expensive, so the scheduler must not fail where it can refuse):
 //!
 //! | rule | scope | invariant |
 //! |------|-------|-----------|
 //! | `no-panic-in-scheduler` | `crates/core/src`, `crates/localdb/src` | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`/indexing in protocol paths |
-//! | `no-lock-across-send` | workspace | a `.lock()` binding may not be live across `.send(`/`.recv(` in the same block |
+//! | `no-lock-across-send` | workspace | no channel operation — direct or inside a callee — while a lock guard is live (flow-sensitive: `drop(guard)`/scope exit release it) |
 //! | `no-silent-send-drop` | workspace | `let _ = ...send(...)` is forbidden — count the drop instead |
 //! | `metric-docs-sync` | workspace + README.md | every literal metric name registered on the instrument `Registry` is unique per kind and documented |
 //! | `exhaustive-scheme-match` | `crates/core/src` | no `_ =>` arm in a `match` whose patterns name `SchemeEffect`/`QueueOp` |
+//! | `lock-order-cycle` | workspace | the global lock-acquisition-order graph is acyclic |
+//! | `channel-topology` | workspace | every channel someone sends into has a draining receiver |
+//! | `blocking-in-pump` | workspace | no blocking call (`recv`, `join`, `wait`, `sleep`, `lock`) reachable from `Gtm2::pump` or the site-server loop |
+//!
+//! The first five are per-file (token-level); the last three — and the
+//! rewritten `no-lock-across-send` — run on the interprocedural call
+//! graph built by [`crate::parser`] → [`crate::facts`] → [`crate::graph`].
 //!
 //! Escape hatch: `// mdbs-lint: allow(<rule>) — <justification>` on the
 //! same line or the line above suppresses one rule there; a directive
 //! without a justification is itself reported (rule `bad-allow`).
+//! Delimiter-unbalanced files get a non-suppressible `parse-error`
+//! diagnostic instead of a panic.
 //!
 //! Test code (`#[test]` / `#[cfg(test)]` items, files under `tests/`)
 //! is exempt from every rule.
 
+use crate::graph::Graphs;
 use crate::lexer::{lex, Comment, TokKind, Token};
 use std::collections::BTreeMap;
 
@@ -32,16 +42,29 @@ pub const NO_SILENT_SEND_DROP: &str = "no-silent-send-drop";
 pub const METRIC_DOCS_SYNC: &str = "metric-docs-sync";
 /// Rule: no wildcard arms over `SchemeEffect`/`QueueOp` in crates/core.
 pub const EXHAUSTIVE_SCHEME_MATCH: &str = "exhaustive-scheme-match";
+/// Rule: the global lock-acquisition-order graph must be acyclic.
+pub const LOCK_ORDER_CYCLE: &str = "lock-order-cycle";
+/// Rule: every channel someone sends into must have a draining receiver.
+pub const CHANNEL_TOPOLOGY: &str = "channel-topology";
+/// Rule: no blocking call reachable from the scheduler pump loops.
+pub const BLOCKING_IN_PUMP: &str = "blocking-in-pump";
 /// Meta-rule: malformed or unjustified allow directives.
 pub const BAD_ALLOW: &str = "bad-allow";
+/// Meta-rule: delimiter imbalance kept the token-tree parser from
+/// recovering full structure (not suppressible — fix the file).
+pub const PARSE_ERROR: &str = "parse-error";
 
-/// All suppressible rules (BAD_ALLOW itself cannot be allowed away).
-pub const RULES: [&str; 5] = [
+/// All suppressible rules (BAD_ALLOW and PARSE_ERROR cannot be allowed
+/// away).
+pub const RULES: [&str; 8] = [
     NO_PANIC,
     NO_LOCK_ACROSS_SEND,
     NO_SILENT_SEND_DROP,
     METRIC_DOCS_SYNC,
     EXHAUSTIVE_SCHEME_MATCH,
+    LOCK_ORDER_CYCLE,
+    CHANNEL_TOPOLOGY,
+    BLOCKING_IN_PUMP,
 ];
 
 /// One diagnostic.
@@ -69,24 +92,56 @@ pub struct SourceFile {
     pub source: String,
 }
 
-/// Analyze a set of sources plus the README (for `metric-docs-sync`).
-/// Returns all surviving (non-suppressed) violations, sorted by file,
-/// line, column, rule.
-pub fn analyze(files: &[SourceFile], readme: Option<&str>) -> Vec<Violation> {
+/// Everything one analysis run produces: the surviving violations plus
+/// the exportable graph artifacts.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// All surviving (non-suppressed) violations, sorted by file, line,
+    /// column, rule.
+    pub violations: Vec<Violation>,
+    /// Lock-order and channel-topology graphs.
+    pub graphs: Graphs,
+}
+
+/// Analyze a set of sources plus the README (for `metric-docs-sync`):
+/// the per-file token rules, then the interprocedural graph pass over
+/// the extracted facts. Allow directives suppress graph-rule violations
+/// at the reported site exactly like per-file ones.
+pub fn analyze(files: &[SourceFile], readme: Option<&str>) -> Analysis {
     let mut violations = Vec::new();
     let mut metrics = MetricTable::default();
+    let mut allows: Vec<(String, AllowDirectives)> = Vec::new();
+    let mut facts: Vec<crate::facts::FileFacts> = Vec::new();
     for f in files {
-        analyze_file(f, &mut violations, &mut metrics);
+        let allow = analyze_file(f, &mut violations, &mut metrics, &mut facts);
+        allows.push((f.path.clone(), allow));
     }
     if let Some(text) = readme {
         metrics.check_against_readme(text, &mut violations);
     }
+    let graph = crate::graph::analyze_graph(&facts);
+    for v in graph.violations {
+        let suppressed = allows
+            .iter()
+            .any(|(path, a)| *path == v.file && a.suppresses(v.rule, v.line));
+        if !suppressed {
+            violations.push(v);
+        }
+    }
     violations
         .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
-    violations
+    Analysis {
+        violations,
+        graphs: graph.graphs,
+    }
 }
 
-fn analyze_file(file: &SourceFile, out: &mut Vec<Violation>, metrics: &mut MetricTable) {
+fn analyze_file(
+    file: &SourceFile,
+    out: &mut Vec<Violation>,
+    metrics: &mut MetricTable,
+    facts: &mut Vec<crate::facts::FileFacts>,
+) -> AllowDirectives {
     let lexed = lex(&file.source);
     let tokens = strip_test_items(&lexed.tokens);
     let allows = AllowDirectives::parse(&file.path, &lexed.comments, out);
@@ -95,17 +150,36 @@ fn analyze_file(file: &SourceFile, out: &mut Vec<Violation>, metrics: &mut Metri
     if in_scheduler_scope(&file.path) {
         rule_no_panic(&file.path, &tokens, &mut raw);
     }
-    rule_lock_across_send(&file.path, &tokens, &mut raw);
     rule_silent_send_drop(&file.path, &tokens, &mut raw);
     metrics.collect(&file.path, &tokens);
     if file.path.starts_with("crates/core/src/") {
         rule_exhaustive_match(&file.path, &tokens, &mut raw);
     }
+
+    // Token-tree parse + fact extraction for the graph pass. Delimiter
+    // imbalance degrades to a diagnostic, never a panic.
+    let parsed = crate::parser::parse(&tokens);
+    let file_facts = crate::facts::extract(&file.path, &parsed.trees, parsed.errors);
+    for e in &file_facts.parse_errors {
+        out.push(Violation {
+            rule: PARSE_ERROR,
+            file: file.path.clone(),
+            line: e.line.max(1),
+            col: e.col.max(1),
+            message: format!(
+                "delimiter imbalance: {} — graph analyses may be incomplete for this file",
+                e.message
+            ),
+        });
+    }
+    facts.push(file_facts);
+
     for v in raw {
         if !allows.suppresses(v.rule, v.line) {
             out.push(v);
         }
     }
+    allows
 }
 
 /// `no-panic-in-scheduler` applies to the protocol paths only.
@@ -387,79 +461,9 @@ fn rule_no_panic(path: &str, tokens: &[Token], out: &mut Vec<Violation>) {
 }
 
 // ---------------------------------------------------------------------------
-// Rule 2: no-lock-across-send
+// Rule 2: no-lock-across-send — now flow-sensitive and interprocedural,
+// implemented on the fact representation in `crate::graph::analyze_graph`.
 // ---------------------------------------------------------------------------
-
-const CHANNEL_METHODS: [&str; 5] = ["send", "try_send", "recv", "try_recv", "recv_timeout"];
-
-fn rule_lock_across_send(path: &str, tokens: &[Token], out: &mut Vec<Violation>) {
-    // Live lock guards: (binding name, brace depth, line bound).
-    let mut live: Vec<(String, i32, u32)> = Vec::new();
-    let mut depth = 0i32;
-    let mut i = 0;
-    while i < tokens.len() {
-        let t = &tokens[i];
-        if t.is_punct("{") {
-            depth += 1;
-        } else if t.is_punct("}") {
-            depth -= 1;
-            live.retain(|(_, d, _)| *d <= depth);
-        } else if t.is_ident("let")
-            && (i == 0 || !tokens[i - 1].is_ident("if"))
-            && (i == 0 || !tokens[i - 1].is_ident("while"))
-        {
-            if let Some((end, binding, has_lock)) = scan_let_statement(tokens, i) {
-                check_channel_calls(path, &tokens[i..end], &live, out);
-                if has_lock {
-                    if let Some(name) = binding {
-                        if name != "_" {
-                            live.push((name, depth, t.line));
-                        }
-                    }
-                }
-                i = end;
-                continue;
-            }
-        } else if t.is_ident("drop") && tokens.get(i + 1).is_some_and(|n| n.is_punct("(")) {
-            if let (Some(arg), Some(close)) = (tokens.get(i + 2), tokens.get(i + 3)) {
-                if arg.kind == TokKind::Ident && close.is_punct(")") {
-                    live.retain(|(name, _, _)| *name != arg.text);
-                }
-            }
-        } else if is_channel_call(tokens, i) && !live.is_empty() {
-            report_lock_across_send(path, t, &live, out);
-        }
-        i += 1;
-    }
-}
-
-fn is_channel_call(tokens: &[Token], i: usize) -> bool {
-    tokens[i].kind == TokKind::Ident
-        && CHANNEL_METHODS.contains(&tokens[i].text.as_str())
-        && i > 0
-        && tokens[i - 1].is_punct(".")
-        && tokens.get(i + 1).is_some_and(|n| n.is_punct("("))
-}
-
-fn report_lock_across_send(
-    path: &str,
-    t: &Token,
-    live: &[(String, i32, u32)],
-    out: &mut Vec<Violation>,
-) {
-    let (guard, _, gline) = &live[live.len() - 1];
-    out.push(Violation {
-        rule: NO_LOCK_ACROSS_SEND,
-        file: path.to_string(),
-        line: t.line,
-        col: t.col,
-        message: format!(
-            "`.{}()` while lock guard `{guard}` (bound line {gline}) is live — a blocked \
-             channel with a held lock deadlocks the site pump; drop the guard first",
-            t.text
-        ),
-    });
-}
 
 /// Scan a `let` statement from the `let` at `start`. Returns
 /// `(index after ';', binding name, binding is a live lock guard)` or
@@ -523,23 +527,6 @@ fn scan_let_statement(tokens: &[Token], start: usize) -> Option<(usize, Option<S
         }),
     };
     Some((end + 1, binding, is_guard))
-}
-
-/// Report channel calls inside a statement while locks are live.
-fn check_channel_calls(
-    path: &str,
-    stmt: &[Token],
-    live: &[(String, i32, u32)],
-    out: &mut Vec<Violation>,
-) {
-    if live.is_empty() {
-        return;
-    }
-    for i in 0..stmt.len() {
-        if is_channel_call(stmt, i) {
-            report_lock_across_send(path, &stmt[i], live, out);
-        }
-    }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,19 @@
+//! Fixture: blocking calls reachable from the scheduler pump — one
+//! directly (an unbounded `recv`), one through a helper (`sleep`).
+
+use crossbeam_channel::Receiver;
+
+pub struct Gtm2 {
+    pub rx: Receiver<u64>,
+}
+
+impl Gtm2 {
+    pub fn pump(&mut self) -> Option<u64> {
+        self.idle();
+        self.rx.recv().ok()
+    }
+
+    fn idle(&self) {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

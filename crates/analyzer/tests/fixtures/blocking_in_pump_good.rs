@@ -1,0 +1,28 @@
+//! Fixture: the pump only uses non-blocking variants; blocking calls in
+//! functions *not* reachable from an entry point are legal.
+
+use crossbeam_channel::Receiver;
+
+pub struct Gtm2 {
+    pub rx: Receiver<u64>,
+}
+
+impl Gtm2 {
+    pub fn pump(&mut self) -> Option<u64> {
+        self.rx.try_recv().ok()
+    }
+}
+
+pub struct Harvest {
+    pub rx: Receiver<u64>,
+}
+
+impl Harvest {
+    pub fn collect_all(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        while let Ok(v) = self.rx.recv() {
+            out.push(v);
+        }
+        out
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: a channel whose messages are sent but never received — once
+//! the buffer fills, every sender blocks forever.
+
+use crossbeam_channel::bounded;
+
+pub fn orphan() {
+    let (tx, rx) = bounded::<u64>(4);
+    if tx.send(1).is_err() {
+        return;
+    }
+    drop(rx);
+}

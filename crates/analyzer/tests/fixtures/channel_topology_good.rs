@@ -1,0 +1,33 @@
+//! Fixture: both channels are drained — endpoints resolve through struct
+//! fields wired in a constructor-style function.
+
+use crossbeam_channel::{bounded, Receiver, Sender};
+
+pub struct Worker {
+    pub rx: Receiver<u64>,
+    pub tx: Sender<u64>,
+}
+
+impl Worker {
+    pub fn forward(&self) {
+        while let Ok(v) = self.rx.try_recv() {
+            if self.tx.send(v).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+pub fn wire() -> Worker {
+    let (job_tx, job_rx) = bounded::<u64>(8);
+    let (res_tx, res_rx) = bounded::<u64>(8);
+    let w = Worker { rx: job_rx, tx: res_tx };
+    if job_tx.send(7).is_err() {
+        return w;
+    }
+    while let Ok(v) = res_rx.try_recv() {
+        let mut sum = 0;
+        sum += v;
+    }
+    w
+}

@@ -1,0 +1,22 @@
+//! Fixture: the send hides inside a callee while the caller's lock guard
+//! is live — the lexical rule could not see through the call; the
+//! interprocedural rule must.
+
+use crossbeam_channel::Sender;
+use std::sync::Mutex;
+
+pub struct Relay {
+    pub state: Mutex<u64>,
+    pub tx: Sender<u64>,
+}
+
+impl Relay {
+    pub fn publish(&self) {
+        let guard = self.state.lock().unwrap();
+        self.notify(*guard);
+    }
+
+    fn notify(&self, value: u64) {
+        self.tx.send(value).ok();
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: the guard dies inside a nested block before the send. The
+//! PR 2 lexical rule skipped `let` statements wholesale and so never saw
+//! the inner `drop(guard)` — this exact shape was its false positive.
+//! The flow-sensitive rule must stay quiet.
+
+use crossbeam_channel::Sender;
+use std::sync::Mutex;
+
+pub fn relay(state: &Mutex<u64>, tx: &Sender<u64>) {
+    let guard = state.lock().unwrap();
+    let value = {
+        let v = *guard;
+        drop(guard);
+        v
+    };
+    tx.send(value).ok();
+}

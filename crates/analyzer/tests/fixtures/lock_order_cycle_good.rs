@@ -1,0 +1,28 @@
+//! Fixture: every path agrees on one global lock order — `alpha` before
+//! `beta` directly, `alpha` before `gamma` through a callee, so the
+//! second edge only exists interprocedurally.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    pub alpha: Mutex<u32>,
+    pub beta: Mutex<u32>,
+    pub gamma: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn sum(&self) -> u32 {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+        *a + *b
+    }
+
+    pub fn sum_via_tail(&self) -> u32 {
+        let a = self.alpha.lock().unwrap();
+        *a + self.tail()
+    }
+
+    fn tail(&self) -> u32 {
+        *self.gamma.lock().unwrap()
+    }
+}

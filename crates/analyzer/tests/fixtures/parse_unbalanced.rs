@@ -1,0 +1,7 @@
+//! Fixture: delimiter imbalance must degrade to a `parse-error`
+//! diagnostic, never a panic.
+
+pub fn broken(a: u32) -> u32 {
+    let b = (a + 1;
+    b
+}

@@ -1,5 +1,6 @@
 //! Perf smoke run: a fixed matrix of the four conservative schemes ×
-//! {replay, full DES} × three workload sizes, written as `BENCH_PR1.json`.
+//! {replay, full DES} × three workload sizes, written to the path given
+//! by `--out PATH` or `BENCH_OUT` (default `BENCH_PR3.json`).
 //!
 //! The goal is a cheap, repeatable baseline — a few seconds of wall time —
 //! whose numbers later PRs can diff against, not a rigorous benchmark
@@ -149,7 +150,24 @@ fn des_cell(
     }
 }
 
-fn main() {
+/// Output path: `--out PATH` beats `BENCH_OUT` beats the PR default.
+fn out_path() -> Result<String, String> {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("--out") => args.next().ok_or_else(|| "--out needs a path".to_string()),
+        Some(other) => Err(format!("unknown argument `{other}` (try --out PATH)")),
+        None => Ok(std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_PR3.json".to_string())),
+    }
+}
+
+fn main() -> std::process::ExitCode {
+    let path = match out_path() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("perf_smoke: {e}");
+            return std::process::ExitCode::from(2);
+        }
+    };
     let mut cells = Vec::new();
     for scheme in SchemeKind::CONSERVATIVE {
         for (size, n, m, dav) in REPLAY_SIZES {
@@ -163,9 +181,17 @@ fn main() {
         schema: "mdbs-bench-smoke-v1",
         cells,
     };
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    let path = "BENCH_PR1.json";
-    std::fs::write(path, &json).expect("write BENCH_PR1.json");
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("perf_smoke: serializing report: {e}");
+            return std::process::ExitCode::from(2);
+        }
+    };
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("perf_smoke: writing {path}: {e}");
+        return std::process::ExitCode::from(2);
+    }
     eprintln!("wrote {path} ({} cells)", report.cells.len());
     for c in &report.cells {
         eprintln!(
@@ -173,4 +199,5 @@ fn main() {
             c.scheme, c.mode, c.size, c.txns, c.wall_ms, c.throughput_txn_per_sec, c.waits
         );
     }
+    std::process::ExitCode::SUCCESS
 }

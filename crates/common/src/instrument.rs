@@ -477,6 +477,7 @@ impl SharedSink {
 impl TraceSink for SharedSink {
     fn record(&mut self, at: u64, event: SchedEvent) {
         self.events
+            // mdbs-lint: allow(blocking-in-pump) — uncontended trace-buffer mutex held only for one push; no other lock or channel op can be live across it.
             .lock()
             .expect("sink lock")
             .push(TracedEvent { at, event });
