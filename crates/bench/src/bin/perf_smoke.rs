@@ -1,26 +1,34 @@
 //! Perf smoke run: a fixed matrix of the four conservative schemes ×
-//! {replay, full DES} × three workload sizes, written to the path given
-//! by `--out PATH` or `BENCH_OUT` (default `BENCH_PR3.json`).
+//! {replay, sharded replay, full DES} × three workload sizes, written to
+//! the path given by `--out PATH` or `BENCH_OUT` (default
+//! `BENCH_PR4.json`).
 //!
 //! The goal is a cheap, repeatable baseline — a few seconds of wall time —
 //! whose numbers later PRs can diff against, not a rigorous benchmark
-//! (`cargo bench` holds those). Schema (`mdbs-bench-smoke-v1`):
+//! (`cargo bench` holds those). Schema (`mdbs-bench-smoke-v2`):
 //!
 //! ```text
-//! { "schema": "mdbs-bench-smoke-v1",
+//! { "schema": "mdbs-bench-smoke-v2",
 //!   "cells": [ { "scheme", "mode", "size", "txns", "wall_ms",
 //!                "throughput_txn_per_sec", "p50_response_us",
 //!                "p99_response_us", "steps_cond", "steps_act",
 //!                "steps_wait_scan", "waits", "peak_wait",
-//!                "peak_active" }, ... ] }
+//!                "peak_active", "wake_scan_count", "wake_scan_sum" },
+//!              ... ] }
 //! ```
 //!
 //! Replay cells measure pure scheduler cost: throughput is transactions
 //! per *wall* second and the response percentiles are `null` (replay has
-//! no clock). DES cells run the full simulator: throughput and response
-//! percentiles are in *simulated* time.
+//! no clock). `replay-sharded` cells run the same script through
+//! [`ShardedGtm2`] with one shard per site, so the `replay` vs
+//! `replay-sharded` pair is the sharded-vs-single pump comparison: wall
+//! time plus total wake-scan work per scheme. DES cells run the full
+//! simulator: throughput and response percentiles are in *simulated*
+//! time.
+//!
+//! [`ShardedGtm2`]: mdbs_core::sharded::ShardedGtm2
 
-use mdbs_core::replay::{replay, Script};
+use mdbs_core::replay::{replay, replay_sharded, Script};
 use mdbs_core::scheme::SchemeKind;
 use mdbs_localdb::protocol::LocalProtocolKind;
 use mdbs_sim::system::{MdbsSystem, SystemConfig};
@@ -46,6 +54,8 @@ struct BenchCell {
     waits: u64,
     peak_wait: u64,
     peak_active: u64,
+    wake_scan_count: u64,
+    wake_scan_sum: u64,
 }
 
 #[derive(Serialize)]
@@ -76,9 +86,43 @@ fn replay_cell(scheme: SchemeKind, size: &'static str, n: usize, m: usize, dav: 
     let outcome = replay(scheme, &script);
     let wall = start.elapsed();
     assert_eq!(outcome.completed, n, "replay must complete every txn");
+    outcome_cell(scheme, "replay", size, n, wall, &outcome)
+}
+
+/// Same script as [`replay_cell`], pumped through [`ShardedGtm2`] with one
+/// shard per site. Diffing this against the `replay` cell of the same
+/// scheme/size is the sharded-vs-single comparison.
+///
+/// [`ShardedGtm2`]: mdbs_core::sharded::ShardedGtm2
+fn replay_sharded_cell(
+    scheme: SchemeKind,
+    size: &'static str,
+    n: usize,
+    m: usize,
+    dav: f64,
+) -> BenchCell {
+    let script = Script::random(n, m, dav, 42);
+    let start = Instant::now();
+    let outcome = replay_sharded(scheme, m, &script);
+    let wall = start.elapsed();
+    assert_eq!(
+        outcome.completed, n,
+        "sharded replay must complete every txn"
+    );
+    outcome_cell(scheme, "replay-sharded", size, n, wall, &outcome)
+}
+
+fn outcome_cell(
+    scheme: SchemeKind,
+    mode: &'static str,
+    size: &'static str,
+    n: usize,
+    wall: std::time::Duration,
+    outcome: &mdbs_core::replay::ReplayOutcome,
+) -> BenchCell {
     BenchCell {
         scheme: format!("{scheme:?}"),
-        mode: "replay",
+        mode,
         size,
         txns: n,
         wall_ms: wall.as_secs_f64() * 1e3,
@@ -91,6 +135,8 @@ fn replay_cell(scheme: SchemeKind, size: &'static str, n: usize, m: usize, dav: 
         waits: outcome.stats.waited,
         peak_wait: outcome.stats.peak_wait,
         peak_active: outcome.stats.peak_active,
+        wake_scan_count: outcome.wake_scan_count,
+        wake_scan_sum: outcome.wake_scan_sum,
     }
 }
 
@@ -132,6 +178,7 @@ fn des_cell(
         report.ser_s_ok,
         "{scheme:?}/{size}: ser(S) not serializable"
     );
+    let wake_scan = report.registry.histogram("gtm2.wake_scan");
     BenchCell {
         scheme: format!("{scheme:?}"),
         mode: "des",
@@ -147,6 +194,8 @@ fn des_cell(
         waits: report.gtm2.waited,
         peak_wait: report.gtm2.peak_wait,
         peak_active: report.gtm2.peak_active,
+        wake_scan_count: wake_scan.map(|h| h.count()).unwrap_or(0),
+        wake_scan_sum: wake_scan.map(|h| h.sum()).unwrap_or(0),
     }
 }
 
@@ -156,7 +205,7 @@ fn out_path() -> Result<String, String> {
     match args.next().as_deref() {
         Some("--out") => args.next().ok_or_else(|| "--out needs a path".to_string()),
         Some(other) => Err(format!("unknown argument `{other}` (try --out PATH)")),
-        None => Ok(std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_PR3.json".to_string())),
+        None => Ok(std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_PR4.json".to_string())),
     }
 }
 
@@ -172,13 +221,14 @@ fn main() -> std::process::ExitCode {
     for scheme in SchemeKind::CONSERVATIVE {
         for (size, n, m, dav) in REPLAY_SIZES {
             cells.push(replay_cell(scheme, size, n, m, dav));
+            cells.push(replay_sharded_cell(scheme, size, n, m, dav));
         }
         for (size, globals, sites, mpl) in DES_SIZES {
             cells.push(des_cell(scheme, size, globals, sites, mpl));
         }
     }
     let report = BenchReport {
-        schema: "mdbs-bench-smoke-v1",
+        schema: "mdbs-bench-smoke-v2",
         cells,
     };
     let json = match serde_json::to_string_pretty(&report) {

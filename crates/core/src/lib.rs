@@ -44,12 +44,14 @@ pub mod scheme2;
 pub mod scheme3;
 pub mod scheme_sg;
 pub mod ser_s;
+pub mod sharded;
 pub mod tsgd;
 pub mod txn;
 
 pub use gtm1::{Gtm1, Gtm1Effect, Gtm1Event};
 pub use gtm2::{Gtm2, Gtm2Stats};
 pub use scheme::SchemeEffect;
-pub use scheme::{Gtm2Scheme, SchemeKind, WakeCandidates};
+pub use scheme::{Gtm2Scheme, SchemeKind, WakeCandidates, WakeScope};
 pub use ser_s::SerSLog;
+pub use sharded::ShardedGtm2;
 pub use txn::{GlobalTransaction, SerializationFnKind, Step, StepKind};

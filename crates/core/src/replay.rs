@@ -18,6 +18,7 @@
 
 use crate::gtm2::{Gtm2, Gtm2Stats};
 use crate::scheme::{SchemeEffect, SchemeKind};
+use crate::sharded::ShardedGtm2;
 use mdbs_common::ids::{GlobalTxnId, SiteId};
 use mdbs_common::ops::QueueOp;
 use mdbs_common::rng::derive_rng;
@@ -240,6 +241,14 @@ pub struct ReplayOutcome {
     /// non-zero count indicates a scheme bug; the count is surfaced (not
     /// panicked on) so callers can assert on it.
     pub protocol_violations: u64,
+    /// The acted `ser(S)` events in act order, as `(txn, site)` — lets
+    /// differential tests compare per-site serialization orders between
+    /// engines.
+    pub ser_events: Vec<(GlobalTxnId, SiteId)>,
+    /// Number of wake scans performed (wake-scan histogram count).
+    pub wake_scan_count: u64,
+    /// Total wake candidates examined (wake-scan histogram sum).
+    pub wake_scan_sum: u64,
 }
 
 /// Replay a script through a scheme with zero-latency acks and automatic
@@ -251,12 +260,108 @@ pub fn replay(kind: SchemeKind, script: &Script) -> ReplayOutcome {
 
 /// Replay through a pre-built engine (lets callers toggle validation).
 pub fn replay_with(mut engine: Gtm2, script: &Script) -> ReplayOutcome {
+    run_script(&mut engine, script)
+}
+
+/// Replay through the sharded engine's deterministic pump. `nshards = 1`
+/// reproduces the single engine exactly; larger counts exercise the
+/// per-site routing and cross-shard handoff paths (for the partitioned
+/// schemes — the others funnel through shard 0 regardless).
+pub fn replay_sharded(kind: SchemeKind, nshards: usize, script: &Script) -> ReplayOutcome {
+    let mut engine = ShardedGtm2::new(kind, nshards);
+    run_script(&mut engine, script)
+}
+
+/// Minimal engine surface the replay harness needs — lets one loop drive
+/// both [`Gtm2`] and [`ShardedGtm2`].
+trait ReplayEngine {
+    fn enqueue_op(&mut self, op: QueueOp);
+    fn pump_ops(&mut self) -> Vec<SchemeEffect>;
+    fn engine_stats(&self) -> Gtm2Stats;
+    fn engine_steps(&self) -> StepCounter;
+    fn waiting(&self) -> usize;
+    fn queued(&self) -> usize;
+    fn display_name(&self) -> &'static str;
+    fn ser_events(&self) -> Vec<(GlobalTxnId, SiteId)>;
+    fn ser_ok_excluding(&self, aborted: &[GlobalTxnId]) -> bool;
+    fn wake_totals(&self) -> (u64, u64);
+}
+
+impl ReplayEngine for Gtm2 {
+    fn enqueue_op(&mut self, op: QueueOp) {
+        self.enqueue(op);
+    }
+    fn pump_ops(&mut self) -> Vec<SchemeEffect> {
+        self.pump()
+    }
+    fn engine_stats(&self) -> Gtm2Stats {
+        self.stats()
+    }
+    fn engine_steps(&self) -> StepCounter {
+        self.steps()
+    }
+    fn waiting(&self) -> usize {
+        self.wait_len()
+    }
+    fn queued(&self) -> usize {
+        self.queue_len()
+    }
+    fn display_name(&self) -> &'static str {
+        self.scheme_name()
+    }
+    fn ser_events(&self) -> Vec<(GlobalTxnId, SiteId)> {
+        self.ser_log().events().to_vec()
+    }
+    fn ser_ok_excluding(&self, aborted: &[GlobalTxnId]) -> bool {
+        self.ser_log().check_excluding(aborted).is_ok()
+    }
+    fn wake_totals(&self) -> (u64, u64) {
+        let h = self.wake_scan_histogram();
+        (h.count(), h.sum())
+    }
+}
+
+impl ReplayEngine for ShardedGtm2 {
+    fn enqueue_op(&mut self, op: QueueOp) {
+        self.enqueue_mut(op);
+    }
+    fn pump_ops(&mut self) -> Vec<SchemeEffect> {
+        self.pump_all()
+    }
+    fn engine_stats(&self) -> Gtm2Stats {
+        self.stats()
+    }
+    fn engine_steps(&self) -> StepCounter {
+        self.steps()
+    }
+    fn waiting(&self) -> usize {
+        self.wait_len()
+    }
+    fn queued(&self) -> usize {
+        self.queue_len()
+    }
+    fn display_name(&self) -> &'static str {
+        self.scheme_name()
+    }
+    fn ser_events(&self) -> Vec<(GlobalTxnId, SiteId)> {
+        self.ser_log_snapshot().events().to_vec()
+    }
+    fn ser_ok_excluding(&self, aborted: &[GlobalTxnId]) -> bool {
+        self.ser_log_snapshot().check_excluding(aborted).is_ok()
+    }
+    fn wake_totals(&self) -> (u64, u64) {
+        self.wake_scan_totals()
+    }
+}
+
+/// The shared replay loop body.
+fn run_script<E: ReplayEngine>(engine: &mut E, script: &Script) -> ReplayOutcome {
     let mut ctl = DrainCtl::default();
     for ev in &script.events {
         match ev {
             ScriptEvent::Init(txn, sites) => {
                 ctl.acks_needed.insert(*txn, sites.len());
-                engine.enqueue(QueueOp::Init {
+                engine.enqueue_op(QueueOp::Init {
                     txn: *txn,
                     sites: sites.clone(),
                 });
@@ -265,37 +370,41 @@ pub fn replay_with(mut engine: Gtm2, script: &Script) -> ReplayOutcome {
                 if ctl.aborted.contains(txn) {
                     continue; // GTM1 stops submitting for victims
                 }
-                engine.enqueue(QueueOp::Ser {
+                engine.enqueue_op(QueueOp::Ser {
                     txn: *txn,
                     site: *site,
                 });
             }
         }
-        drain(&mut engine, &mut ctl);
+        drain(engine, &mut ctl);
     }
-    let stats = engine.stats();
+    let stats = engine.engine_stats();
     assert_eq!(
-        engine.wait_len(),
+        engine.waiting(),
         0,
         "{}: script left waiters",
-        engine.scheme_name()
+        engine.display_name()
     );
     assert_eq!(
-        engine.queue_len(),
+        engine.queued(),
         0,
         "{}: queue not drained",
-        engine.scheme_name()
+        engine.display_name()
     );
     let aborted: Vec<GlobalTxnId> = ctl.aborted.into_iter().collect();
+    let (wake_scan_count, wake_scan_sum) = engine.wake_totals();
     ReplayOutcome {
         stats,
-        steps: engine.steps(),
+        steps: engine.engine_steps(),
         completed: stats.fins as usize - aborted.len(),
         // Serializability is judged on the committed projection: baselines
         // execute events of transactions they later abort.
-        ser_serializable: engine.ser_log().check_excluding(&aborted).is_ok(),
+        ser_serializable: engine.ser_ok_excluding(&aborted),
+        ser_events: engine.ser_events(),
         aborted,
         protocol_violations: ctl.protocol_violations,
+        wake_scan_count,
+        wake_scan_sum,
     }
 }
 
@@ -309,9 +418,9 @@ struct DrainCtl {
 }
 
 /// Pump and respond to effects (acks, fins) until quiescent.
-fn drain(engine: &mut Gtm2, ctl: &mut DrainCtl) {
+fn drain<E: ReplayEngine>(engine: &mut E, ctl: &mut DrainCtl) {
     loop {
-        let effects = engine.pump();
+        let effects = engine.pump_ops();
         if effects.is_empty() {
             return;
         }
@@ -319,7 +428,7 @@ fn drain(engine: &mut Gtm2, ctl: &mut DrainCtl) {
             match fx {
                 SchemeEffect::SubmitSer { txn, site } => {
                     // Zero-latency local DBMS: ack immediately.
-                    engine.enqueue(QueueOp::Ack { txn, site });
+                    engine.enqueue_op(QueueOp::Ack { txn, site });
                 }
                 SchemeEffect::ForwardAck { txn, .. } => {
                     // Acks can still arrive for a just-aborted victim.
@@ -328,7 +437,7 @@ fn drain(engine: &mut Gtm2, ctl: &mut DrainCtl) {
                     };
                     *left -= 1;
                     if *left == 0 && ctl.fin_sent.insert(txn) {
-                        engine.enqueue(QueueOp::Fin { txn });
+                        engine.enqueue_op(QueueOp::Fin { txn });
                     }
                 }
                 SchemeEffect::AbortGlobal { txn } => {
@@ -339,7 +448,7 @@ fn drain(engine: &mut Gtm2, ctl: &mut DrainCtl) {
                     // was decided while processing that very fin
                     // (optimistic validation).
                     if ctl.fin_sent.insert(txn) {
-                        engine.enqueue(QueueOp::Fin { txn });
+                        engine.enqueue_op(QueueOp::Fin { txn });
                     }
                 }
                 SchemeEffect::ProtocolViolation { .. } => {

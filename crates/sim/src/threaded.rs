@@ -8,6 +8,13 @@
 //! clocks. Every run is still audited for global serializability at the
 //! end, so the paper's guarantees are exercised under true parallelism.
 //!
+//! GTM2 runs as a [`ShardedGtm2`]: each site worker feeds its `ack`s into
+//! its own shard and pumps it in place (an ack never crosses the
+//! coordinator channel), while the coordinator pumps the shards its
+//! `init`/`ser`/`fin` traffic routes to. The shard count comes from
+//! [`ThreadedMdbs::set_shards`], the `MDBS_SHARDS` environment variable,
+//! or defaults to one shard per site.
+//!
 //! Scope: global transactions only (the simulator covers background local
 //! load); aborted global transactions are not retried — their outcome is
 //! reported as-is.
@@ -16,9 +23,10 @@ use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use mdbs_common::error::{AbortReason, MdbsError};
 use mdbs_common::ids::{DataItemId, GlobalTxnId, SiteId};
 use mdbs_common::instrument::{Registry, SharedSink, TracedEvent};
+use mdbs_common::ops::QueueOp;
 use mdbs_core::gtm1::{Gtm1, Gtm1Effect, Gtm1Event, ServerCommand};
-use mdbs_core::gtm2::Gtm2;
 use mdbs_core::scheme::{SchemeEffect, SchemeKind};
+use mdbs_core::sharded::ShardedGtm2;
 use mdbs_core::txn::GlobalTransaction;
 use mdbs_localdb::engine::{EngineStats, LocalDbms, OpOutcome, SubmitResult};
 use mdbs_localdb::protocol::LocalProtocolKind;
@@ -28,6 +36,7 @@ use mdbs_schedule::global::{check_global, GlobalSerializability};
 use mdbs_schedule::History;
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -40,14 +49,11 @@ enum ToSite {
     Shutdown,
 }
 
-/// Message from a site thread back to the coordinator.
+/// Message from a site thread back to the coordinator. GTM2 `ack`s no
+/// longer travel here — each worker feeds them straight into its own
+/// shard of the sharded engine.
 enum FromSite {
     Gtm1(Gtm1Event),
-    /// `ack(ser_site(txn))` for GTM2.
-    Ack {
-        txn: GlobalTxnId,
-        site: SiteId,
-    },
     /// Final state at shutdown.
     Final {
         site: SiteId,
@@ -104,6 +110,10 @@ struct SiteWorker {
     db: LocalDbms,
     rx: Receiver<ToSite>,
     tx: Sender<FromSite>,
+    /// The shared GTM2 engine; this worker pumps shard `shard`.
+    gtm2: Arc<ShardedGtm2>,
+    /// The shard owning this worker's site.
+    shard: usize,
     pending: BTreeMap<GlobalTxnId, (Cont, Instant)>,
     block_timeout: Duration,
     /// Sends that failed because the coordinator already hung up. The
@@ -130,7 +140,14 @@ impl SiteWorker {
                     self.drain();
                 }
                 Ok(ToSite::Shutdown) => break,
-                Err(RecvTimeoutError::Timeout) => self.expire_blocked(),
+                Err(RecvTimeoutError::Timeout) => {
+                    self.expire_blocked();
+                    // Idle tick: clear any handoffs other shards parked in
+                    // ours (the deliverer normally pumps them itself, so
+                    // this is a belt-and-braces sweep, not the fast path).
+                    let effects = self.gtm2.pump_shard(self.shard);
+                    self.forward_effects(effects);
+                }
                 Err(RecvTimeoutError::Disconnected) => break,
             }
         }
@@ -300,11 +317,36 @@ impl SiteWorker {
         self.send_counted(FromSite::Gtm1(event));
     }
 
+    /// Feed `ack(ser_site(txn))` straight into this worker's GTM2 shard
+    /// and pump it in place; whatever the pump produces (submits for any
+    /// site, forwarded acks) goes to the coordinator as GTM1 events.
     fn send_ack(&mut self, txn: GlobalTxnId) {
-        self.send_counted(FromSite::Ack {
+        let shard = self.gtm2.submit(QueueOp::Ack {
             txn,
             site: self.site,
         });
+        let effects = self.gtm2.pump_shard(shard);
+        self.forward_effects(effects);
+    }
+
+    fn forward_effects(&mut self, effects: Vec<SchemeEffect>) {
+        for fx in effects {
+            self.send_counted(FromSite::Gtm1(gtm2_effect_event(fx)));
+        }
+    }
+}
+
+/// Convert a GTM2 effect into the GTM1 event that carries it onward.
+fn gtm2_effect_event(fx: SchemeEffect) -> Gtm1Event {
+    match fx {
+        SchemeEffect::SubmitSer { txn, site } => Gtm1Event::Gtm2SubmitSer { txn, site },
+        SchemeEffect::ForwardAck { txn, site } => Gtm1Event::Gtm2Ack { txn, site },
+        SchemeEffect::AbortGlobal { .. } => {
+            unreachable!("conservative schemes only")
+        }
+        SchemeEffect::ProtocolViolation { txn, site, kind } => {
+            unreachable!("gtm2 protocol violation: {kind} ({txn}, {site:?})")
+        }
     }
 }
 
@@ -337,6 +379,7 @@ pub struct ThreadedMdbs {
     mpl: usize,
     block_timeout: Duration,
     trace: bool,
+    shards: Option<usize>,
 }
 
 impl ThreadedMdbs {
@@ -348,6 +391,7 @@ impl ThreadedMdbs {
             mpl,
             block_timeout: Duration::from_millis(200),
             trace: false,
+            shards: None,
         }
     }
 
@@ -357,8 +401,48 @@ impl ThreadedMdbs {
         self.trace = true;
     }
 
+    /// Override the number of GTM2 pump shards. Defaults (in order) to
+    /// this override, the `MDBS_SHARDS` environment variable, then one
+    /// shard per site.
+    pub fn set_shards(&mut self, n: usize) {
+        self.shards = Some(n.max(1));
+    }
+
+    fn shard_count(&self) -> usize {
+        if let Some(n) = self.shards {
+            return n;
+        }
+        if let Ok(raw) = std::env::var("MDBS_SHARDS") {
+            if let Ok(n) = raw.parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        self.protocols.len().max(1)
+    }
+
     /// Run the programs to completion on live threads and audit.
     pub fn run(&self, programs: Vec<GlobalTransaction>) -> ThreadedRunReport {
+        let site_events: BTreeMap<SiteId, SerializationEvent> = self
+            .protocols
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (SiteId(i as u32), SerializationEvent::for_protocol(p)))
+            .collect();
+        let mut gtm1 = Gtm1::new(site_events);
+        let nshards = self.shard_count();
+        let mut sharded = ShardedGtm2::new(self.scheme, nshards);
+        let sched_sink = if self.trace {
+            let sink = SharedSink::new();
+            gtm1.set_sink(Some(Box::new(sink.clone())));
+            sharded.set_sink(Some(Box::new(sink.clone())));
+            Some(sink)
+        } else {
+            None
+        };
+        let gtm2 = Arc::new(sharded);
+
         let (to_coord, from_sites) = bounded::<FromSite>(1024);
         let mut site_txs: Vec<Sender<ToSite>> = Vec::new();
         let mut handles: Vec<JoinHandle<()>> = Vec::new();
@@ -370,6 +454,8 @@ impl ThreadedMdbs {
                 db: LocalDbms::new(SiteId(i as u32), protocol),
                 rx,
                 tx: to_coord.clone(),
+                gtm2: Arc::clone(&gtm2),
+                shard: i % nshards,
                 pending: BTreeMap::new(),
                 block_timeout: self.block_timeout,
                 send_dropped: 0,
@@ -377,23 +463,6 @@ impl ThreadedMdbs {
             handles.push(std::thread::spawn(move || worker.run()));
         }
         drop(to_coord);
-
-        let site_events: BTreeMap<SiteId, SerializationEvent> = self
-            .protocols
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (SiteId(i as u32), SerializationEvent::for_protocol(p)))
-            .collect();
-        let mut gtm1 = Gtm1::new(site_events);
-        let mut gtm2 = Gtm2::new(self.scheme.build());
-        let sched_sink = if self.trace {
-            let sink = SharedSink::new();
-            gtm1.set_sink(Some(Box::new(sink.clone())));
-            gtm2.set_sink(Some(Box::new(sink.clone())));
-            Some(sink)
-        } else {
-            None
-        };
 
         let total = programs.len();
         let mut queue: VecDeque<GlobalTransaction> = programs.into();
@@ -413,7 +482,12 @@ impl ThreadedMdbs {
             while let Some(ev) = pending_events.pop_front() {
                 for fx in gtm1.handle(ev) {
                     match fx {
-                        Gtm1Effect::EnqueueGtm2(op) => gtm2.enqueue(op),
+                        Gtm1Effect::EnqueueGtm2(op) => {
+                            let shard = gtm2.enqueue(op);
+                            for fx in gtm2.pump_shard(shard) {
+                                pending_events.push_back(gtm2_effect_event(fx));
+                            }
+                        }
                         Gtm1Effect::Server { txn, site, cmd } => {
                             // A dead site thread is tolerated (timeouts
                             // abort its transactions) but never silent.
@@ -436,22 +510,6 @@ impl ThreadedMdbs {
                         }
                     }
                 }
-                for fx in gtm2.pump() {
-                    match fx {
-                        SchemeEffect::SubmitSer { txn, site } => {
-                            pending_events.push_back(Gtm1Event::Gtm2SubmitSer { txn, site });
-                        }
-                        SchemeEffect::ForwardAck { txn, site } => {
-                            pending_events.push_back(Gtm1Event::Gtm2Ack { txn, site });
-                        }
-                        SchemeEffect::AbortGlobal { .. } => {
-                            unreachable!("conservative schemes only")
-                        }
-                        SchemeEffect::ProtocolViolation { txn, site, kind } => {
-                            unreachable!("gtm2 protocol violation: {kind} ({txn}, {site:?})")
-                        }
-                    }
-                }
             }
             if done >= total {
                 break;
@@ -459,24 +517,6 @@ impl ThreadedMdbs {
             // Wait for site replies.
             match from_sites.recv_timeout(Duration::from_secs(10)) {
                 Ok(FromSite::Gtm1(event)) => pending_events.push_back(event),
-                Ok(FromSite::Ack { txn, site }) => {
-                    gtm2.enqueue(mdbs_common::ops::QueueOp::Ack { txn, site });
-                    // Trigger the pump via an empty event round.
-                    for fx in gtm2.pump() {
-                        match fx {
-                            SchemeEffect::SubmitSer { txn, site } => {
-                                pending_events.push_back(Gtm1Event::Gtm2SubmitSer { txn, site });
-                            }
-                            SchemeEffect::ForwardAck { txn, site } => {
-                                pending_events.push_back(Gtm1Event::Gtm2Ack { txn, site });
-                            }
-                            SchemeEffect::AbortGlobal { .. } => unreachable!(),
-                            SchemeEffect::ProtocolViolation { txn, site, kind } => {
-                                unreachable!("gtm2 protocol violation: {kind} ({txn}, {site:?})")
-                            }
-                        }
-                    }
-                }
                 Ok(FromSite::Final { .. }) => {}
                 Err(_) => panic!("threaded MDBS wedged: {done}/{total} complete"),
             }
@@ -525,7 +565,7 @@ impl ThreadedMdbs {
             commits,
             aborts,
             audit: check_global(histories.iter().map(|(&s, h)| (s, h))),
-            ser_s_ok: gtm2.ser_log().check().is_ok(),
+            ser_s_ok: gtm2.ser_log_snapshot().check().is_ok(),
             storage_totals: totals.into_values().collect(),
             registry,
             events: sched_sink.map(|s| s.drain()).unwrap_or_default(),

@@ -192,3 +192,50 @@ fn retry_exhaustion_reports_failures() {
         "zero retry budget under contention must abandon someone"
     );
 }
+
+/// Sharded threaded runs: the live-thread scheduler pumping per-site GTM2
+/// shards must stay serializable and lose no messages at every shard
+/// count from a single funnel to one shard per site. Kept small enough to
+/// run in the default (non-ignored) suite; the soak variants above cover
+/// scale.
+#[test]
+fn threaded_sharded_pump_sweep() {
+    use mdbs::sim::threaded::ThreadedMdbs;
+
+    let spec = WorkloadSpec {
+        sites: 4,
+        global_txns: 16,
+        avg_sites_per_txn: 2.5,
+        ops_per_subtxn: 2,
+        read_ratio: 0.5,
+        items_per_site: 24,
+        distribution: mdbs::workload::AccessDistribution::Uniform,
+        local_txns_per_site: 0,
+        ops_per_local_txn: 0,
+        seed: 0,
+    };
+    for scheme in [SchemeKind::Scheme1, SchemeKind::Scheme3] {
+        for shards in [1usize, 2, 4] {
+            for seed in [11u64, 12, 13] {
+                let programs = Workload::generate(&WorkloadSpec {
+                    seed,
+                    ..spec.clone()
+                })
+                .globals;
+                let mut rt =
+                    ThreadedMdbs::new(vec![LocalProtocolKind::TwoPhaseLocking; 4], scheme, 6);
+                rt.set_shards(shards);
+                let report = rt.run(programs);
+                let label = format!("{scheme} shards={shards} seed={seed}");
+                assert_eq!(report.commits + report.aborts, 16, "{label}");
+                assert!(report.is_serializable(), "{label}: {:?}", report.audit);
+                assert!(report.ser_s_ok, "{label}");
+                assert_eq!(
+                    report.registry.counter("threaded.send_dropped"),
+                    0,
+                    "{label}: dropped sends"
+                );
+            }
+        }
+    }
+}
