@@ -22,8 +22,14 @@
 //! Escape hatch: `// mdbs-lint: allow(<rule>) — <justification>` on the
 //! same line or the line above suppresses one rule there; a directive
 //! without a justification is itself reported (rule `bad-allow`).
-//! Delimiter-unbalanced files get a non-suppressible `parse-error`
-//! diagnostic instead of a panic.
+//! `// mdbs-lint: allow(<rule>, scope=item) — <justification>` widens
+//! the suppression to the whole item (fn/impl/struct) that starts after
+//! the directive — for code whose *shape* trips a rule pervasively under
+//! one shared invariant (e.g. the slot-indexed dense kernels), where a
+//! per-line directive on every site would bury the real signal. The
+//! justification must state the invariant; an item-scoped allow with no
+//! following item is reported as `bad-allow`. Delimiter-unbalanced files
+//! get a non-suppressible `parse-error` diagnostic instead of a panic.
 //!
 //! Test code (`#[test]` / `#[cfg(test)]` items, files under `tests/`)
 //! is exempt from every rule.
@@ -144,7 +150,7 @@ fn analyze_file(
 ) -> AllowDirectives {
     let lexed = lex(&file.source);
     let tokens = strip_test_items(&lexed.tokens);
-    let allows = AllowDirectives::parse(&file.path, &lexed.comments, out);
+    let allows = AllowDirectives::parse(&file.path, &lexed.comments, &tokens, out);
 
     let mut raw = Vec::new();
     if in_scheduler_scope(&file.path) {
@@ -192,12 +198,14 @@ fn in_scheduler_scope(path: &str) -> bool {
 // ---------------------------------------------------------------------------
 
 struct AllowDirectives {
-    /// (rule, line) pairs; a directive covers its own line and the next.
-    entries: Vec<(String, u32)>,
+    /// (rule, first line, last line) triples. A line-scoped directive
+    /// covers its own line and the next; an item-scoped one covers the
+    /// whole item that starts after it.
+    entries: Vec<(String, u32, u32)>,
 }
 
 impl AllowDirectives {
-    fn parse(path: &str, comments: &[Comment], out: &mut Vec<Violation>) -> Self {
+    fn parse(path: &str, comments: &[Comment], tokens: &[Token], out: &mut Vec<Violation>) -> Self {
         let mut entries = Vec::new();
         for c in comments {
             let Some(pos) = c.text.find("mdbs-lint:") else {
@@ -228,7 +236,11 @@ impl AllowDirectives {
                 });
                 continue;
             };
-            let rule = inner[..close].trim();
+            let spec = inner[..close].trim();
+            let (rule, scope_arg) = match spec.split_once(',') {
+                Some((r, arg)) => (r.trim(), Some(arg.trim())),
+                None => (spec, None),
+            };
             // Prose that *describes* the syntax (`allow(<rule>)`,
             // `allow(...)`) is not a directive: only rule-shaped names
             // are interpreted, so typos still get flagged below.
@@ -239,6 +251,22 @@ impl AllowDirectives {
             {
                 continue;
             }
+            let item_scoped = match scope_arg {
+                None => false,
+                Some("scope=item") => true,
+                Some(other) => {
+                    out.push(Violation {
+                        rule: BAD_ALLOW,
+                        file: path.to_string(),
+                        line: c.line,
+                        col: 1,
+                        message: format!(
+                            "unknown mdbs-lint allow argument `{other}` (supported: scope=item)"
+                        ),
+                    });
+                    continue;
+                }
+            };
             let justification = inner[close + 1..]
                 .trim_start_matches(|ch: char| {
                     ch.is_whitespace() || ch == '—' || ch == '–' || ch == '-' || ch == ':'
@@ -263,18 +291,41 @@ impl AllowDirectives {
                          `mdbs-lint: allow({rule}) — <why this cannot fire>`"
                     ),
                 });
+            } else if item_scoped {
+                // The directive covers the next item: from the first
+                // token strictly below the comment through the item's
+                // closing `}` or `;`.
+                let Some(start) = tokens.iter().position(|t| t.line > c.line) else {
+                    out.push(Violation {
+                        rule: BAD_ALLOW,
+                        file: path.to_string(),
+                        line: c.line,
+                        col: 1,
+                        message: format!(
+                            "mdbs-lint allow({rule}, scope=item) has no following item to cover"
+                        ),
+                    });
+                    continue;
+                };
+                let end = skip_item(tokens, start);
+                let last_line = tokens[start..end]
+                    .last()
+                    .map_or(c.line + 1, |t| t.line)
+                    .max(c.line + 1);
+                entries.push((rule.to_string(), c.line, last_line));
             } else {
-                entries.push((rule.to_string(), c.line));
+                entries.push((rule.to_string(), c.line, c.line + 1));
             }
         }
         AllowDirectives { entries }
     }
 
-    /// A directive on line N covers violations on lines N and N+1.
+    /// A line-scoped directive on line N covers violations on lines N
+    /// and N+1; an item-scoped one covers its whole recorded span.
     fn suppresses(&self, rule: &str, line: u32) -> bool {
         self.entries
             .iter()
-            .any(|(r, l)| r == rule && (*l == line || *l + 1 == line))
+            .any(|(r, first, last)| r == rule && *first <= line && line <= *last)
     }
 }
 

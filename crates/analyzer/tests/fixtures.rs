@@ -66,6 +66,25 @@ fn no_panic_good_is_quiet() {
 }
 
 #[test]
+fn item_scoped_allow_covers_item_but_does_not_leak() {
+    // Inside the item the indexing is suppressed; the identical access in
+    // the next item still fires.
+    let src = "\
+// mdbs-lint: allow(no-panic-in-scheduler, scope=item) — test: slots are pre-grown.
+pub fn covered(rows: &mut [u32], slot: usize) -> u32 {
+    rows[slot]
+}
+
+pub fn uncovered(rows: &mut [u32], slot: usize) -> u32 {
+    rows[slot]
+}
+";
+    let report = run_sources(&[fixture("crates/core/src/fixture.rs", src)], None);
+    let lines: Vec<u32> = report.violations.iter().map(|v| v.line).collect();
+    assert_eq!(lines, [7], "only the access outside the item fires");
+}
+
+#[test]
 fn no_panic_is_scoped_to_scheduler_crates() {
     // The same panicking source outside crates/core|localdb is legal.
     let fired = rules_fired(

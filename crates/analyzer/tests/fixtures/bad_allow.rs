@@ -7,3 +7,10 @@ pub fn noop() {
     // mdbs-lint: allow(no-lock-across-send)
     let _y = 2;
 }
+
+pub fn scoped_noop() {
+    // mdbs-lint: allow(no-panic-in-scheduler, scope=file) — unknown scope argument.
+    let _z = 3;
+}
+
+// mdbs-lint: allow(no-panic-in-scheduler, scope=item) — nothing follows this directive.

@@ -21,3 +21,17 @@ fn test_code_is_exempt() {
     let v: Option<u32> = Some(1);
     assert_eq!(v.unwrap(), 1);
 }
+
+// mdbs-lint: allow(no-panic-in-scheduler, scope=item) — fixture: every slot below is interned before use, so rows cover it by construction.
+pub fn dense_rows(rows: &mut Vec<u32>, slot: usize) -> u32 {
+    if rows.len() <= slot {
+        rows.resize(slot + 1, 0);
+    }
+    rows[slot] += 1;
+    rows[slot]
+}
+
+pub fn after_the_item(ops: &std::collections::BTreeMap<u32, u32>, key: u32) -> Option<u32> {
+    // The item-scoped allow above must NOT leak past `dense_rows`.
+    ops.get(&key).copied()
+}

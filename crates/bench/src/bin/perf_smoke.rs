@@ -1,15 +1,15 @@
 //! Perf smoke run: a fixed matrix of the four conservative schemes ×
-//! {replay, sharded replay, full DES} × three workload sizes, written to
-//! the path given by `--out PATH` or `BENCH_OUT` (default
-//! `BENCH_PR4.json`).
+//! {replay, sharded replay, full DES} × workload sizes × scheme kernels,
+//! written to the path given by `--out PATH` or `BENCH_OUT` (default
+//! `BENCH_PR5.json`).
 //!
 //! The goal is a cheap, repeatable baseline — a few seconds of wall time —
 //! whose numbers later PRs can diff against, not a rigorous benchmark
-//! (`cargo bench` holds those). Schema (`mdbs-bench-smoke-v2`):
+//! (`cargo bench` holds those). Schema (`mdbs-bench-smoke-v3`):
 //!
 //! ```text
-//! { "schema": "mdbs-bench-smoke-v2",
-//!   "cells": [ { "scheme", "mode", "size", "txns", "wall_ms",
+//! { "schema": "mdbs-bench-smoke-v3",
+//!   "cells": [ { "scheme", "mode", "size", "kernel", "txns", "wall_ms",
 //!                "throughput_txn_per_sec", "p50_response_us",
 //!                "p99_response_us", "steps_cond", "steps_act",
 //!                "steps_wait_scan", "waits", "peak_wait",
@@ -26,10 +26,19 @@
 //! simulator: throughput and response percentiles are in *simulated*
 //! time.
 //!
+//! The `kernel` column names the scheme-state implementation:
+//! `btree` (reference `BTreeMap`/`BTreeSet` kernels) or `dense`
+//! (slot-interned bitset kernels). Both kernels charge byte-identical
+//! `steps_cond`/`steps_act` — `step_gate` enforces that — so within a
+//! (scheme, mode, size) pair only `wall_ms` may differ. Reference-kernel
+//! cells stop at `medium`: the `large` tier exists to show the dense
+//! kernels holding up at 1000 txns, where the btree Scheme 2 cell alone
+//! would dominate the whole smoke run.
+//!
 //! [`ShardedGtm2`]: mdbs_core::sharded::ShardedGtm2
 
-use mdbs_core::replay::{replay, replay_sharded, Script};
-use mdbs_core::scheme::SchemeKind;
+use mdbs_core::replay::{replay_kernel, replay_sharded_kernel, Script};
+use mdbs_core::scheme::{KernelKind, SchemeKind};
 use mdbs_localdb::protocol::LocalProtocolKind;
 use mdbs_sim::system::{MdbsSystem, SystemConfig};
 use mdbs_workload::distributions::AccessDistribution;
@@ -43,6 +52,7 @@ struct BenchCell {
     scheme: String,
     mode: &'static str,
     size: &'static str,
+    kernel: &'static str,
     txns: usize,
     wall_ms: f64,
     throughput_txn_per_sec: f64,
@@ -65,13 +75,22 @@ struct BenchReport {
 }
 
 /// (size label, txns, sites, avg sites per txn) for replay scripts.
-/// Sizes are capped so the worst cell (Scheme 2, whose TSGD bookkeeping is
-/// superlinear in n) stays in the low seconds — this is a smoke run.
+/// The `large` tier is dense-kernel-only: the reference Scheme 2 kernel is
+/// superlinear in n and would turn the smoke run into minutes at 1000
+/// txns, which is exactly the regime the dense kernels exist for.
 const REPLAY_SIZES: [(&str, usize, usize, f64); 3] = [
     ("small", 50, 4, 2.0),
     ("medium", 150, 6, 2.5),
-    ("large", 300, 8, 3.0),
+    ("large", 1000, 10, 2.5),
 ];
+
+/// Which replay tiers each kernel runs: btree stops at `medium`.
+fn kernel_runs_size(kernel: KernelKind, size: &str) -> bool {
+    match kernel {
+        KernelKind::BTree => size != "large",
+        KernelKind::Dense => true,
+    }
+}
 
 /// (size label, global txns, sites, mpl) for full DES runs.
 const DES_SIZES: [(&str, usize, usize, usize); 3] = [
@@ -80,13 +99,20 @@ const DES_SIZES: [(&str, usize, usize, usize); 3] = [
     ("large", 160, 6, 8),
 ];
 
-fn replay_cell(scheme: SchemeKind, size: &'static str, n: usize, m: usize, dav: f64) -> BenchCell {
+fn replay_cell(
+    scheme: SchemeKind,
+    kernel: KernelKind,
+    size: &'static str,
+    n: usize,
+    m: usize,
+    dav: f64,
+) -> BenchCell {
     let script = Script::random(n, m, dav, 42);
     let start = Instant::now();
-    let outcome = replay(scheme, &script);
+    let outcome = replay_kernel(scheme, kernel, &script);
     let wall = start.elapsed();
     assert_eq!(outcome.completed, n, "replay must complete every txn");
-    outcome_cell(scheme, "replay", size, n, wall, &outcome)
+    outcome_cell(scheme, "replay", size, kernel.name(), n, wall, &outcome)
 }
 
 /// Same script as [`replay_cell`], pumped through [`ShardedGtm2`] with one
@@ -96,6 +122,7 @@ fn replay_cell(scheme: SchemeKind, size: &'static str, n: usize, m: usize, dav: 
 /// [`ShardedGtm2`]: mdbs_core::sharded::ShardedGtm2
 fn replay_sharded_cell(
     scheme: SchemeKind,
+    kernel: KernelKind,
     size: &'static str,
     n: usize,
     m: usize,
@@ -103,19 +130,28 @@ fn replay_sharded_cell(
 ) -> BenchCell {
     let script = Script::random(n, m, dav, 42);
     let start = Instant::now();
-    let outcome = replay_sharded(scheme, m, &script);
+    let outcome = replay_sharded_kernel(scheme, kernel, m, &script);
     let wall = start.elapsed();
     assert_eq!(
         outcome.completed, n,
         "sharded replay must complete every txn"
     );
-    outcome_cell(scheme, "replay-sharded", size, n, wall, &outcome)
+    outcome_cell(
+        scheme,
+        "replay-sharded",
+        size,
+        kernel.name(),
+        n,
+        wall,
+        &outcome,
+    )
 }
 
 fn outcome_cell(
     scheme: SchemeKind,
     mode: &'static str,
     size: &'static str,
+    kernel: &'static str,
     n: usize,
     wall: std::time::Duration,
     outcome: &mdbs_core::replay::ReplayOutcome,
@@ -124,6 +160,7 @@ fn outcome_cell(
         scheme: format!("{scheme:?}"),
         mode,
         size,
+        kernel,
         txns: n,
         wall_ms: wall.as_secs_f64() * 1e3,
         throughput_txn_per_sec: n as f64 / wall.as_secs_f64(),
@@ -183,6 +220,8 @@ fn des_cell(
         scheme: format!("{scheme:?}"),
         mode: "des",
         size,
+        // DES always runs the default (dense) kernels.
+        kernel: KernelKind::Dense.name(),
         txns: globals,
         wall_ms: wall.as_secs_f64() * 1e3,
         throughput_txn_per_sec: report.metrics.throughput_per_sec(),
@@ -205,7 +244,7 @@ fn out_path() -> Result<String, String> {
     match args.next().as_deref() {
         Some("--out") => args.next().ok_or_else(|| "--out needs a path".to_string()),
         Some(other) => Err(format!("unknown argument `{other}` (try --out PATH)")),
-        None => Ok(std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_PR4.json".to_string())),
+        None => Ok(std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_PR5.json".to_string())),
     }
 }
 
@@ -219,16 +258,21 @@ fn main() -> std::process::ExitCode {
     };
     let mut cells = Vec::new();
     for scheme in SchemeKind::CONSERVATIVE {
-        for (size, n, m, dav) in REPLAY_SIZES {
-            cells.push(replay_cell(scheme, size, n, m, dav));
-            cells.push(replay_sharded_cell(scheme, size, n, m, dav));
+        for kernel in [KernelKind::BTree, KernelKind::Dense] {
+            for (size, n, m, dav) in REPLAY_SIZES {
+                if !kernel_runs_size(kernel, size) {
+                    continue;
+                }
+                cells.push(replay_cell(scheme, kernel, size, n, m, dav));
+                cells.push(replay_sharded_cell(scheme, kernel, size, n, m, dav));
+            }
         }
         for (size, globals, sites, mpl) in DES_SIZES {
             cells.push(des_cell(scheme, size, globals, sites, mpl));
         }
     }
     let report = BenchReport {
-        schema: "mdbs-bench-smoke-v2",
+        schema: "mdbs-bench-smoke-v3",
         cells,
     };
     let json = match serde_json::to_string_pretty(&report) {
@@ -245,8 +289,15 @@ fn main() -> std::process::ExitCode {
     eprintln!("wrote {path} ({} cells)", report.cells.len());
     for c in &report.cells {
         eprintln!(
-            "  {:<8} {:<6} {:<6} {:>5} txns  {:>9.2} ms  {:>12.0} txn/s  waits={}",
-            c.scheme, c.mode, c.size, c.txns, c.wall_ms, c.throughput_txn_per_sec, c.waits
+            "  {:<8} {:<14} {:<6} {:<5} {:>5} txns  {:>9.2} ms  {:>12.0} txn/s  waits={}",
+            c.scheme,
+            c.mode,
+            c.size,
+            c.kernel,
+            c.txns,
+            c.wall_ms,
+            c.throughput_txn_per_sec,
+            c.waits
         );
     }
     std::process::ExitCode::SUCCESS

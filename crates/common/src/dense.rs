@@ -1,0 +1,312 @@
+//! Dense-id interning and bitsets for allocation-free scheme kernels.
+//!
+//! The paper's schemes are specified over sets of global transaction and
+//! site identifiers. The reference kernels realise those sets as
+//! `BTreeMap`/`BTreeSet` keyed by the full ids, which makes every `cond`
+//! evaluation a pointer chase and every `act` propagation an allocation.
+//! This module provides the two primitives the dense kernels
+//! (`mdbs-core::kernel_dense`) are built from:
+//!
+//! - [`DenseInterner`] — maps *live* ids to compact `u32` slots, recycling
+//!   slots through a free list when an id is released (at `fin`). Slot
+//!   count therefore tracks the number of *concurrently live* ids, not the
+//!   number ever seen, so bitsets over slots stay small no matter how long
+//!   the run is.
+//! - [`DenseBitSet`] — a hand-rolled bitset over `u64` words with a
+//!   maintained cardinality, so `|S|` is O(1), `S ∩ T = ∅` is a word-wise
+//!   AND, and `S ∪= T` is a word-wise OR. The workspace is
+//!   zero-dependency, so this is written by hand rather than pulled in.
+//!
+//! Neither structure counts paper steps: abstract cost accounting stays in
+//! the schemes (`StepCounter` ticks are placed where the paper's cost model
+//! puts them); these types only change the *machine* cost of each step.
+
+use std::collections::BTreeMap;
+
+/// Interner mapping live keys to compact `u32` slots with free-list
+/// recycling.
+///
+/// Slots are handed out LIFO from the free list so a workload with `k`
+/// concurrently live ids touches only the first ~`k` slots forever.
+#[derive(Clone, Debug)]
+pub struct DenseInterner<K: Ord + Copy> {
+    /// Slot → key for live slots.
+    slots: Vec<Option<K>>,
+    /// Key → slot for live keys (sorted by key, so iteration is id-ordered).
+    index: BTreeMap<K, u32>,
+    /// Recycled slots, reused LIFO.
+    free: Vec<u32>,
+}
+
+impl<K: Ord + Copy> Default for DenseInterner<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Copy> DenseInterner<K> {
+    /// Empty interner.
+    pub fn new() -> Self {
+        DenseInterner {
+            slots: Vec::new(),
+            index: BTreeMap::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Slot of `key`, interning it if it is not currently live.
+    pub fn intern(&mut self, key: K) -> u32 {
+        if let Some(&slot) = self.index.get(&key) {
+            return slot;
+        }
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(key);
+                slot
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                self.slots.push(Some(key));
+                slot
+            }
+        };
+        self.index.insert(key, slot);
+        slot
+    }
+
+    /// Slot of `key` if live.
+    #[inline]
+    pub fn slot_of(&self, key: &K) -> Option<u32> {
+        self.index.get(key).copied()
+    }
+
+    /// Key occupying `slot`, if live.
+    #[inline]
+    pub fn key_of(&self, slot: u32) -> Option<K> {
+        self.slots.get(slot as usize).copied().flatten()
+    }
+
+    /// Release `key`, returning its former slot to the free list.
+    pub fn release(&mut self, key: &K) -> Option<u32> {
+        let slot = self.index.remove(key)?;
+        self.slots[slot as usize] = None;
+        self.free.push(slot);
+        Some(slot)
+    }
+
+    /// Number of live keys.
+    #[inline]
+    pub fn live(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True iff no key is live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Highest slot count ever in use (bound for slot-indexed vectors).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True iff `key` is live.
+    #[inline]
+    pub fn contains(&self, key: &K) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Live `(key, slot)` pairs in **key order** — the same order the
+    /// reference `BTreeMap` kernels iterate in, which matters wherever
+    /// counted steps depend on traversal order.
+    pub fn iter_sorted(&self) -> impl Iterator<Item = (K, u32)> + '_ {
+        self.index.iter().map(|(k, s)| (*k, *s))
+    }
+}
+
+/// Growable bitset over `u64` words with maintained cardinality.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DenseBitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl DenseBitSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        DenseBitSet {
+            words: Vec::new(),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn ensure_word(&mut self, word: usize) {
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+    }
+
+    /// Insert `bit`; returns true if it was newly set.
+    #[inline]
+    pub fn insert(&mut self, bit: u32) -> bool {
+        let (w, b) = (bit as usize / 64, bit as usize % 64);
+        self.ensure_word(w);
+        let mask = 1u64 << b;
+        let new = self.words[w] & mask == 0;
+        if new {
+            self.words[w] |= mask;
+            self.len += 1;
+        }
+        new
+    }
+
+    /// Remove `bit`; returns true if it was set.
+    #[inline]
+    pub fn remove(&mut self, bit: u32) -> bool {
+        let (w, b) = (bit as usize / 64, bit as usize % 64);
+        if w >= self.words.len() {
+            return false;
+        }
+        let mask = 1u64 << b;
+        let was = self.words[w] & mask != 0;
+        if was {
+            self.words[w] &= !mask;
+            self.len -= 1;
+        }
+        was
+    }
+
+    /// True iff `bit` is set.
+    #[inline]
+    pub fn contains(&self, bit: u32) -> bool {
+        let (w, b) = (bit as usize / 64, bit as usize % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Cardinality (O(1): maintained, not recounted).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no bit is set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Clear all bits (keeps word storage for reuse).
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.len = 0;
+    }
+
+    /// Iterate set bits in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let b = w.trailing_zeros();
+                w &= w - 1;
+                Some(wi as u32 * 64 + b)
+            })
+        })
+    }
+
+    /// `self ∪= other` — word-wise OR, cardinality updated from the
+    /// newly-set bits.
+    pub fn union_with(&mut self, other: &DenseBitSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (w, &ow) in self.words.iter_mut().zip(other.words.iter()) {
+            let added = ow & !*w;
+            self.len += added.count_ones() as usize;
+            *w |= ow;
+        }
+    }
+
+    /// True iff `self ∩ other ≠ ∅` — word-wise AND with early exit.
+    pub fn intersects(&self, other: &DenseBitSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_recycles_slots_lifo() {
+        let mut it: DenseInterner<u64> = DenseInterner::new();
+        assert_eq!(it.intern(10), 0);
+        assert_eq!(it.intern(20), 1);
+        assert_eq!(it.intern(30), 2);
+        assert_eq!(it.intern(20), 1, "re-intern of live key is stable");
+        assert_eq!(it.release(&20), Some(1));
+        assert_eq!(it.live(), 2);
+        assert_eq!(it.key_of(1), None);
+        assert_eq!(it.intern(40), 1, "freed slot reused LIFO");
+        assert_eq!(it.slot_of(&40), Some(1));
+        assert_eq!(it.capacity(), 3);
+        assert_eq!(it.release(&99), None);
+        let sorted: Vec<_> = it.iter_sorted().collect();
+        assert_eq!(sorted, vec![(10, 0), (30, 2), (40, 1)], "key order");
+    }
+
+    #[test]
+    fn bitset_insert_remove_len() {
+        let mut s = DenseBitSet::new();
+        assert!(s.insert(3));
+        assert!(s.insert(70));
+        assert!(!s.insert(3));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(3) && s.contains(70) && !s.contains(64));
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert!(!s.remove(1000), "out-of-range remove is a no-op");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![70]);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn bitset_union_and_intersects() {
+        let mut a = DenseBitSet::new();
+        let mut b = DenseBitSet::new();
+        for bit in [1, 65, 129] {
+            a.insert(bit);
+        }
+        for bit in [65, 200] {
+            b.insert(bit);
+        }
+        assert!(a.intersects(&b));
+        a.union_with(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 65, 129, 200]);
+        let empty = DenseBitSet::new();
+        assert!(!empty.intersects(&a));
+        assert!(!a.intersects(&empty));
+    }
+
+    #[test]
+    fn bitset_union_grows_words() {
+        let mut a = DenseBitSet::new();
+        a.insert(0);
+        let mut b = DenseBitSet::new();
+        b.insert(500);
+        a.union_with(&b);
+        assert!(a.contains(0) && a.contains(500));
+        assert_eq!(a.len(), 2);
+    }
+}

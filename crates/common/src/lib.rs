@@ -33,6 +33,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod config;
+pub mod dense;
 pub mod error;
 pub mod ids;
 pub mod instrument;
@@ -41,6 +42,7 @@ pub mod rng;
 pub mod step;
 
 pub use config::MdbsParams;
+pub use dense::{DenseBitSet, DenseInterner};
 pub use error::{MdbsError, Result};
 pub use ids::{DataItemId, GlobalTxnId, LocalTxnId, SiteId, TxnId};
 pub use instrument::{Histogram, Registry, SchedEvent, TraceSink};

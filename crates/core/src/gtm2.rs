@@ -22,7 +22,7 @@
 //! `ser_k(G_i)` operations were acted — from which the serializability of
 //! `ser(S)` is checked (Theorems 3, 5, 8 empirically).
 
-use crate::scheme::{Gtm2Scheme, SchemeEffect, WaitSet, WakeCandidates};
+use crate::scheme::{Gtm2Scheme, SchemeEffect, WaitKey, WaitSet};
 use crate::ser_s::SerSLog;
 use mdbs_common::instrument::{Histogram, Registry, SchedEvent, StderrSink, TraceSink};
 use mdbs_common::ops::{QueueOp, QueueOpKind};
@@ -89,6 +89,9 @@ pub struct Gtm2 {
     validate: bool,
     /// Wake candidates examined per act (log₂ histogram).
     wake_scan: Histogram,
+    /// Reusable buffer for the cascading wake worklist (no per-act
+    /// allocation).
+    wake_buf: VecDeque<WaitKey>,
     /// Structured event sink; `None` = tracing disabled (one branch, no
     /// formatting or allocation on the hot path).
     sink: Option<Box<dyn TraceSink + Send>>,
@@ -117,6 +120,7 @@ impl Gtm2 {
             active: 0,
             validate: cfg!(debug_assertions),
             wake_scan: Histogram::new(),
+            wake_buf: VecDeque::new(),
             sink,
             clock: 0,
         }
@@ -169,6 +173,7 @@ impl Gtm2 {
         registry.max_gauge("gtm2.peak_wait", s.peak_wait as i64);
         registry.max_gauge("gtm2.peak_active", s.peak_active as i64);
         registry.merge_histogram("gtm2.wake_scan", &self.wake_scan);
+        self.scheme.export_metrics(registry);
     }
 
     /// The scheme's display name.
@@ -244,51 +249,51 @@ impl Gtm2 {
     /// (e.g. two ser ops at one site whose conds both looked true before
     /// either acted) slip through together.
     fn do_act(&mut self, op: QueueOp, effects: &mut Vec<SchemeEffect>) {
-        let act_now =
-            |this: &mut Self, acted: &QueueOp, woken: bool, effects: &mut Vec<SchemeEffect>| {
-                if let Some(sink) = &mut this.sink {
-                    let ev = if woken {
-                        SchedEvent::wake(acted)
-                    } else {
-                        SchedEvent::act(acted)
-                    };
-                    sink.record(this.clock, ev);
-                }
-                this.note_processed(acted);
-                let fx = this.scheme.act(acted, &mut this.steps);
-                if this.validate {
-                    this.scheme.debug_validate();
-                }
-                for effect in &fx {
-                    match effect {
-                        SchemeEffect::SubmitSer { txn, site } => this.ser_log.record(*txn, *site),
-                        SchemeEffect::AbortGlobal { txn } => {
-                            this.stats.scheme_aborts += 1;
-                            if let Some(sink) = &mut this.sink {
-                                sink.record(this.clock, SchedEvent::Abort { txn: *txn });
-                            }
-                        }
-                        SchemeEffect::ForwardAck { .. } => {}
-                        SchemeEffect::ProtocolViolation { .. } => {
-                            this.stats.protocol_violations += 1;
+        let act_now = |this: &mut Self,
+                       acted: &QueueOp,
+                       woken: bool,
+                       effects: &mut Vec<SchemeEffect>,
+                       candidates: &mut VecDeque<WaitKey>| {
+            if let Some(sink) = &mut this.sink {
+                let ev = if woken {
+                    SchedEvent::wake(acted)
+                } else {
+                    SchedEvent::act(acted)
+                };
+                sink.record(this.clock, ev);
+            }
+            this.note_processed(acted);
+            let fx = this.scheme.act(acted, &mut this.steps);
+            if this.validate {
+                this.scheme.debug_validate();
+            }
+            for effect in &fx {
+                match effect {
+                    SchemeEffect::SubmitSer { txn, site } => this.ser_log.record(*txn, *site),
+                    SchemeEffect::AbortGlobal { txn } => {
+                        this.stats.scheme_aborts += 1;
+                        if let Some(sink) = &mut this.sink {
+                            sink.record(this.clock, SchedEvent::Abort { txn: *txn });
                         }
                     }
+                    SchemeEffect::ForwardAck { .. } => {}
+                    SchemeEffect::ProtocolViolation { .. } => {
+                        this.stats.protocol_violations += 1;
+                    }
                 }
-                effects.extend(fx.iter().copied());
-                let candidates =
-                    match this
-                        .scheme
-                        .wake_candidates(acted, &this.wait, &mut this.steps)
-                    {
-                        WakeCandidates::None => Vec::new(),
-                        WakeCandidates::All => this.wait.keys(),
-                        WakeCandidates::Keys(keys) => keys,
-                    };
-                this.wake_scan.observe(candidates.len() as u64);
-                candidates
-            };
-        let mut candidates: VecDeque<crate::scheme::WaitKey> =
-            act_now(self, &op, false, effects).into();
+            }
+            effects.extend(fx.iter().copied());
+            let wake = this
+                .scheme
+                .wake_candidates(acted, &this.wait, &mut this.steps);
+            let appended = this.wait.resolve_into(&wake, candidates);
+            this.wake_scan.observe(appended as u64);
+        };
+        // Reuse the engine-owned worklist (taken so the closure can borrow
+        // `self` mutably alongside it).
+        let mut candidates = std::mem::take(&mut self.wake_buf);
+        candidates.clear();
+        act_now(self, &op, false, effects, &mut candidates);
         while let Some(key) = candidates.pop_front() {
             // The op may have been woken (or re-examined) already.
             let Some(waiting) = self.wait.remove(&key) else {
@@ -300,11 +305,12 @@ impl Gtm2 {
             }
             if eligible {
                 // Act immediately; its own wake candidates join the queue.
-                candidates.extend(act_now(self, &waiting, true, effects));
+                act_now(self, &waiting, true, effects, &mut candidates);
             } else {
                 self.wait.insert(waiting);
             }
         }
+        self.wake_buf = candidates;
     }
 
     fn note_processed(&mut self, op: &QueueOp) {

@@ -36,6 +36,7 @@
 pub mod baselines;
 pub mod gtm1;
 pub mod gtm2;
+pub mod kernel_dense;
 pub mod replay;
 pub mod scheme;
 pub mod scheme0;
@@ -46,12 +47,13 @@ pub mod scheme_sg;
 pub mod ser_s;
 pub mod sharded;
 pub mod tsgd;
+pub mod tsgd_dense;
 pub mod txn;
 
 pub use gtm1::{Gtm1, Gtm1Effect, Gtm1Event};
 pub use gtm2::{Gtm2, Gtm2Stats};
 pub use scheme::SchemeEffect;
-pub use scheme::{Gtm2Scheme, SchemeKind, WakeCandidates, WakeScope};
+pub use scheme::{Gtm2Scheme, KernelKind, SchemeKind, WakeCandidates, WakeScope};
 pub use ser_s::SerSLog;
 pub use sharded::ShardedGtm2;
 pub use txn::{GlobalTransaction, SerializationFnKind, Step, StepKind};

@@ -17,7 +17,7 @@
 //!   `ser` operation to WAIT on such orders.
 
 use crate::gtm2::{Gtm2, Gtm2Stats};
-use crate::scheme::{SchemeEffect, SchemeKind};
+use crate::scheme::{KernelKind, SchemeEffect, SchemeKind};
 use crate::sharded::ShardedGtm2;
 use mdbs_common::ids::{GlobalTxnId, SiteId};
 use mdbs_common::ops::QueueOp;
@@ -258,6 +258,13 @@ pub fn replay(kind: SchemeKind, script: &Script) -> ReplayOutcome {
     replay_with(Gtm2::new(kind.build()), script)
 }
 
+/// [`replay`] with an explicit kernel choice — used by the bench harness
+/// and the `step_gate` tool to compare the reference BTree kernels against
+/// the dense slot/bitset ones on identical inputs.
+pub fn replay_kernel(kind: SchemeKind, kernel: KernelKind, script: &Script) -> ReplayOutcome {
+    replay_with(Gtm2::new(kind.build_kernel(kernel)), script)
+}
+
 /// Replay through a pre-built engine (lets callers toggle validation).
 pub fn replay_with(mut engine: Gtm2, script: &Script) -> ReplayOutcome {
     run_script(&mut engine, script)
@@ -269,6 +276,17 @@ pub fn replay_with(mut engine: Gtm2, script: &Script) -> ReplayOutcome {
 /// schemes — the others funnel through shard 0 regardless).
 pub fn replay_sharded(kind: SchemeKind, nshards: usize, script: &Script) -> ReplayOutcome {
     let mut engine = ShardedGtm2::new(kind, nshards);
+    run_script(&mut engine, script)
+}
+
+/// [`replay_sharded`] with an explicit kernel choice.
+pub fn replay_sharded_kernel(
+    kind: SchemeKind,
+    kernel: KernelKind,
+    nshards: usize,
+    script: &Script,
+) -> ReplayOutcome {
+    let mut engine = ShardedGtm2::new_with_kernel(kind, kernel, nshards);
     run_script(&mut engine, script)
 }
 

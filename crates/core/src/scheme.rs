@@ -15,10 +15,11 @@
 //! [`WakeCandidates::All`].
 
 use mdbs_common::ids::{GlobalTxnId, SiteId};
+use mdbs_common::instrument::Registry;
 use mdbs_common::ops::{QueueOp, QueueOpKind};
 use mdbs_common::step::StepCounter;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Unique identity of a queue operation (for the WAIT set). `site` is
 /// `None` for `Init`/`Fin`.
@@ -31,9 +32,24 @@ pub fn wait_key(op: &QueueOp) -> WaitKey {
 
 /// The WAIT set: waiting operations keyed by identity, with deterministic
 /// iteration order.
+///
+/// Beyond the key-ordered map, the set maintains per-site/per-txn counters
+/// so schemes can charge their wake-scan steps (`|ser waiters at s_k|`,
+/// `|fin waiters|`, …) in O(log n) instead of allocating the key vector
+/// they are about to count — see [`WaitSet::resolve_into`] for the
+/// allocation-free companion that materializes candidates into a reused
+/// buffer.
 #[derive(Clone, Debug, Default)]
 pub struct WaitSet {
     ops: BTreeMap<WaitKey, QueueOp>,
+    /// Waiting `Ser` count per site.
+    ser_at: BTreeMap<SiteId, usize>,
+    /// Waiting `Ser` count per transaction.
+    ser_of: BTreeMap<GlobalTxnId, usize>,
+    /// Waiting `Fin` count.
+    fins: usize,
+    /// Waiting `Init` count.
+    inits: usize,
 }
 
 impl WaitSet {
@@ -42,14 +58,43 @@ impl WaitSet {
         Self::default()
     }
 
+    fn count(&mut self, key: &WaitKey, delta: isize) {
+        match key.0 {
+            QueueOpKind::Ser => {
+                if let Some(site) = key.2 {
+                    let c = self.ser_at.entry(site).or_default();
+                    *c = c.wrapping_add_signed(delta);
+                    if *c == 0 {
+                        self.ser_at.remove(&site);
+                    }
+                }
+                let c = self.ser_of.entry(key.1).or_default();
+                *c = c.wrapping_add_signed(delta);
+                if *c == 0 {
+                    self.ser_of.remove(&key.1);
+                }
+            }
+            QueueOpKind::Fin => self.fins = self.fins.wrapping_add_signed(delta),
+            QueueOpKind::Init => self.inits = self.inits.wrapping_add_signed(delta),
+            QueueOpKind::Ack => {}
+        }
+    }
+
     /// Insert a waiting operation.
     pub fn insert(&mut self, op: QueueOp) {
-        self.ops.insert(wait_key(&op), op);
+        let key = wait_key(&op);
+        if self.ops.insert(key, op).is_none() {
+            self.count(&key, 1);
+        }
     }
 
     /// Remove by key, returning the operation.
     pub fn remove(&mut self, key: &WaitKey) -> Option<QueueOp> {
-        self.ops.remove(key)
+        let removed = self.ops.remove(key);
+        if removed.is_some() {
+            self.count(key, -1);
+        }
+        removed
     }
 
     /// Number of waiting operations.
@@ -113,9 +158,83 @@ impl WaitSet {
         let key = (QueueOpKind::Ser, txn, Some(site));
         self.ops.contains_key(&key).then_some(key)
     }
+
+    /// Number of waiting `Ser` operations at `site` (O(log n), maintained).
+    pub fn ser_count_at(&self, site: SiteId) -> usize {
+        self.ser_at.get(&site).copied().unwrap_or(0)
+    }
+
+    /// Number of waiting `Ser` operations of `txn` (O(log n), maintained).
+    pub fn ser_count_of(&self, txn: GlobalTxnId) -> usize {
+        self.ser_of.get(&txn).copied().unwrap_or(0)
+    }
+
+    /// Number of waiting `Fin` operations (O(1), maintained).
+    pub fn fin_count(&self) -> usize {
+        self.fins
+    }
+
+    /// Number of waiting `Init` operations (O(1), maintained).
+    pub fn init_count(&self) -> usize {
+        self.inits
+    }
+
+    fn kind_range(
+        &self,
+        kind: QueueOpKind,
+    ) -> std::collections::btree_map::Range<'_, WaitKey, QueueOp> {
+        let lo = (kind, GlobalTxnId(0), None);
+        let hi = (kind, GlobalTxnId(u64::MAX), Some(SiteId(u32::MAX)));
+        self.ops.range(lo..=hi)
+    }
+
+    /// Materialize `cands` into `out` without allocating: the symbolic
+    /// variants ([`WakeCandidates::SerAt`], …) are resolved against the
+    /// current WAIT set via range scans over the key-ordered map, producing
+    /// exactly the keys (in exactly the order) the eager
+    /// [`keys`](Self::keys)/[`ser_keys_at`](Self::ser_keys_at)-style
+    /// helpers would have collected. Returns the number of keys appended.
+    pub fn resolve_into(&self, cands: &WakeCandidates, out: &mut VecDeque<WaitKey>) -> usize {
+        let before = out.len();
+        match cands {
+            WakeCandidates::None => {}
+            WakeCandidates::All => out.extend(self.ops.keys().copied()),
+            WakeCandidates::Keys(keys) => out.extend(keys.iter().copied()),
+            WakeCandidates::One(key) => out.push_back(*key),
+            WakeCandidates::SerAt(site) => out.extend(
+                self.kind_range(QueueOpKind::Ser)
+                    .filter(|((_, _, s), _)| *s == Some(*site))
+                    .map(|(k, _)| *k),
+            ),
+            WakeCandidates::Fins => out.extend(self.kind_range(QueueOpKind::Fin).map(|(k, _)| *k)),
+            WakeCandidates::SerAtThenFins(site) => {
+                out.extend(
+                    self.kind_range(QueueOpKind::Ser)
+                        .filter(|((_, _, s), _)| *s == Some(*site))
+                        .map(|(k, _)| *k),
+                );
+                out.extend(self.kind_range(QueueOpKind::Fin).map(|(k, _)| *k));
+            }
+            WakeCandidates::Inits => {
+                out.extend(self.kind_range(QueueOpKind::Init).map(|(k, _)| *k))
+            }
+            WakeCandidates::SerOf(txn) => {
+                let lo = (QueueOpKind::Ser, *txn, None);
+                let hi = (QueueOpKind::Ser, *txn, Some(SiteId(u32::MAX)));
+                out.extend(self.ops.range(lo..=hi).map(|(k, _)| *k));
+            }
+        }
+        out.len() - before
+    }
 }
 
 /// Which waiting operations may have become eligible after an `act`.
+///
+/// The symbolic variants (`One`, `SerAt`, `Fins`, …) describe a candidate
+/// set *by predicate* instead of materializing it: the engine expands them
+/// against the WAIT set via [`WaitSet::resolve_into`] into a reused buffer,
+/// so a scheme's `wake_candidates` never allocates on the hot path. `Keys`
+/// remains for schemes with genuinely irregular candidate sets.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WakeCandidates {
     /// Nothing can have changed.
@@ -124,6 +243,19 @@ pub enum WakeCandidates {
     All,
     /// Re-evaluate exactly these.
     Keys(Vec<WaitKey>),
+    /// Re-evaluate exactly this key.
+    One(WaitKey),
+    /// Every waiting `Ser` at the site.
+    SerAt(SiteId),
+    /// Every waiting `Fin`.
+    Fins,
+    /// Every waiting `Ser` at the site, then every waiting `Fin` (the
+    /// order Scheme 1's ack path re-tests in).
+    SerAtThenFins(SiteId),
+    /// Every waiting `Init`.
+    Inits,
+    /// Every waiting `Ser` of one transaction.
+    SerOf(GlobalTxnId),
 }
 
 /// Conservative bound on *where* the keys returned by
@@ -287,6 +419,13 @@ pub trait Gtm2Scheme {
     /// Internal consistency check, called by the engine after every act in
     /// tests. Panics on violation.
     fn debug_validate(&self) {}
+
+    /// Export scheme-internal counters (cache hit rates, recompute counts)
+    /// into `registry`. Called once by the engine's own `export_metrics`;
+    /// the default exports nothing.
+    fn export_metrics(&self, registry: &mut Registry) {
+        let _ = registry;
+    }
 }
 
 /// Wraps a scheme, discarding its wake hints in favor of re-examining the
@@ -317,6 +456,43 @@ impl Gtm2Scheme for FullRescan {
     }
     fn debug_validate(&self) {
         self.0.debug_validate();
+    }
+    fn export_metrics(&self, registry: &mut Registry) {
+        self.0.export_metrics(registry);
+    }
+}
+
+/// Which data-structure realization of a scheme to instantiate.
+///
+/// Both kernels implement the *same* scheme — identical `cond`/`act`
+/// decisions and bit-for-bit identical paper-step accounting (property
+/// tested in `tests/kernel_equivalence.rs`). They differ only in machine
+/// cost: the `BTree` kernels realize the paper's sets as id-keyed
+/// `BTreeMap`/`BTreeSet`; the `Dense` kernels intern live ids into compact
+/// slots ([`mdbs_common::DenseInterner`]) and run the set algebra on
+/// bitsets ([`mdbs_common::DenseBitSet`]), making the per-op hot path
+/// allocation-free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelKind {
+    /// Reference kernels: id-keyed ordered maps/sets. Kept as the oracle.
+    BTree,
+    /// Interned-slot + bitset kernels (the default).
+    Dense,
+}
+
+impl KernelKind {
+    /// Display name ("btree" / "dense").
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::BTree => "btree",
+            KernelKind::Dense => "dense",
+        }
+    }
+}
+
+impl std::fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -368,8 +544,37 @@ impl SchemeKind {
         }
     }
 
-    /// Instantiate the scheme.
+    /// Instantiate the scheme with the default ([`KernelKind::Dense`])
+    /// kernel where one exists.
     pub fn build(self) -> Box<dyn Gtm2Scheme + Send> {
+        self.build_kernel(KernelKind::Dense)
+    }
+
+    /// Instantiate the scheme on a specific kernel. Only the four
+    /// conservative schemes have dense kernels; every other kind (and
+    /// every kind under [`KernelKind::BTree`]) gets the reference
+    /// realization.
+    pub fn build_kernel(self, kernel: KernelKind) -> Box<dyn Gtm2Scheme + Send> {
+        if kernel == KernelKind::Dense {
+            match self {
+                SchemeKind::Scheme0 => {
+                    return Box::new(crate::kernel_dense::Scheme0Dense::new());
+                }
+                SchemeKind::Scheme1 => {
+                    return Box::new(crate::kernel_dense::Scheme1Dense::new());
+                }
+                SchemeKind::Scheme2 => {
+                    return Box::new(crate::kernel_dense::Scheme2Dense::new());
+                }
+                SchemeKind::Scheme3 => {
+                    return Box::new(crate::kernel_dense::Scheme3Dense::new());
+                }
+                SchemeKind::Scheme2Minimal
+                | SchemeKind::SiteGraph
+                | SchemeKind::AbortingTo
+                | SchemeKind::OptimisticTicket => {}
+            }
+        }
         match self {
             SchemeKind::Scheme0 => Box::new(crate::scheme0::Scheme0::new()),
             SchemeKind::Scheme1 => Box::new(crate::scheme1::Scheme1::new()),
@@ -426,6 +631,60 @@ mod tests {
             site: SiteId(0),
         });
         assert_eq!(w.fin_keys().len(), 1);
+    }
+
+    #[test]
+    fn counters_and_resolve_match_eager_helpers() {
+        let mut w = WaitSet::new();
+        w.insert(QueueOp::Ser {
+            txn: GlobalTxnId(1),
+            site: SiteId(0),
+        });
+        w.insert(QueueOp::Ser {
+            txn: GlobalTxnId(2),
+            site: SiteId(0),
+        });
+        w.insert(QueueOp::Ser {
+            txn: GlobalTxnId(2),
+            site: SiteId(1),
+        });
+        w.insert(QueueOp::Fin {
+            txn: GlobalTxnId(3),
+        });
+        w.insert(QueueOp::Init {
+            txn: GlobalTxnId(4),
+            sites: vec![SiteId(0)],
+        });
+        assert_eq!(w.ser_count_at(SiteId(0)), w.ser_keys_at(SiteId(0)).len());
+        assert_eq!(w.ser_count_of(GlobalTxnId(2)), 2);
+        assert_eq!(w.fin_count(), 1);
+        assert_eq!(w.init_count(), 1);
+
+        let mut buf = VecDeque::new();
+        let n = w.resolve_into(&WakeCandidates::SerAtThenFins(SiteId(0)), &mut buf);
+        let mut expect = w.ser_keys_at(SiteId(0));
+        expect.extend(w.fin_keys());
+        assert_eq!(n, expect.len());
+        assert_eq!(Vec::from(buf.clone()), expect);
+
+        buf.clear();
+        w.resolve_into(&WakeCandidates::SerOf(GlobalTxnId(2)), &mut buf);
+        assert_eq!(Vec::from(buf.clone()), w.ser_keys_of(GlobalTxnId(2)));
+
+        buf.clear();
+        w.resolve_into(&WakeCandidates::Inits, &mut buf);
+        assert_eq!(Vec::from(buf.clone()), w.init_keys());
+
+        // Replacing an op must not double-count; removal must decrement.
+        w.insert(QueueOp::Ser {
+            txn: GlobalTxnId(1),
+            site: SiteId(0),
+        });
+        assert_eq!(w.ser_count_at(SiteId(0)), 2);
+        w.remove(&(QueueOpKind::Ser, GlobalTxnId(1), Some(SiteId(0))));
+        assert_eq!(w.ser_count_at(SiteId(0)), 1);
+        w.remove(&(QueueOpKind::Fin, GlobalTxnId(3), None));
+        assert_eq!(w.fin_count(), 0);
     }
 
     #[test]

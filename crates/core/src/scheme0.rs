@@ -137,7 +137,7 @@ impl Gtm2Scheme for Scheme0 {
             // ser ops, and only the new front can be eligible.
             QueueOp::Ack { site, .. } => match self.front(*site) {
                 Some(front_txn) => match wait.ser_key(front_txn, *site) {
-                    Some(key) => WakeCandidates::Keys(vec![key]),
+                    Some(key) => WakeCandidates::One(key),
                     None => WakeCandidates::None,
                 },
                 None => WakeCandidates::None,

@@ -222,16 +222,16 @@ impl Gtm2Scheme for Scheme1 {
                 // front may have changed: waiting ser ops there are
                 // candidates. The ack also appended to the delete queue,
                 // which can enable a fin whose other sites were ready.
-                let mut keys = wait.ser_keys_at(*site);
-                keys.extend(wait.fin_keys());
-                steps.bump(StepKind::WaitScan, keys.len() as u64);
-                WakeCandidates::Keys(keys)
+                steps.bump(
+                    StepKind::WaitScan,
+                    (wait.ser_count_at(*site) + wait.fin_count()) as u64,
+                );
+                WakeCandidates::SerAtThenFins(*site)
             }
             QueueOp::Fin { .. } => {
                 // Delete-queue fronts changed: other fins are candidates.
-                let keys = wait.fin_keys();
-                steps.bump(StepKind::WaitScan, keys.len() as u64);
-                WakeCandidates::Keys(keys)
+                steps.bump(StepKind::WaitScan, wait.fin_count() as u64);
+                WakeCandidates::Fins
             }
             QueueOp::Init { .. } | QueueOp::Ser { .. } => WakeCandidates::None,
         }

@@ -60,15 +60,6 @@ impl Scheme2 {
         &self.tsgd
     }
 
-    /// Dependency predecessors of `(txn, site)`.
-    fn dep_preds(&self, txn: GlobalTxnId, site: SiteId) -> Vec<GlobalTxnId> {
-        self.tsgd
-            .deps()
-            .filter(|d| d.site == site && d.after == txn)
-            .map(|d| d.before)
-            .collect()
-    }
-
     /// True iff `txn` has any incoming dependency.
     fn has_incoming_dep(&self, txn: GlobalTxnId) -> bool {
         self.tsgd.deps().any(|d| d.after == txn)
@@ -88,9 +79,19 @@ impl Gtm2Scheme for Scheme2 {
         steps.tick(StepKind::Cond);
         match op {
             QueueOp::Ser { txn, site } => {
-                let preds = self.dep_preds(*txn, *site);
-                steps.bump(StepKind::Cond, preds.len() as u64 + 1);
-                preds.iter().all(|&p| self.acked.contains(&(p, *site)))
+                // Single pass over the dependency list: count the
+                // predecessors (the paper's cost, charged in full either
+                // way) and check their acks as they stream by.
+                let mut preds = 0u64;
+                let mut all_acked = true;
+                for d in self.tsgd.deps() {
+                    if d.site == *site && d.after == *txn {
+                        preds += 1;
+                        all_acked &= self.acked.contains(&(d.before, *site));
+                    }
+                }
+                steps.bump(StepKind::Cond, preds + 1);
+                all_acked
             }
             QueueOp::Fin { txn } => {
                 steps.bump(StepKind::Cond, self.tsgd.dep_count() as u64);
@@ -198,16 +199,14 @@ impl Gtm2Scheme for Scheme2 {
         match acted {
             // An ack can satisfy waiting ser conds at its site.
             QueueOp::Ack { site, .. } => {
-                let keys = wait.ser_keys_at(*site);
-                steps.bump(StepKind::WaitScan, keys.len() as u64);
-                WakeCandidates::Keys(keys)
+                steps.bump(StepKind::WaitScan, wait.ser_count_at(*site) as u64);
+                WakeCandidates::SerAt(*site)
             }
             // A fin removes dependencies out of the finished transaction,
             // which can unblock other fins.
             QueueOp::Fin { .. } => {
-                let keys = wait.fin_keys();
-                steps.bump(StepKind::WaitScan, keys.len() as u64);
-                WakeCandidates::Keys(keys)
+                steps.bump(StepKind::WaitScan, wait.fin_count() as u64);
+                WakeCandidates::Fins
             }
             QueueOp::Init { .. } | QueueOp::Ser { .. } => WakeCandidates::None,
         }

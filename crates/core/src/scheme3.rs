@@ -29,6 +29,9 @@ use mdbs_common::ops::QueueOp;
 use mdbs_common::step::{StepCounter, StepKind};
 use std::collections::{BTreeMap, BTreeSet};
 
+/// Shared empty set for the borrow-not-clone paths in `act(ser)`.
+static EMPTY_SET: BTreeSet<GlobalTxnId> = BTreeSet::new();
+
 /// Scheme 3 state.
 #[derive(Clone, Debug, Default)]
 pub struct Scheme3 {
@@ -125,23 +128,34 @@ impl Gtm2Scheme for Scheme3 {
                 };
                 set.remove(txn);
                 self.last.insert(*site, *txn);
-                // Set1 = ser_bef(Ĝ_i) ∪ {Ĝ_i}.
-                let mut set1 = self.ser_bef.get(txn).cloned().unwrap_or_default();
-                set1.insert(*txn);
-                let set_k = self.sets.get(site).cloned().unwrap_or_default();
+                // Set1 = ser_bef(Ĝ_i) ∪ {Ĝ_i}. Ĝ_i's own row is taken out
+                // of the map for the duration (it is never a target — no
+                // self-before-self) rather than cloned; Ĝ_i ∉ ser_bef(Ĝ_i),
+                // so |Set1| = |row| + 1.
+                let own_row = self.ser_bef.remove(txn);
+                let set1_extra = own_row.as_ref().unwrap_or(&EMPTY_SET);
+                let set1_len = set1_extra.len() as u64 + 1;
                 // Targets: everything still pending at the site, plus every
                 // transaction already ordered after something pending here
                 // (Set2) — keeps ser_bef transitively closed.
-                let targets: Vec<GlobalTxnId> = self
-                    .ser_bef
-                    .iter()
-                    .filter(|(j, bef)| {
-                        **j != *txn
-                            && (set_k.contains(j) || bef.intersection(&set_k).next().is_some())
-                    })
-                    .map(|(j, _)| *j)
-                    .collect();
-                steps.bump(StepKind::Act, self.ser_bef.len() as u64);
+                let targets: Vec<GlobalTxnId> = {
+                    // Borrowed, not cloned: the map mutation below happens
+                    // after this scope ends.
+                    let set_k = self.sets.get(site).map_or(&EMPTY_SET, |s| s);
+                    self.ser_bef
+                        .iter()
+                        .filter(|(j, bef)| {
+                            **j != *txn
+                                && (set_k.contains(j) || bef.intersection(set_k).next().is_some())
+                        })
+                        .map(|(j, _)| *j)
+                        .collect()
+                };
+                // The scan charge covers the whole map, own row included.
+                steps.bump(
+                    StepKind::Act,
+                    self.ser_bef.len() as u64 + u64::from(own_row.is_some()),
+                );
                 for j in targets {
                     // Targets were collected from `ser_bef` above, so the
                     // re-borrow only misses if the map changed in between
@@ -149,9 +163,13 @@ impl Gtm2Scheme for Scheme3 {
                     let Some(bef_j) = self.ser_bef.get_mut(&j) else {
                         continue;
                     };
-                    steps.bump(StepKind::Act, set1.len() as u64);
-                    bef_j.extend(set1.iter().copied());
+                    steps.bump(StepKind::Act, set1_len);
+                    bef_j.extend(set1_extra.iter().copied());
+                    bef_j.insert(*txn);
                     debug_assert!(!bef_j.contains(&j), "{j} serialized before itself");
+                }
+                if let Some(row) = own_row {
+                    self.ser_bef.insert(*txn, row);
                 }
                 vec![SchemeEffect::SubmitSer {
                     txn: *txn,
@@ -197,9 +215,8 @@ impl Gtm2Scheme for Scheme3 {
             // An ack satisfies the "previous event acked" clause at its
             // site.
             QueueOp::Ack { site, .. } => {
-                let keys = wait.ser_keys_at(*site);
-                steps.bump(StepKind::WaitScan, keys.len() as u64);
-                WakeCandidates::Keys(keys)
+                steps.bump(StepKind::WaitScan, wait.ser_count_at(*site) as u64);
+                WakeCandidates::SerAt(*site)
             }
             // A ser shrinks set_k, which can clear another event's
             // ser_bef ∩ set_k at this site — but the site's last event is
@@ -207,9 +224,8 @@ impl Gtm2Scheme for Scheme3 {
             // candidates. A fin empties ser_bef sets: other fins are
             // candidates.
             QueueOp::Fin { .. } => {
-                let keys = wait.fin_keys();
-                steps.bump(StepKind::WaitScan, keys.len() as u64);
-                WakeCandidates::Keys(keys)
+                steps.bump(StepKind::WaitScan, wait.fin_count() as u64);
+                WakeCandidates::Fins
             }
             QueueOp::Init { .. } | QueueOp::Ser { .. } => WakeCandidates::None,
         }

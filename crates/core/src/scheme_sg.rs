@@ -144,20 +144,17 @@ impl Gtm2Scheme for SiteGraphScheme {
         match acted {
             // A fin frees site-graph edges: waiting inits are candidates.
             QueueOp::Fin { .. } => {
-                let keys = wait.init_keys();
-                steps.bump(StepKind::WaitScan, keys.len() as u64);
-                WakeCandidates::Keys(keys)
+                steps.bump(StepKind::WaitScan, wait.init_count() as u64);
+                WakeCandidates::Inits
             }
             // An activated transaction's ser ops may already be waiting.
             QueueOp::Init { txn, .. } => {
-                let keys = wait.ser_keys_of(*txn);
-                steps.bump(StepKind::WaitScan, keys.len() as u64);
-                WakeCandidates::Keys(keys)
+                steps.bump(StepKind::WaitScan, wait.ser_count_of(*txn) as u64);
+                WakeCandidates::SerOf(*txn)
             }
             QueueOp::Ack { site, .. } => {
-                let keys = wait.ser_keys_at(*site);
-                steps.bump(StepKind::WaitScan, keys.len() as u64);
-                WakeCandidates::Keys(keys)
+                steps.bump(StepKind::WaitScan, wait.ser_count_at(*site) as u64);
+                WakeCandidates::SerAt(*site)
             }
             QueueOp::Ser { .. } => WakeCandidates::None,
         }

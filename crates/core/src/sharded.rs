@@ -45,7 +45,7 @@
 //! `lock_order.dot` artifact emitted by mdbs-lint.
 
 use crate::gtm2::Gtm2Stats;
-use crate::scheme::{Gtm2Scheme, SchemeEffect, SchemeKind, WaitKey, WaitSet, WakeCandidates};
+use crate::scheme::{Gtm2Scheme, KernelKind, SchemeEffect, SchemeKind, WaitKey, WaitSet};
 use crate::ser_s::SerSLog;
 use mdbs_common::ids::GlobalTxnId;
 use mdbs_common::instrument::{Histogram, Registry, SchedEvent, StderrSink, TraceSink};
@@ -118,6 +118,9 @@ struct ShardCore {
     pre_init: BTreeMap<GlobalTxnId, Vec<(u64, QueueOp)>>,
     /// Wake candidates examined per act in this shard (log₂ histogram).
     wake_scan: Histogram,
+    /// Reusable buffer for the cascading wake worklist (no per-act
+    /// allocation).
+    wake_buf: VecDeque<WaitKey>,
     /// Peak size of this shard's WAIT partition.
     wait_peak: u64,
     /// Handoff messages actually delivered into this shard.
@@ -132,6 +135,7 @@ impl ShardCore {
             wait: WaitSet::new(),
             pre_init: BTreeMap::new(),
             wake_scan: Histogram::new(),
+            wake_buf: VecDeque::new(),
             wait_peak: 0,
             handoffs_in: 0,
         }
@@ -233,6 +237,14 @@ impl ShardedGtm2 {
     /// at least 1). As with [`Gtm2::new`](crate::gtm2::Gtm2::new), the
     /// `MDBS_TRACE` environment variable attaches a stderr trace sink.
     pub fn new(kind: SchemeKind, nshards: usize) -> Self {
+        Self::new_with_kernel(kind, KernelKind::Dense, nshards)
+    }
+
+    /// Like [`new`](ShardedGtm2::new), but selecting the scheme kernel
+    /// ([`KernelKind::BTree`] reference maps vs [`KernelKind::Dense`]
+    /// slot/bitset) explicitly. Both kernels are step-for-step identical;
+    /// only machine cost differs.
+    pub fn new_with_kernel(kind: SchemeKind, kernel: KernelKind, nshards: usize) -> Self {
         let nshards = nshards.max(1);
         let sink: Option<Box<dyn TraceSink + Send>> = if std::env::var_os("MDBS_TRACE").is_some() {
             Some(Box::new(StderrSink))
@@ -260,7 +272,7 @@ impl ShardedGtm2 {
                 })
                 .collect(),
             global: OrderedMutex::new(GlobalCore {
-                scheme: kind.build(),
+                scheme: kind.build_kernel(kernel),
                 steps: StepCounter::new(),
                 stats: Gtm2Stats::default(),
                 ser_log: SerSLog::new(),
@@ -610,6 +622,7 @@ impl ShardedGtm2 {
         registry.max_gauge("gtm2.peak_wait", s.peak_wait as i64);
         registry.max_gauge("gtm2.peak_active", s.peak_active as i64);
         registry.merge_histogram("gtm2.wake_scan", &merged);
+        global.scheme.export_metrics(registry);
     }
 }
 
@@ -685,8 +698,10 @@ fn process_op(
         sink.record(global.clock, SchedEvent::cond(&op, eligible));
     }
     if eligible {
-        let seed = act_one(ctx, &op, false, core, global, out);
-        cascade(ctx, seed, core, global, out);
+        let mut candidates = std::mem::take(&mut core.wake_buf);
+        candidates.clear();
+        act_one(ctx, &op, false, core, global, out, &mut candidates);
+        cascade(ctx, candidates, core, global, out);
     } else {
         if let Some(sink) = &mut global.sink {
             sink.record(global.clock, SchedEvent::wait(&op));
@@ -717,7 +732,9 @@ fn process_handoff(
             }
         }
     }
-    let candidates = local_candidates(&acted, core, global);
+    let mut candidates = std::mem::take(&mut core.wake_buf);
+    candidates.clear();
+    local_candidates(&acted, core, global, &mut candidates);
     cascade(ctx, candidates, core, global, out);
 }
 
@@ -731,7 +748,8 @@ fn act_one(
     core: &mut ShardCore,
     global: &mut GlobalCore,
     out: &mut PumpOut,
-) -> Vec<WaitKey> {
+    candidates: &mut VecDeque<WaitKey>,
+) {
     if let Some(sink) = &mut global.sink {
         let ev = if woken {
             SchedEvent::wake(acted)
@@ -768,37 +786,36 @@ fn act_one(
     if !targets.is_empty() {
         out.handoffs.push((acted.clone(), targets));
     }
-    local_candidates(acted, core, global)
+    local_candidates(acted, core, global, candidates);
 }
 
-/// This shard's wake candidates for an acted operation.
+/// This shard's wake candidates for an acted operation, appended to
+/// `candidates` (resolved against this shard's WAIT partition without
+/// allocating).
 fn local_candidates(
     acted: &QueueOp,
     core: &mut ShardCore,
     global: &mut GlobalCore,
-) -> Vec<WaitKey> {
-    let candidates = match global
+    candidates: &mut VecDeque<WaitKey>,
+) {
+    let wake = global
         .scheme
-        .wake_candidates(acted, &core.wait, &mut global.steps)
-    {
-        WakeCandidates::None => Vec::new(),
-        WakeCandidates::All => core.wait.keys(),
-        WakeCandidates::Keys(keys) => keys,
-    };
-    core.wake_scan.observe(candidates.len() as u64);
-    candidates
+        .wake_candidates(acted, &core.wait, &mut global.steps);
+    let appended = core.wait.resolve_into(&wake, candidates);
+    core.wake_scan.observe(appended as u64);
 }
 
 /// Figure 3's inner loop over this shard's WAIT partition: act each
-/// eligible waiter immediately, feeding its own candidates back in.
+/// eligible waiter immediately, feeding its own candidates back in. Takes
+/// ownership of the seeded worklist (the shard's reusable buffer) and
+/// parks it back on the core when drained.
 fn cascade(
     ctx: SlotCtx,
-    seed: Vec<WaitKey>,
+    mut candidates: VecDeque<WaitKey>,
     core: &mut ShardCore,
     global: &mut GlobalCore,
     out: &mut PumpOut,
 ) {
-    let mut candidates: VecDeque<WaitKey> = seed.into();
     while let Some(key) = candidates.pop_front() {
         // The op may have been woken (or re-examined) already — this is
         // also what makes stale/duplicate handoff hints harmless.
@@ -811,12 +828,13 @@ fn cascade(
             sink.record(global.clock, SchedEvent::cond(&waiting, eligible));
         }
         if eligible {
-            candidates.extend(act_one(ctx, &waiting, true, core, global, out));
+            act_one(ctx, &waiting, true, core, global, out, &mut candidates);
         } else {
             core.wait.insert(waiting);
             global.wait_live += 1;
         }
     }
+    core.wake_buf = candidates;
 }
 
 /// Which shards (other than the acting one) must re-test their waiters

@@ -1,0 +1,738 @@
+//! Slot-indexed TSGD for the dense Scheme 2 kernel.
+//!
+//! [`DenseTsgd`] is semantically the same structure as [`crate::tsgd::Tsgd`]
+//! — transaction/site nodes, undirected edges, dependencies between edges at
+//! a common site — but stored over compact `u32` slots handed out by
+//! [`DenseInterner`]s, so the per-operation hot path touches vectors and
+//! bitsets instead of `BTreeMap`s and allocates nothing:
+//!
+//! - adjacency is kept as **id-sorted** vectors of `(id, slot)` pairs, so
+//!   every traversal visits neighbours in exactly the order the reference
+//!   `BTreeMap` kernels do — step counts that depend on traversal order
+//!   (notably [`eliminate_cycles_dense`]) stay byte-identical;
+//! - dependencies into a transaction are per-site [`DenseBitSet`]s of
+//!   *before* slots, so Scheme 2's `cond(ser)` predecessor count is a
+//!   popcount and `cond(fin)`'s "no incoming dependency" test is an O(1)
+//!   counter read instead of a scan of the whole dependency set;
+//! - cycle *validation* uses a polynomial closed-walk reachability check
+//!   (sound over-approximation of the paper's cycle definition) with a
+//!   version-keyed memo, falling back to the exponential DFS oracle — a
+//!   direct port of [`crate::tsgd::Tsgd::has_cycle_involving`] — only to
+//!   confirm a positive.
+//!
+//! Abstract step accounting is unchanged: [`eliminate_cycles_dense`] charges
+//! `steps` tick-for-tick like [`crate::tsgd::eliminate_cycles`] (Figure 4);
+//! the reachability memo lives on the *uncounted* validation path only.
+
+use crate::tsgd::Dep;
+use mdbs_common::dense::{DenseBitSet, DenseInterner};
+use mdbs_common::ids::{GlobalTxnId, SiteId};
+use mdbs_common::step::{StepCounter, StepKind};
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Memo for the polynomial closed-walk check, keyed by structure version.
+#[derive(Clone, Debug, Default)]
+struct ReachCache {
+    version: u64,
+    walk: BTreeMap<u32, bool>,
+}
+
+/// The TSGD over dense slots. See the module docs for the storage scheme.
+#[derive(Clone, Debug, Default)]
+pub struct DenseTsgd {
+    txns: DenseInterner<GlobalTxnId>,
+    sites: DenseInterner<SiteId>,
+    /// Txn slot → edges as `(site id, site slot)`, sorted by site id.
+    txn_sites: Vec<Vec<(SiteId, u32)>>,
+    /// Site slot → edges as `(txn id, txn slot)`, sorted by txn id.
+    site_txns: Vec<Vec<(GlobalTxnId, u32)>>,
+    /// After-txn slot → `(site slot, before-txn slots)`, sorted by site slot.
+    deps_in: Vec<Vec<(u32, DenseBitSet)>>,
+    /// Before-txn slot → `(site slot, after-txn slot)` mirror (unordered).
+    deps_out: Vec<Vec<(u32, u32)>>,
+    /// After-txn slot → number of incoming dependencies (O(1) `cond(fin)`).
+    incoming: Vec<u32>,
+    dep_count: usize,
+    /// Bumped on every structural change; keys the reachability memo.
+    version: u64,
+    reach: RefCell<ReachCache>,
+    reach_hits: Cell<u64>,
+}
+
+// mdbs-lint: allow(no-panic-in-scheduler, scope=item) — slot indices come from the interner and adjacency rows are grown at insert_txn; prop_tsgd + kernel_equivalence pin the invariant against the reference Tsgd.
+impl DenseTsgd {
+    /// Empty TSGD.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure_txn_rows(&mut self, slot: u32) {
+        let n = slot as usize + 1;
+        if self.txn_sites.len() < n {
+            self.txn_sites.resize_with(n, Vec::new);
+            self.deps_in.resize_with(n, Vec::new);
+            self.deps_out.resize_with(n, Vec::new);
+            self.incoming.resize(n, 0);
+        }
+    }
+
+    /// Insert transaction `txn` with edges to `sites` (idempotent-merging,
+    /// like the reference). Returns the transaction's slot.
+    pub fn insert_txn(&mut self, txn: GlobalTxnId, sites: &[SiteId]) -> u32 {
+        self.version += 1;
+        let ts = self.txns.intern(txn);
+        self.ensure_txn_rows(ts);
+        for &site in sites {
+            let ss = self.sites.intern(site);
+            if self.site_txns.len() <= ss as usize {
+                self.site_txns.resize_with(ss as usize + 1, Vec::new);
+            }
+            let row = &mut self.txn_sites[ts as usize];
+            if let Err(pos) = row.binary_search_by_key(&site, |e| e.0) {
+                row.insert(pos, (site, ss));
+                let col = &mut self.site_txns[ss as usize];
+                if let Err(cpos) = col.binary_search_by_key(&txn, |e| e.0) {
+                    col.insert(cpos, (txn, ts));
+                }
+            }
+        }
+        ts
+    }
+
+    /// Remove a transaction, its edges, and all dependencies touching it;
+    /// releases its slot (and the slot of any site left with no edges).
+    pub fn remove_txn(&mut self, txn: GlobalTxnId) {
+        let Some(ts) = self.txns.slot_of(&txn) else {
+            return;
+        };
+        self.version += 1;
+        // Outgoing dependencies: clear our bit in each target's inbound set.
+        let mut out = std::mem::take(&mut self.deps_out[ts as usize]);
+        for &(ss, after) in &out {
+            if let Some(entry) = self.deps_in[after as usize].iter_mut().find(|e| e.0 == ss) {
+                if entry.1.remove(ts) {
+                    self.incoming[after as usize] -= 1;
+                    self.dep_count -= 1;
+                }
+            }
+        }
+        out.clear();
+        self.deps_out[ts as usize] = out;
+        // Incoming dependencies: drop the mirror entry in each source.
+        let mut inrows = std::mem::take(&mut self.deps_in[ts as usize]);
+        for (ss, befs) in &inrows {
+            for b in befs.iter() {
+                let row = &mut self.deps_out[b as usize];
+                if let Some(pos) = row.iter().position(|&e| e == (*ss, ts)) {
+                    row.swap_remove(pos);
+                }
+                self.dep_count -= 1;
+            }
+        }
+        self.incoming[ts as usize] = 0;
+        inrows.clear();
+        self.deps_in[ts as usize] = inrows;
+        // Edges; release site slots that end up edge-free (the reference
+        // drops empty site nodes from `site_txns` the same way).
+        let mut rows = std::mem::take(&mut self.txn_sites[ts as usize]);
+        for &(site, ss) in &rows {
+            let col = &mut self.site_txns[ss as usize];
+            if let Ok(pos) = col.binary_search_by_key(&txn, |e| e.0) {
+                col.remove(pos);
+            }
+            if col.is_empty() {
+                self.sites.release(&site);
+            }
+        }
+        rows.clear();
+        self.txn_sites[ts as usize] = rows;
+        self.txns.release(&txn);
+    }
+
+    /// Add a dependency. Debug-asserts both edges exist (like the
+    /// reference); silently skips if an endpoint has no live slot, which can
+    /// only happen on protocol-violating inputs.
+    pub fn add_dep(&mut self, dep: Dep) {
+        debug_assert!(self.has_edge(dep.before, dep.site), "dep on missing edge");
+        debug_assert!(self.has_edge(dep.after, dep.site), "dep on missing edge");
+        let (Some(ss), Some(bs), Some(asl)) = (
+            self.sites.slot_of(&dep.site),
+            self.txns.slot_of(&dep.before),
+            self.txns.slot_of(&dep.after),
+        ) else {
+            return;
+        };
+        let row = &mut self.deps_in[asl as usize];
+        let pos = match row.binary_search_by_key(&ss, |e| e.0) {
+            Ok(p) => p,
+            Err(p) => {
+                row.insert(p, (ss, DenseBitSet::new()));
+                p
+            }
+        };
+        if row[pos].1.insert(bs) {
+            self.incoming[asl as usize] += 1;
+            self.dep_count += 1;
+            self.deps_out[bs as usize].push((ss, asl));
+            self.version += 1;
+        }
+    }
+
+    /// True iff the dependency is present.
+    pub fn has_dep(&self, site: SiteId, before: GlobalTxnId, after: GlobalTxnId) -> bool {
+        let (Some(ss), Some(bs), Some(asl)) = (
+            self.sites.slot_of(&site),
+            self.txns.slot_of(&before),
+            self.txns.slot_of(&after),
+        ) else {
+            return false;
+        };
+        self.has_dep_slots(ss, bs, asl)
+    }
+
+    #[inline]
+    fn has_dep_slots(&self, site: u32, before: u32, after: u32) -> bool {
+        self.deps_in[after as usize]
+            .binary_search_by_key(&site, |e| e.0)
+            .is_ok_and(|p| self.deps_in[after as usize][p].1.contains(before))
+    }
+
+    /// True iff edge `(txn, site)` exists.
+    pub fn has_edge(&self, txn: GlobalTxnId, site: SiteId) -> bool {
+        self.txns.slot_of(&txn).is_some_and(|ts| {
+            self.txn_sites[ts as usize]
+                .binary_search_by_key(&site, |e| e.0)
+                .is_ok()
+        })
+    }
+
+    /// True iff the transaction node exists.
+    pub fn contains_txn(&self, txn: GlobalTxnId) -> bool {
+        self.txns.contains(&txn)
+    }
+
+    /// Slot of a live transaction.
+    #[inline]
+    pub fn txn_slot(&self, txn: GlobalTxnId) -> Option<u32> {
+        self.txns.slot_of(&txn)
+    }
+
+    /// Slot of a live site (a site is live while it has at least one edge).
+    #[inline]
+    pub fn site_slot(&self, site: SiteId) -> Option<u32> {
+        self.sites.slot_of(&site)
+    }
+
+    /// Transaction occupying `slot`.
+    #[inline]
+    pub fn txn_at_slot(&self, slot: u32) -> Option<GlobalTxnId> {
+        self.txns.key_of(slot)
+    }
+
+    /// Site occupying `slot`.
+    #[inline]
+    pub fn site_at_slot(&self, slot: u32) -> Option<SiteId> {
+        self.sites.key_of(slot)
+    }
+
+    /// Edges of the transaction in `slot`, sorted by site id.
+    #[inline]
+    pub fn sites_row(&self, slot: u32) -> &[(SiteId, u32)] {
+        self.txn_sites
+            .get(slot as usize)
+            .map_or(&[][..], |v| v.as_slice())
+    }
+
+    /// Edges at the site in `slot`, sorted by transaction id.
+    #[inline]
+    pub fn txns_col(&self, slot: u32) -> &[(GlobalTxnId, u32)] {
+        self.site_txns
+            .get(slot as usize)
+            .map_or(&[][..], |v| v.as_slice())
+    }
+
+    /// Sites of a transaction, in site-id order.
+    pub fn sites_of(&self, txn: GlobalTxnId) -> impl Iterator<Item = SiteId> + '_ {
+        self.txns
+            .slot_of(&txn)
+            .into_iter()
+            .flat_map(|ts| self.sites_row(ts).iter().map(|e| e.0))
+    }
+
+    /// Transactions at a site, in txn-id order.
+    pub fn txns_at(&self, site: SiteId) -> impl Iterator<Item = GlobalTxnId> + '_ {
+        self.sites
+            .slot_of(&site)
+            .into_iter()
+            .flat_map(|ss| self.txns_col(ss).iter().map(|e| e.0))
+    }
+
+    /// All live transactions in id order.
+    pub fn txns(&self) -> impl Iterator<Item = GlobalTxnId> + '_ {
+        self.txns.iter_sorted().map(|(k, _)| k)
+    }
+
+    /// Number of live transactions.
+    #[inline]
+    pub fn live_txn_count(&self) -> usize {
+        self.txns.live()
+    }
+
+    /// Highest transaction slot count ever in use — the bound callers use
+    /// to size their own txn-slot-indexed side tables.
+    #[inline]
+    pub fn txn_capacity(&self) -> usize {
+        self.txns.capacity()
+    }
+
+    /// Number of dependencies.
+    #[inline]
+    pub fn dep_count(&self) -> usize {
+        self.dep_count
+    }
+
+    /// Number of dependencies *into* `txn` — O(1), maintained.
+    #[inline]
+    pub fn incoming_deps(&self, txn: GlobalTxnId) -> usize {
+        self.txns
+            .slot_of(&txn)
+            .map_or(0, |ts| self.incoming[ts as usize] as usize)
+    }
+
+    /// Before-slots of dependencies `(·, site) → (site, txn)`, if any are
+    /// recorded. Cardinality is the reference `dep_preds(txn, site).len()`.
+    pub fn preds_at(&self, txn: GlobalTxnId, site: SiteId) -> Option<&DenseBitSet> {
+        let (Some(ts), Some(ss)) = (self.txns.slot_of(&txn), self.sites.slot_of(&site)) else {
+            return None;
+        };
+        self.deps_in[ts as usize]
+            .binary_search_by_key(&ss, |e| e.0)
+            .ok()
+            .map(|p| &self.deps_in[ts as usize][p].1)
+    }
+
+    /// The dependency set as paper-level [`Dep`]s (test/inspection only).
+    pub fn deps_set(&self) -> BTreeSet<Dep> {
+        let mut out = BTreeSet::new();
+        for (before, row) in self.deps_out.iter().enumerate() {
+            for &(ss, asl) in row {
+                if let (Some(site), Some(b), Some(a)) = (
+                    self.sites.key_of(ss),
+                    self.txns.key_of(before as u32),
+                    self.txns.key_of(asl),
+                ) {
+                    out.insert(Dep {
+                        site,
+                        before: b,
+                        after: a,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Times the reachability memo answered a cycle query without a walk.
+    #[inline]
+    pub fn reach_cache_hits(&self) -> u64 {
+        self.reach_hits.get()
+    }
+
+    fn extra_slots(&self, extra: &BTreeSet<Dep>) -> BTreeSet<(u32, u32, u32)> {
+        extra
+            .iter()
+            .filter_map(|d| {
+                Some((
+                    self.sites.slot_of(&d.site)?,
+                    self.txns.slot_of(&d.before)?,
+                    self.txns.slot_of(&d.after)?,
+                ))
+            })
+            .collect()
+    }
+
+    /// Polynomial closed-walk check: true iff a dependency-free alternating
+    /// walk leaves `start`, never re-uses its arrival site on the next hop,
+    /// and returns to `start`. Every cycle in the paper's sense induces such
+    /// a walk (all its nodes are distinct), so `oracle ⟹ walk` — the walk
+    /// may additionally accept non-simple closed walks, which callers filter
+    /// with [`DenseTsgd::has_cycle_involving_oracle`].
+    ///
+    /// State space is (txn slot, arrival-site slot): O(n·m) states, each
+    /// expanded once — polynomial, unlike the oracle's exponential DFS.
+    pub fn closed_walk_involving(&self, start: GlobalTxnId, extra: &BTreeSet<Dep>) -> bool {
+        let Some(start_slot) = self.txns.slot_of(&start) else {
+            return false;
+        };
+        let extra = self.extra_slots(extra);
+        self.closed_walk_from(start_slot, &extra)
+    }
+
+    fn closed_walk_from(&self, start: u32, extra: &BTreeSet<(u32, u32, u32)>) -> bool {
+        let blocked = |site: u32, before: u32, after: u32| {
+            self.has_dep_slots(site, before, after) || extra.contains(&(site, before, after))
+        };
+        // visited[txn slot] = set of arrival-site slots already expanded.
+        let mut visited: Vec<DenseBitSet> = vec![DenseBitSet::new(); self.txns.capacity()];
+        let mut stack: Vec<(u32, u32)> = Vec::new();
+        for &(_, us) in self.sites_row(start) {
+            for &(_, ws) in self.txns_col(us) {
+                if ws == start || blocked(us, start, ws) {
+                    continue;
+                }
+                if visited[ws as usize].insert(us) {
+                    stack.push((ws, us));
+                }
+            }
+        }
+        while let Some((v, arrived)) = stack.pop() {
+            for &(_, us) in self.sites_row(v) {
+                if us == arrived {
+                    continue;
+                }
+                for &(_, ws) in self.txns_col(us) {
+                    if ws == v || blocked(us, v, ws) {
+                        continue;
+                    }
+                    if ws == start {
+                        return true;
+                    }
+                    if visited[ws as usize].insert(us) {
+                        stack.push((ws, us));
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Memoized closed-walk query against the *current* dependency set.
+    /// Results are cached per transaction slot until the structure changes;
+    /// hits are counted for the `tsgd.reach_cache_hit` metric.
+    pub fn has_cycle_involving_cached(&self, txn: GlobalTxnId) -> bool {
+        let Some(ts) = self.txns.slot_of(&txn) else {
+            return false;
+        };
+        let mut cache = self.reach.borrow_mut();
+        if cache.version != self.version {
+            cache.version = self.version;
+            cache.walk.clear();
+        }
+        if let Some(&hit) = cache.walk.get(&ts) {
+            self.reach_hits.set(self.reach_hits.get() + 1);
+            return hit;
+        }
+        let result = self.closed_walk_from(ts, &BTreeSet::new());
+        cache.walk.insert(ts, result);
+        result
+    }
+
+    /// Exponential DFS oracle — a direct port of
+    /// [`crate::tsgd::Tsgd::has_cycle_involving`] onto the dense storage,
+    /// visiting neighbours in the same id order. Test/validation grade.
+    pub fn has_cycle_involving_oracle(&self, start: GlobalTxnId, extra: &BTreeSet<Dep>) -> bool {
+        let Some(start_slot) = self.txns.slot_of(&start) else {
+            return false;
+        };
+        let extra = self.extra_slots(extra);
+        let mut seen_txns = BTreeSet::from([start_slot]);
+        let mut seen_sites = BTreeSet::new();
+        self.oracle_dfs(
+            start_slot,
+            start_slot,
+            &extra,
+            &mut seen_txns,
+            &mut seen_sites,
+            0,
+        )
+    }
+
+    fn oracle_dfs(
+        &self,
+        start: u32,
+        at: u32,
+        extra: &BTreeSet<(u32, u32, u32)>,
+        seen_txns: &mut BTreeSet<u32>,
+        seen_sites: &mut BTreeSet<u32>,
+        depth: usize,
+    ) -> bool {
+        for &(_, site) in self.sites_row(at) {
+            if seen_sites.contains(&site) {
+                continue;
+            }
+            for &(_, next) in self.txns_col(site) {
+                if next == at {
+                    continue;
+                }
+                if self.has_dep_slots(site, at, next) || extra.contains(&(site, at, next)) {
+                    continue;
+                }
+                if next == start {
+                    if depth >= 1 {
+                        return true;
+                    }
+                    continue;
+                }
+                if seen_txns.contains(&next) {
+                    continue;
+                }
+                seen_txns.insert(next);
+                seen_sites.insert(site);
+                if self.oracle_dfs(start, next, extra, seen_txns, seen_sites, depth + 1) {
+                    return true;
+                }
+                seen_sites.remove(&site);
+                seen_txns.remove(&next);
+            }
+        }
+        false
+    }
+
+    /// True iff any cycle exists, by the exponential oracle.
+    pub fn has_any_cycle_oracle(&self) -> bool {
+        let none = BTreeSet::new();
+        self.txns()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .any(|t| self.has_cycle_involving_oracle(t, &none))
+    }
+}
+
+/// Figure 4 (`Eliminate_Cycles`) over the dense storage — returns the same
+/// `Δ` and charges `steps` **tick-for-tick identically** to
+/// [`crate::tsgd::eliminate_cycles`]: adjacency vectors are id-sorted, so
+/// the traversal examines candidate edges in the reference order.
+// mdbs-lint: allow(no-panic-in-scheduler, scope=item) — slot indices come from the interner and adjacency rows are grown at insert_txn; prop_tsgd + kernel_equivalence pin the invariant against the reference Tsgd.
+pub fn eliminate_cycles_dense(
+    tsgd: &DenseTsgd,
+    gi: GlobalTxnId,
+    steps: &mut StepCounter,
+) -> BTreeSet<Dep> {
+    let mut delta: BTreeSet<Dep> = BTreeSet::new();
+    let Some(gslot) = tsgd.txn_slot(gi) else {
+        // Reference behaviour for an absent gi: one outer tick, empty Δ.
+        steps.tick(StepKind::Act);
+        return delta;
+    };
+    let mut used: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let mut s_par: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    let mut t_par: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    // Δ only ever contains deps with after = gi, so membership is a pair.
+    let mut delta_pairs: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let mut v = gslot;
+
+    loop {
+        steps.tick(StepKind::Act);
+        let arrived_via = s_par.get(&v).and_then(|l| l.first().copied());
+        let mut chosen: Option<(u32, u32)> = None;
+        'search: for &(_, us) in tsgd.sites_row(v) {
+            if arrived_via == Some(us) {
+                continue;
+            }
+            for &(_, ws) in tsgd.txns_col(us) {
+                steps.tick(StepKind::Act);
+                if ws == v {
+                    continue;
+                }
+                if ws != gslot && used.contains(&(us, ws)) {
+                    continue;
+                }
+                if tsgd.has_dep_slots(us, v, ws) || (ws == gslot && delta_pairs.contains(&(us, v)))
+                {
+                    continue;
+                }
+                chosen = Some((us, ws));
+                break 'search;
+            }
+        }
+        match chosen {
+            Some((us, ws)) => {
+                used.insert((us, ws));
+                if ws == gslot {
+                    delta_pairs.insert((us, v));
+                    // mdbs-lint: allow(no-panic-in-scheduler) — slots on the current traversal path are live by construction.
+                    let site = tsgd.site_at_slot(us).expect("live site slot");
+                    // mdbs-lint: allow(no-panic-in-scheduler) — v is a live node on the traversal path.
+                    let before = tsgd.txn_at_slot(v).expect("live txn slot");
+                    delta.insert(Dep {
+                        site,
+                        before,
+                        after: gi,
+                    });
+                } else {
+                    s_par.entry(ws).or_default().insert(0, us);
+                    t_par.entry(ws).or_default().insert(0, v);
+                    v = ws;
+                }
+            }
+            None => {
+                if v == gslot {
+                    break;
+                }
+                // mdbs-lint: allow(no-panic-in-scheduler) — the backtracking search records s_par/t_par together before descending, so a visited node always has both.
+                let tp = t_par.get_mut(&v).expect("visited node has parents");
+                let temp = tp.remove(0);
+                // mdbs-lint: allow(no-panic-in-scheduler) — s_par and t_par are updated in lockstep above.
+                s_par.get_mut(&v).expect("parents in sync").remove(0);
+                v = temp;
+            }
+        }
+    }
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tsgd::{eliminate_cycles, Tsgd};
+
+    fn g(i: u64) -> GlobalTxnId {
+        GlobalTxnId(i)
+    }
+    fn s(i: u32) -> SiteId {
+        SiteId(i)
+    }
+    fn dep(k: u32, a: u64, b: u64) -> Dep {
+        Dep {
+            site: s(k),
+            before: g(a),
+            after: g(b),
+        }
+    }
+
+    fn two_txn_cycle() -> DenseTsgd {
+        let mut t = DenseTsgd::new();
+        t.insert_txn(g(1), &[s(0), s(1)]);
+        t.insert_txn(g(2), &[s(0), s(1)]);
+        t
+    }
+
+    #[test]
+    fn undetermined_orders_cycle() {
+        let t = two_txn_cycle();
+        assert!(t.has_cycle_involving_oracle(g(1), &BTreeSet::new()));
+        assert!(t.has_cycle_involving_oracle(g(2), &BTreeSet::new()));
+        assert!(t.closed_walk_involving(g(1), &BTreeSet::new()));
+        assert!(t.has_any_cycle_oracle());
+    }
+
+    #[test]
+    fn consistent_dependencies_break_cycle() {
+        let mut t = two_txn_cycle();
+        t.add_dep(dep(0, 1, 2));
+        t.add_dep(dep(1, 1, 2));
+        assert!(!t.has_any_cycle_oracle());
+        assert!(!t.closed_walk_involving(g(1), &BTreeSet::new()));
+        assert!(!t.closed_walk_involving(g(2), &BTreeSet::new()));
+        assert_eq!(t.dep_count(), 2);
+        assert_eq!(t.incoming_deps(g(2)), 2);
+        assert_eq!(t.preds_at(g(2), s(0)).map(|b| b.len()), Some(1));
+    }
+
+    #[test]
+    fn opposite_dependencies_are_a_real_cycle() {
+        let mut t = two_txn_cycle();
+        t.add_dep(dep(0, 1, 2));
+        t.add_dep(dep(1, 2, 1));
+        assert!(t.has_any_cycle_oracle());
+        assert!(t.closed_walk_involving(g(1), &BTreeSet::new()));
+    }
+
+    #[test]
+    fn walk_is_implied_by_oracle_on_ring() {
+        let mut t = DenseTsgd::new();
+        t.insert_txn(g(1), &[s(0), s(1)]);
+        t.insert_txn(g(2), &[s(1), s(2)]);
+        t.insert_txn(g(3), &[s(2), s(0)]);
+        assert!(t.has_cycle_involving_oracle(g(2), &BTreeSet::new()));
+        assert!(t.closed_walk_involving(g(2), &BTreeSet::new()));
+    }
+
+    #[test]
+    fn eliminate_cycles_matches_reference_delta_and_steps() {
+        // Mirror the same structure into both implementations and compare
+        // Δ and the exact step charge.
+        let mut reference = Tsgd::new();
+        let mut dense = DenseTsgd::new();
+        let txns: &[(u64, &[u32])] = &[
+            (1, &[0, 1, 2]),
+            (2, &[0, 1]),
+            (3, &[1, 2]),
+            (4, &[0, 2]),
+            (5, &[0, 1, 2]),
+        ];
+        for &(t, ss) in txns {
+            let sites: Vec<SiteId> = ss.iter().map(|&k| s(k)).collect();
+            reference.insert_txn(g(t), &sites);
+            dense.insert_txn(g(t), &sites);
+        }
+        for d in [dep(0, 1, 2), dep(1, 2, 3)] {
+            reference.add_dep(d);
+            dense.add_dep(d);
+        }
+        let mut steps_ref = StepCounter::new();
+        let mut steps_dense = StepCounter::new();
+        let delta_ref = eliminate_cycles(&reference, g(5), &mut steps_ref);
+        let delta_dense = eliminate_cycles_dense(&dense, g(5), &mut steps_dense);
+        assert_eq!(delta_ref, delta_dense);
+        assert_eq!(steps_ref, steps_dense);
+        assert!(!reference.has_cycle_involving(g(5), &delta_ref));
+        assert!(!dense.has_cycle_involving_oracle(g(5), &delta_dense));
+    }
+
+    #[test]
+    fn eliminate_cycles_missing_txn_is_one_tick() {
+        let dense = DenseTsgd::new();
+        let mut steps = StepCounter::new();
+        assert!(eliminate_cycles_dense(&dense, g(9), &mut steps).is_empty());
+        assert_eq!(steps.act, 1);
+    }
+
+    #[test]
+    fn remove_txn_drops_deps_and_recycles_slots() {
+        let mut t = two_txn_cycle();
+        t.add_dep(dep(0, 1, 2));
+        let old_slot = t.txn_slot(g(1)).unwrap();
+        t.remove_txn(g(1));
+        assert_eq!(t.dep_count(), 0);
+        assert_eq!(t.incoming_deps(g(2)), 0);
+        assert!(!t.contains_txn(g(1)));
+        assert!(!t.has_any_cycle_oracle());
+        // The freed slot is recycled and must carry no stale state.
+        let new_slot = t.insert_txn(g(7), &[s(0), s(1)]);
+        assert_eq!(new_slot, old_slot);
+        assert_eq!(t.incoming_deps(g(7)), 0);
+        assert!(t.preds_at(g(7), s(0)).is_none());
+        // G7 and G2 now share two undetermined sites: a fresh cycle.
+        assert!(t.has_cycle_involving_oracle(g(7), &BTreeSet::new()));
+    }
+
+    #[test]
+    fn site_slots_release_when_edge_free() {
+        let mut t = DenseTsgd::new();
+        t.insert_txn(g(1), &[s(5)]);
+        assert!(t.site_slot(s(5)).is_some());
+        t.remove_txn(g(1));
+        assert!(t.site_slot(s(5)).is_none());
+        assert_eq!(t.txns_at(s(5)).count(), 0);
+    }
+
+    #[test]
+    fn reach_cache_hits_count() {
+        let t = two_txn_cycle();
+        assert!(t.has_cycle_involving_cached(g(1)));
+        assert_eq!(t.reach_cache_hits(), 0);
+        assert!(t.has_cycle_involving_cached(g(1)));
+        assert_eq!(t.reach_cache_hits(), 1);
+    }
+
+    #[test]
+    fn cache_invalidates_on_mutation() {
+        let mut t = two_txn_cycle();
+        assert!(t.has_cycle_involving_cached(g(1)));
+        t.add_dep(dep(0, 1, 2));
+        t.add_dep(dep(1, 1, 2));
+        assert!(!t.has_cycle_involving_cached(g(1)), "fresh walk after bump");
+    }
+}

@@ -1,0 +1,264 @@
+//! Kernel-equivalence property suite: the dense slot/bitset kernels
+//! (`kernel_dense`, `tsgd_dense`) are observationally identical to the
+//! reference BTree kernels on every valid input.
+//!
+//! "Identical" is strict: same effect sequence, same per-site `ser(S)`
+//! orders, same engine stats, and — the load-bearing invariant for the
+//! paper's complexity measurements — byte-identical `StepCounter` values.
+//! The dense kernels are a machine-cost optimization only; if any of these
+//! assertions fail, a counted step moved.
+//!
+//! Also covered:
+//! - slot recycling: replaying a script *twice through one engine* reuses
+//!   every transaction id after its `fin`, so freed slots are re-interned
+//!   and must carry no stale state;
+//! - `eliminate_cycles_dense` computes exactly the reference Δ with
+//!   exactly the reference step charges (Figure 4 parity);
+//! - the polynomial closed-walk check never misses a cycle the exponential
+//!   oracle finds (it may over-approximate, never under-approximate).
+
+use mdbs_common::ids::{GlobalTxnId, SiteId};
+use mdbs_common::ops::QueueOp;
+use mdbs_common::step::StepCounter;
+use mdbs_core::gtm2::Gtm2;
+use mdbs_core::replay::{replay_kernel, replay_sharded_kernel, Script, ScriptEvent};
+use mdbs_core::scheme::{KernelKind, SchemeEffect, SchemeKind};
+use mdbs_core::tsgd::{eliminate_cycles, Dep, Tsgd};
+use mdbs_core::tsgd_dense::{eliminate_cycles_dense, DenseTsgd};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Strategy: a valid random script described by (n, m, dav, seed).
+fn arb_script() -> impl Strategy<Value = Script> {
+    (2usize..12, 2usize..5, 10u64..35, any::<u64>())
+        .prop_map(|(n, m, dav10, seed)| Script::random(n, m, dav10 as f64 / 10.0, seed))
+}
+
+/// Drive `script` through an existing engine with zero-latency acks and
+/// automatic fins (the replay harness's closed loop, reimplemented here so
+/// one engine can absorb several scripts back-to-back and recycle ids).
+fn drive(engine: &mut Gtm2, script: &Script) {
+    let mut acks_needed: BTreeMap<GlobalTxnId, usize> = BTreeMap::new();
+    for ev in &script.events {
+        match ev {
+            ScriptEvent::Init(txn, sites) => {
+                acks_needed.insert(*txn, sites.len());
+                engine.enqueue(QueueOp::Init {
+                    txn: *txn,
+                    sites: sites.clone(),
+                });
+            }
+            ScriptEvent::Ser(txn, site) => {
+                engine.enqueue(QueueOp::Ser {
+                    txn: *txn,
+                    site: *site,
+                });
+            }
+        }
+        loop {
+            let effects = engine.pump();
+            if effects.is_empty() {
+                break;
+            }
+            for fx in effects {
+                match fx {
+                    SchemeEffect::SubmitSer { txn, site } => {
+                        engine.enqueue(QueueOp::Ack { txn, site });
+                    }
+                    SchemeEffect::ForwardAck { txn, .. } => {
+                        if let Some(left) = acks_needed.get_mut(&txn) {
+                            *left -= 1;
+                            if *left == 0 {
+                                acks_needed.remove(&txn);
+                                engine.enqueue(QueueOp::Fin { txn });
+                            }
+                        }
+                    }
+                    SchemeEffect::AbortGlobal { .. } | SchemeEffect::ProtocolViolation { .. } => {
+                        panic!("conservative scheme produced {fx:?} on a valid script");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Build matching reference and dense TSGDs (same shape/dependencies) plus
+/// a fresh transaction, mirroring `prop_tsgd::build`.
+fn build_pair(shape: &[u8], dep_picks: &[bool], fresh_mask: u8) -> (Tsgd, DenseTsgd, GlobalTxnId) {
+    let site_list = |mask: u8| -> Vec<SiteId> {
+        (0..4u32)
+            .filter(|b| mask & (1 << b) != 0)
+            .map(SiteId)
+            .collect()
+    };
+    let mut reference = Tsgd::new();
+    let mut dense = DenseTsgd::new();
+    for (i, &mask) in shape.iter().enumerate() {
+        let sites = site_list(mask | 1 << (i % 4));
+        reference.insert_txn(GlobalTxnId(i as u64 + 1), &sites);
+        dense.insert_txn(GlobalTxnId(i as u64 + 1), &sites);
+    }
+    let mut candidates = Vec::new();
+    let txns: Vec<GlobalTxnId> = reference.txns().collect();
+    for (ai, &a) in txns.iter().enumerate() {
+        for &b in &txns[ai + 1..] {
+            let sites_a: std::collections::BTreeSet<SiteId> = reference.sites_of(a).collect();
+            for s in reference.sites_of(b) {
+                if sites_a.contains(&s) {
+                    candidates.push(Dep {
+                        site: s,
+                        before: a,
+                        after: b,
+                    });
+                }
+            }
+        }
+    }
+    for (i, dep) in candidates.into_iter().enumerate() {
+        if dep_picks.get(i).copied().unwrap_or(false) {
+            reference.add_dep(dep);
+            dense.add_dep(dep);
+        }
+    }
+    let fresh = GlobalTxnId(999);
+    let fresh_sites = site_list(fresh_mask | 1);
+    reference.insert_txn(fresh, &fresh_sites);
+    dense.insert_txn(fresh, &fresh_sites);
+    (reference, dense, fresh)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tentpole invariant: for every conservative scheme, the dense
+    /// kernel replays any valid script with byte-identical steps, stats,
+    /// and per-site serialization orders.
+    #[test]
+    fn dense_kernel_matches_reference_on_any_order(script in arb_script()) {
+        for kind in SchemeKind::CONSERVATIVE {
+            let reference = replay_kernel(kind, KernelKind::BTree, &script);
+            let dense = replay_kernel(kind, KernelKind::Dense, &script);
+            prop_assert_eq!(
+                reference.steps, dense.steps,
+                "{}: step counters diverged", kind
+            );
+            prop_assert_eq!(
+                reference.stats, dense.stats,
+                "{}: engine stats diverged", kind
+            );
+            prop_assert_eq!(
+                &reference.ser_events, &dense.ser_events,
+                "{}: ser(S) diverged", kind
+            );
+            prop_assert_eq!(
+                (reference.wake_scan_count, reference.wake_scan_sum),
+                (dense.wake_scan_count, dense.wake_scan_sum),
+                "{}: wake-scan histogram diverged", kind
+            );
+            prop_assert_eq!(dense.protocol_violations, 0, "{}", kind);
+            prop_assert!(dense.ser_serializable, "{}", kind);
+        }
+    }
+
+    /// Same invariant through the sharded engine's deterministic pump
+    /// (partitioned routing + cross-shard handoffs on top of the kernels).
+    #[test]
+    fn dense_kernel_matches_reference_sharded(
+        script in arb_script(),
+        nshards in 1usize..4,
+    ) {
+        for kind in SchemeKind::CONSERVATIVE {
+            let reference = replay_sharded_kernel(kind, KernelKind::BTree, nshards, &script);
+            let dense = replay_sharded_kernel(kind, KernelKind::Dense, nshards, &script);
+            prop_assert_eq!(
+                reference.steps, dense.steps,
+                "{} @ {} shards: steps diverged", kind, nshards
+            );
+            prop_assert_eq!(
+                reference.stats, dense.stats,
+                "{} @ {} shards: stats diverged", kind, nshards
+            );
+            prop_assert_eq!(
+                &reference.ser_events, &dense.ser_events,
+                "{} @ {} shards: ser(S) diverged", kind, nshards
+            );
+        }
+    }
+
+    /// Id recycling: the same script replayed twice through one engine
+    /// re-interns every transaction id after its slot was freed at `fin`.
+    /// Stale bits in any recycled slot would change effects or steps.
+    #[test]
+    fn recycled_ids_carry_no_stale_state(script in arb_script()) {
+        for kind in SchemeKind::CONSERVATIVE {
+            let mut reference = Gtm2::new(kind.build_kernel(KernelKind::BTree));
+            let mut dense = Gtm2::new(kind.build_kernel(KernelKind::Dense));
+            reference.set_validate(true);
+            dense.set_validate(true);
+            for _round in 0..2 {
+                drive(&mut reference, &script);
+                drive(&mut dense, &script);
+                prop_assert_eq!(
+                    reference.steps(), dense.steps(),
+                    "{}: steps diverged across recycling rounds", kind
+                );
+                prop_assert_eq!(
+                    reference.stats(), dense.stats(),
+                    "{}: stats diverged across recycling rounds", kind
+                );
+                prop_assert_eq!(
+                    reference.ser_log().events(), dense.ser_log().events(),
+                    "{}: ser(S) diverged across recycling rounds", kind
+                );
+            }
+            prop_assert_eq!(reference.wait_len(), 0, "{}", kind);
+            prop_assert_eq!(dense.wait_len(), 0, "{}", kind);
+        }
+    }
+
+    /// Figure 4 parity: the dense Eliminate_Cycles produces exactly the
+    /// reference Δ with exactly the reference step charges.
+    #[test]
+    fn eliminate_cycles_dense_matches_reference(
+        shape in prop::collection::vec(0u8..16, 1..6),
+        dep_picks in prop::collection::vec(any::<bool>(), 0..24),
+        fresh_mask in 0u8..16,
+    ) {
+        let (reference, dense, fresh) = build_pair(&shape, &dep_picks, fresh_mask);
+        let ref_deps: std::collections::BTreeSet<Dep> = reference.deps().collect();
+        prop_assert_eq!(ref_deps, dense.deps_set(), "construction mismatch");
+        let mut steps_ref = StepCounter::new();
+        let mut steps_dense = StepCounter::new();
+        let delta_ref = eliminate_cycles(&reference, fresh, &mut steps_ref);
+        let delta_dense = eliminate_cycles_dense(&dense, fresh, &mut steps_dense);
+        prop_assert_eq!(&delta_ref, &delta_dense, "Δ diverged");
+        prop_assert_eq!(steps_ref, steps_dense, "EC step charges diverged");
+    }
+
+    /// Soundness of the polynomial cycle check: whenever the exponential
+    /// oracle finds a cycle through `start`, the closed-walk
+    /// over-approximation must flag it too.
+    #[test]
+    fn oracle_cycle_implies_poly_walk(
+        shape in prop::collection::vec(0u8..16, 1..6),
+        dep_picks in prop::collection::vec(any::<bool>(), 0..24),
+        fresh_mask in 0u8..16,
+    ) {
+        let (_, dense, fresh) = build_pair(&shape, &dep_picks, fresh_mask);
+        let extra = std::collections::BTreeSet::new();
+        let txns: Vec<GlobalTxnId> = dense.txns().collect();
+        for t in txns.into_iter().chain([fresh]) {
+            if dense.has_cycle_involving_oracle(t, &extra) {
+                prop_assert!(
+                    dense.closed_walk_involving(t, &extra),
+                    "polynomial walk missed an oracle cycle through {t}"
+                );
+                prop_assert!(
+                    dense.has_cycle_involving_cached(t),
+                    "cached walk missed an oracle cycle through {t}"
+                );
+            }
+        }
+    }
+}

@@ -27,6 +27,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod csr;
+pub mod dsu;
 pub mod global;
 pub mod graph;
 pub mod history;
@@ -34,6 +35,7 @@ pub mod oracle;
 pub mod ugraph;
 
 pub use csr::{is_conflict_serializable, serialization_graph, CsrReport};
+pub use dsu::UnionFind;
 pub use global::{GlobalSerializability, GlobalSerializationGraph};
 pub use graph::DiGraph;
 pub use history::History;
