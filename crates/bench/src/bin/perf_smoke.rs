@@ -1,7 +1,8 @@
 //! Perf smoke run: a fixed matrix of the four conservative schemes ×
-//! {replay, sharded replay, full DES} × workload sizes × scheme kernels,
-//! written to the path given by `--out PATH` or `BENCH_OUT` (default
-//! `BENCH_PR5.json`).
+//! {replay, sharded replay, full DES} × workload sizes × scheme kernels.
+//! The output path is chosen by the canonical overrides `--out PATH`
+//! (highest precedence) or the `BENCH_OUT` environment variable; the
+//! built-in fallback is only for bare local runs.
 //!
 //! The goal is a cheap, repeatable baseline — a few seconds of wall time —
 //! whose numbers later PRs can diff against, not a rigorous benchmark
@@ -26,14 +27,19 @@
 //! simulator: throughput and response percentiles are in *simulated*
 //! time.
 //!
-//! The `kernel` column names the scheme-state implementation:
-//! `btree` (reference `BTreeMap`/`BTreeSet` kernels) or `dense`
-//! (slot-interned bitset kernels). Both kernels charge byte-identical
-//! `steps_cond`/`steps_act` — `step_gate` enforces that — so within a
-//! (scheme, mode, size) pair only `wall_ms` may differ. Reference-kernel
-//! cells stop at `medium`: the `large` tier exists to show the dense
-//! kernels holding up at 1000 txns, where the btree Scheme 2 cell alone
-//! would dominate the whole smoke run.
+//! The `kernel` column names the scheme-state implementation: `btree`
+//! (reference `BTreeMap`/`BTreeSet` kernels), `dense` (slot-interned
+//! bitset kernels with incremental cycle maintenance), or `dense-memo`
+//! (the dense Scheme 2 kernel with the pre-incremental full-rescan
+//! `Eliminate_Cycles`, kept as a second oracle). All kernels charge
+//! byte-identical `steps_cond`/`steps_act` — `step_gate` enforces that —
+//! so within a (scheme, mode, size) pair only `wall_ms` may differ.
+//! Reference-kernel cells stop at `medium`: the btree Scheme 2 `large`
+//! cell alone would dominate the whole smoke run. The `dense-memo`
+//! Scheme 2 cells run every tier precisely so the large-tier speedup of
+//! the incremental path over the full-rescan path stays recorded in the
+//! bench trail; other schemes share one dense implementation, so their
+//! `dense-memo` rows would duplicate `dense` and are skipped.
 //!
 //! [`ShardedGtm2`]: mdbs_core::sharded::ShardedGtm2
 
@@ -75,20 +81,25 @@ struct BenchReport {
 }
 
 /// (size label, txns, sites, avg sites per txn) for replay scripts.
-/// The `large` tier is dense-kernel-only: the reference Scheme 2 kernel is
-/// superlinear in n and would turn the smoke run into minutes at 1000
-/// txns, which is exactly the regime the dense kernels exist for.
+/// The `large` tier skips the btree kernel: the reference Scheme 2 kernel
+/// is superlinear in n and would turn the smoke run into minutes at 1000
+/// txns, which is exactly the regime the dense kernels exist for. The
+/// dense-memo Scheme 2 cell stands in as the pre-incremental datum there.
 const REPLAY_SIZES: [(&str, usize, usize, f64); 3] = [
     ("small", 50, 4, 2.0),
     ("medium", 150, 6, 2.5),
     ("large", 1000, 10, 2.5),
 ];
 
-/// Which replay tiers each kernel runs: btree stops at `medium`.
-fn kernel_runs_size(kernel: KernelKind, size: &str) -> bool {
+/// Which replay cells each kernel contributes: btree stops at `medium`,
+/// dense runs everything, and dense-memo runs only Scheme 2 (where it
+/// actually differs from dense) at every tier, so the large-tier
+/// incremental-vs-full-rescan comparison is recorded.
+fn cell_included(scheme: SchemeKind, kernel: KernelKind, size: &str) -> bool {
     match kernel {
         KernelKind::BTree => size != "large",
         KernelKind::Dense => true,
+        KernelKind::DenseMemo => scheme == SchemeKind::Scheme2,
     }
 }
 
@@ -244,7 +255,7 @@ fn out_path() -> Result<String, String> {
     match args.next().as_deref() {
         Some("--out") => args.next().ok_or_else(|| "--out needs a path".to_string()),
         Some(other) => Err(format!("unknown argument `{other}` (try --out PATH)")),
-        None => Ok(std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_PR5.json".to_string())),
+        None => Ok(std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_PR6.json".to_string())),
     }
 }
 
@@ -258,9 +269,9 @@ fn main() -> std::process::ExitCode {
     };
     let mut cells = Vec::new();
     for scheme in SchemeKind::CONSERVATIVE {
-        for kernel in [KernelKind::BTree, KernelKind::Dense] {
+        for kernel in [KernelKind::BTree, KernelKind::Dense, KernelKind::DenseMemo] {
             for (size, n, m, dav) in REPLAY_SIZES {
-                if !kernel_runs_size(kernel, size) {
+                if !cell_included(scheme, kernel, size) {
                     continue;
                 }
                 cells.push(replay_cell(scheme, kernel, size, n, m, dav));

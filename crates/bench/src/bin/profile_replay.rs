@@ -1,0 +1,71 @@
+//! One-cell replay runner for profiling: replays a single
+//! (scheme, kernel, size) cell of the perf_smoke matrix in a loop so a
+//! sampling profiler (`gprofng collect app`, `perf record`) sees only the
+//! scheduler under test, not the whole smoke matrix.
+//!
+//! ```text
+//! profile_replay [SCHEME] [KERNEL] [SIZE] [REPS]
+//! ```
+//!
+//! Defaults: `Scheme2 dense large 1`. SCHEME is `Scheme0..Scheme3`,
+//! KERNEL is a [`KernelKind`] name (`btree`, `dense`, `dense-memo`),
+//! SIZE is a perf_smoke replay tier (`small`, `medium`, `large`).
+
+use mdbs_core::replay::{replay_kernel, Script};
+use mdbs_core::scheme::{KernelKind, SchemeKind};
+use std::time::Instant;
+
+/// Mirror of perf_smoke's replay tiers (label, txns, sites, avg sites).
+const SIZES: [(&str, usize, usize, f64); 3] = [
+    ("small", 50, 4, 2.0),
+    ("medium", 150, 6, 2.5),
+    ("large", 1000, 10, 2.5),
+];
+
+fn main() -> std::process::ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scheme_name = args.first().map(String::as_str).unwrap_or("Scheme2");
+    let kernel_name = args.get(1).map(String::as_str).unwrap_or("dense");
+    let size_name = args.get(2).map(String::as_str).unwrap_or("large");
+    let reps: usize = args
+        .get(3)
+        .map(|r| r.parse().unwrap_or(1))
+        .unwrap_or(1)
+        .max(1);
+    let Some(scheme) = [
+        SchemeKind::Scheme0,
+        SchemeKind::Scheme1,
+        SchemeKind::Scheme2,
+        SchemeKind::Scheme3,
+    ]
+    .into_iter()
+    .find(|s| format!("{s:?}") == scheme_name) else {
+        eprintln!("profile_replay: unknown scheme `{scheme_name}` (try Scheme0..Scheme3)");
+        return std::process::ExitCode::from(2);
+    };
+    let Some(kernel) = [KernelKind::BTree, KernelKind::Dense, KernelKind::DenseMemo]
+        .into_iter()
+        .find(|k| k.name() == kernel_name)
+    else {
+        eprintln!("profile_replay: unknown kernel `{kernel_name}` (try btree/dense/dense-memo)");
+        return std::process::ExitCode::from(2);
+    };
+    let Some(&(_, n, m, dav)) = SIZES.iter().find(|(s, ..)| *s == size_name) else {
+        eprintln!("profile_replay: unknown size `{size_name}` (try small/medium/large)");
+        return std::process::ExitCode::from(2);
+    };
+    let script = Script::random(n, m, dav, 42);
+    for rep in 0..reps {
+        let start = Instant::now();
+        let outcome = replay_kernel(scheme, kernel, &script);
+        let wall = start.elapsed();
+        assert_eq!(outcome.completed, n, "replay must complete every txn");
+        eprintln!(
+            "rep {rep}: {scheme_name}/{kernel_name}/{size_name} {n} txns in {:.2} ms (cond={} act={})",
+            wall.as_secs_f64() * 1e3,
+            outcome.steps.cond,
+            outcome.steps.act,
+        );
+    }
+    std::process::ExitCode::SUCCESS
+}

@@ -36,7 +36,9 @@ use crate::scheme::{
     Gtm2Scheme, ProtocolViolationKind, SchemeEffect, WaitSet, WakeCandidates, WakeScope,
 };
 use crate::tsgd::Dep;
-use crate::tsgd_dense::{eliminate_cycles_dense, DenseTsgd};
+use crate::tsgd_dense::{
+    eliminate_cycles_dense, eliminate_cycles_dense_with, DenseTsgd, EliminateScratch,
+};
 use mdbs_common::ids::{GlobalTxnId, SiteId};
 use mdbs_common::instrument::Registry;
 use mdbs_common::ops::{QueueOp, QueueOpKind};
@@ -598,13 +600,29 @@ pub struct Scheme2Dense {
     fb_acked: BTreeSet<(GlobalTxnId, SiteId)>,
     /// Scratch for two-phase collect-then-mutate loops.
     scratch: Vec<GlobalTxnId>,
+    /// Reusable scan state for the cursor-amortized `Eliminate_Cycles`.
+    elim: EliminateScratch,
+    /// True = drive `Eliminate_Cycles` through the full-rescan variant
+    /// (the `dense-memo` oracle kernel) instead of the cursor-amortized
+    /// one. Same Δ, same step charges, different machine cost.
+    memo: bool,
 }
 
 // mdbs-lint: allow(no-panic-in-scheduler, scope=item) — slot indices come from the interner and every row Vec is grown by ensure_*_rows/intern before use; the kernel-equivalence proptests and debug_validate exercise the invariant on random scripts.
 impl Scheme2Dense {
-    /// Fresh state.
+    /// Fresh state on the cursor-amortized `Eliminate_Cycles` path.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Fresh state on the full-rescan `Eliminate_Cycles` path — the second
+    /// oracle ([`crate::scheme::KernelKind::DenseMemo`]) pinning the
+    /// cursor-amortized kernel during this transition.
+    pub fn new_memo() -> Self {
+        Scheme2Dense {
+            memo: true,
+            ..Self::default()
+        }
     }
 
     /// Read access to the dense TSGD (experiments, diagnostics).
@@ -695,7 +713,11 @@ impl Gtm2Scheme for Scheme2Dense {
                         });
                     }
                 }
-                let delta = eliminate_cycles_dense(&self.tsgd, *txn, steps);
+                let delta = if self.memo {
+                    eliminate_cycles_dense(&self.tsgd, *txn, steps)
+                } else {
+                    eliminate_cycles_dense_with(&self.tsgd, *txn, steps, &mut self.elim)
+                };
                 for d in delta {
                     self.tsgd.add_dep(d);
                 }
@@ -776,6 +798,15 @@ impl Gtm2Scheme for Scheme2Dense {
                 if !self.fb_acked.is_empty() {
                     self.fb_acked.retain(|(t, _)| t != txn);
                 }
+                // A checked decrement failed inside remove_txn: surface it
+                // as a counted violation instead of a scheduler panic.
+                if self.tsgd.take_desync() > 0 {
+                    return vec![SchemeEffect::ProtocolViolation {
+                        txn: *txn,
+                        site: None,
+                        kind: ProtocolViolationKind::DesyncedDependency,
+                    }];
+                }
                 Vec::new()
             }
         }
@@ -819,10 +850,24 @@ impl Gtm2Scheme for Scheme2Dense {
                 );
             }
         }
+        // The incrementally maintained dependency order must stay a valid
+        // topological order with every SCC group a singleton: a dependency
+        // cycle would imply a TSGD closed walk Eliminate_Cycles missed.
+        assert!(
+            self.tsgd.dep_groups().is_empty(),
+            "dependency digraph grew a cycle on a valid run"
+        );
+        assert!(
+            self.tsgd.dep_order_consistent(),
+            "incremental dependency order desynced from the dependency set"
+        );
+        assert_eq!(self.tsgd.desync_count(), 0, "checked decrement failed");
     }
 
     fn export_metrics(&self, registry: &mut Registry) {
         registry.inc("tsgd.reach_cache_hit", self.tsgd.reach_cache_hits());
+        registry.inc("tsgd.delta_edges", self.tsgd.delta_edges());
+        registry.inc("tsgd.topo_shift", self.tsgd.topo_shift());
     }
 }
 

@@ -329,6 +329,11 @@ pub enum ProtocolViolationKind {
     /// A `ser` arrived for a transaction whose `init` was never
     /// processed — GTM1 must announce a transaction before serializing it.
     SerWithoutInit,
+    /// Internal dependency accounting desynced: a checked decrement in the
+    /// dense TSGD's `remove_txn` found its counter already at zero. Never
+    /// produced on well-formed inputs; counted instead of panicking in the
+    /// scheduler.
+    DesyncedDependency,
 }
 
 impl std::fmt::Display for ProtocolViolationKind {
@@ -339,6 +344,7 @@ impl std::fmt::Display for ProtocolViolationKind {
             ProtocolViolationKind::AckNotQueued => "ack with no pending ser",
             ProtocolViolationKind::UnmatchedFin => "fin with no active txn",
             ProtocolViolationKind::SerWithoutInit => "ser before init",
+            ProtocolViolationKind::DesyncedDependency => "dependency accounting desynced",
         };
         f.write_str(s)
     }
@@ -476,16 +482,23 @@ impl Gtm2Scheme for FullRescan {
 pub enum KernelKind {
     /// Reference kernels: id-keyed ordered maps/sets. Kept as the oracle.
     BTree,
-    /// Interned-slot + bitset kernels (the default).
+    /// Interned-slot + bitset kernels (the default). Scheme 2 runs the
+    /// incremental path: cursor-amortized `Eliminate_Cycles` plus batched
+    /// online maintenance of the dependency order.
     Dense,
+    /// Dense kernels with Scheme 2 on the full-rescan `Eliminate_Cycles`
+    /// (PR 5 behaviour) — the second oracle pinning the incremental path.
+    /// Identical to [`KernelKind::Dense`] for every other scheme.
+    DenseMemo,
 }
 
 impl KernelKind {
-    /// Display name ("btree" / "dense").
+    /// Display name ("btree" / "dense" / "dense-memo").
     pub fn name(self) -> &'static str {
         match self {
             KernelKind::BTree => "btree",
             KernelKind::Dense => "dense",
+            KernelKind::DenseMemo => "dense-memo",
         }
     }
 }
@@ -555,7 +568,7 @@ impl SchemeKind {
     /// every kind under [`KernelKind::BTree`]) gets the reference
     /// realization.
     pub fn build_kernel(self, kernel: KernelKind) -> Box<dyn Gtm2Scheme + Send> {
-        if kernel == KernelKind::Dense {
+        if matches!(kernel, KernelKind::Dense | KernelKind::DenseMemo) {
             match self {
                 SchemeKind::Scheme0 => {
                     return Box::new(crate::kernel_dense::Scheme0Dense::new());
@@ -564,7 +577,11 @@ impl SchemeKind {
                     return Box::new(crate::kernel_dense::Scheme1Dense::new());
                 }
                 SchemeKind::Scheme2 => {
-                    return Box::new(crate::kernel_dense::Scheme2Dense::new());
+                    return Box::new(if kernel == KernelKind::DenseMemo {
+                        crate::kernel_dense::Scheme2Dense::new_memo()
+                    } else {
+                        crate::kernel_dense::Scheme2Dense::new()
+                    });
                 }
                 SchemeKind::Scheme3 => {
                     return Box::new(crate::kernel_dense::Scheme3Dense::new());

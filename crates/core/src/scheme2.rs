@@ -17,6 +17,15 @@
 //!
 //! Complexity: `O(n²·d_av)` per transaction (Theorem 6), dominated by
 //! `Eliminate_Cycles`.
+//!
+//! This module is the reference (BTree) realization and the step-accounting
+//! oracle. The production path is [`crate::kernel_dense::Scheme2Dense`],
+//! which charges identical abstract steps but amortizes the *machine* cost:
+//! cursor-amortized `Eliminate_Cycles` rescans
+//! ([`crate::tsgd_dense::eliminate_cycles_dense_with`]) and incremental
+//! maintenance of the dependency digraph's topological order (batched
+//! Δ-edges, Pearce–Kelly region repair, SCC collapse) in
+//! [`crate::tsgd_dense::DenseTsgd`].
 
 use crate::scheme::{Gtm2Scheme, SchemeEffect, WaitSet, WakeCandidates};
 use crate::tsgd::{eliminate_cycles, Dep, Tsgd};

@@ -16,26 +16,91 @@
 //!   counter read instead of a scan of the whole dependency set;
 //! - cycle *validation* uses a polynomial closed-walk reachability check
 //!   (sound over-approximation of the paper's cycle definition) with a
-//!   version-keyed memo, falling back to the exponential DFS oracle — a
-//!   direct port of [`crate::tsgd::Tsgd::has_cycle_involving`] — only to
-//!   confirm a positive.
+//!   **witness-based memo** that survives mutations incrementally, falling
+//!   back to the exponential DFS oracle — a direct port of
+//!   [`crate::tsgd::Tsgd::has_cycle_involving`] — only to confirm a
+//!   positive;
+//! - the dependency digraph's acyclicity (the Theorem 5 invariant) is
+//!   maintained *incrementally*: new dependencies are batched as Δ-edge
+//!   records and drained into a Pearce–Kelly online topological order
+//!   ([`mdbs_schedule::OnlineTopo`]) that reorders only the key window
+//!   between the edge's endpoints; a detected cycle collapses its region
+//!   into an SCC group through [`mdbs_schedule::UnionFind`], and
+//!   `remove_txn` repairs only the group it touches instead of
+//!   invalidating everything.
 //!
-//! Abstract step accounting is unchanged: [`eliminate_cycles_dense`] charges
-//! `steps` tick-for-tick like [`crate::tsgd::eliminate_cycles`] (Figure 4);
-//! the reachability memo lives on the *uncounted* validation path only.
+//! Abstract step accounting is unchanged: [`eliminate_cycles_dense`] and
+//! the cursor-amortized [`eliminate_cycles_dense_with`] charge `steps`
+//! tick-for-tick like [`crate::tsgd::eliminate_cycles`] (Figure 4); the
+//! incremental machinery lives on *uncounted* machine-cost paths only.
 
 use crate::tsgd::Dep;
 use mdbs_common::dense::{DenseBitSet, DenseInterner};
 use mdbs_common::ids::{GlobalTxnId, SiteId};
 use mdbs_common::step::{StepCounter, StepKind};
+use mdbs_schedule::{DiGraph, OnlineTopo, TopoResult, UnionFind};
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Memo for the polynomial closed-walk check, keyed by structure version.
+/// One memoized closed-walk answer.
+///
+/// The memo is *witness-based* rather than version-keyed: a `Cycle` entry
+/// records the exact transitions `(site, from, to)` of the closed walk it
+/// found, so a later mutation invalidates it only if it blocks one of those
+/// transitions. Each mutation class is monotone in one direction:
+///
+/// - `insert_txn` adds walk transitions, so it can only *create* cycles —
+///   `NoCycle` entries are dropped, `Cycle` witnesses stay valid;
+/// - `add_dep` blocks one transition, so it can only *destroy* cycles —
+///   `NoCycle` entries stay valid, `Cycle` witnesses using that transition
+///   are dropped;
+/// - `remove_txn` deletes transitions through the removed node and the
+///   dependencies touching it (which only blocked transitions through that
+///   same node), so entries not mentioning the node stay valid either way.
+#[derive(Clone, Debug)]
+enum WalkMemo {
+    NoCycle,
+    /// Witness transitions `(site slot, from txn slot, to txn slot)`.
+    Cycle(Vec<(u32, u32, u32)>),
+}
+
+/// Closed-walk memo keyed by txn slot. See [`WalkMemo`] for invalidation.
 #[derive(Clone, Debug, Default)]
-struct ReachCache {
-    version: u64,
-    walk: BTreeMap<u32, bool>,
+struct WalkCache {
+    map: BTreeMap<u32, WalkMemo>,
+}
+
+/// Δ-edge batch size: pending dependency edges are drained into the online
+/// topological order once this many accumulate (or on any explicit query),
+/// keeping the release-mode hot path to a `Vec::push`.
+const TOPO_DRAIN_BATCH: usize = 1024;
+
+/// Incrementally maintained topological order of the dependency digraph
+/// with SCC collapse.
+///
+/// Nodes are *component representatives*: initially every live txn slot,
+/// collapsed through `scc` when a dependency cycle is detected (only
+/// possible on protocol-violating inputs or direct TSGD manipulation — on
+/// valid Scheme 2 runs every dependency cycle implies a TSGD closed walk
+/// that `Eliminate_Cycles` already broke, so every group stays a
+/// singleton). New dependencies are batched in `pending` and revalidated
+/// against the live dependency set when drained, which makes stale records
+/// (deleted deps, recycled slots) harmless: a record that revalidates *is*
+/// a current dependency, whatever ids its slots mean today.
+#[derive(Clone, Debug, Default)]
+struct DepTopo {
+    order: OnlineTopo,
+    scc: UnionFind,
+    /// Txn slot → index into `groups`, `u32::MAX` when a singleton.
+    group_id: Vec<u32>,
+    /// Multi-member SCC member lists (emptied in place when retired).
+    groups: Vec<Vec<u32>>,
+    /// Batched Δ-edges as `(site, before, after)` slot triples.
+    pending: Vec<(u32, u32, u32)>,
+    /// Total Δ-edge records batched (the `tsgd.delta_edges` metric).
+    delta_edges: u64,
+    /// Total nodes re-keyed by order repairs (the `tsgd.topo_shift` metric).
+    topo_shift: u64,
 }
 
 /// The TSGD over dense slots. See the module docs for the storage scheme.
@@ -49,15 +114,23 @@ pub struct DenseTsgd {
     site_txns: Vec<Vec<(GlobalTxnId, u32)>>,
     /// After-txn slot → `(site slot, before-txn slots)`, sorted by site slot.
     deps_in: Vec<Vec<(u32, DenseBitSet)>>,
-    /// Before-txn slot → `(site slot, after-txn slot)` mirror (unordered).
-    deps_out: Vec<Vec<(u32, u32)>>,
+    /// Before-txn slot → `(site slot, after-txn **column positions**)`
+    /// mirror, sorted by site slot. Bits index positions in the site's
+    /// id-ordered `site_txns` column — the exact order `Eliminate_Cycles`
+    /// scans — so one column's blocked set ORs word-wise into the scan's
+    /// skip mask. Column insertions/removals repair every member's bitset
+    /// with an O(words) hole shift (see `DenseBitSet::shift_up_from`).
+    deps_out: Vec<Vec<(u32, DenseBitSet)>>,
     /// After-txn slot → number of incoming dependencies (O(1) `cond(fin)`).
     incoming: Vec<u32>,
     dep_count: usize,
-    /// Bumped on every structural change; keys the reachability memo.
-    version: u64,
-    reach: RefCell<ReachCache>,
+    walk: RefCell<WalkCache>,
+    topo: RefCell<DepTopo>,
     reach_hits: Cell<u64>,
+    /// Checked-decrement failures in [`DenseTsgd::remove_txn`] — a desynced
+    /// dependency bitset is counted here (and surfaced by the kernel as a
+    /// protocol violation) instead of panicking in the scheduler.
+    desync: Cell<u64>,
 }
 
 // mdbs-lint: allow(no-panic-in-scheduler, scope=item) — slot indices come from the interner and adjacency rows are grown at insert_txn; prop_tsgd + kernel_equivalence pin the invariant against the reference Tsgd.
@@ -80,8 +153,27 @@ impl DenseTsgd {
     /// Insert transaction `txn` with edges to `sites` (idempotent-merging,
     /// like the reference). Returns the transaction's slot.
     pub fn insert_txn(&mut self, txn: GlobalTxnId, sites: &[SiteId]) -> u32 {
-        self.version += 1;
+        // A new node only adds walk transitions: cycles can appear, not
+        // vanish, so `Cycle` witnesses stay valid and `NoCycle` memos drop.
+        self.walk
+            .borrow_mut()
+            .map
+            .retain(|_, m| matches!(m, WalkMemo::Cycle(_)));
         let ts = self.txns.intern(txn);
+        {
+            let mut topo = self.topo.borrow_mut();
+            let cap = self.txns.capacity();
+            topo.scc.grow(cap);
+            if topo.group_id.len() < cap {
+                topo.group_id.resize(cap, u32::MAX);
+            }
+            // A slot already collapsed into a group keeps its representative
+            // in the order; anything else (fresh or recycled) enters at the
+            // end, which is consistent because it has no dependencies yet.
+            if topo.group_id[ts as usize] == u32::MAX {
+                topo.order.insert(ts);
+            }
+        }
         self.ensure_txn_rows(ts);
         for &site in sites {
             let ss = self.sites.intern(site);
@@ -91,9 +183,34 @@ impl DenseTsgd {
             let row = &mut self.txn_sites[ts as usize];
             if let Err(pos) = row.binary_search_by_key(&site, |e| e.0) {
                 row.insert(pos, (site, ss));
-                let col = &mut self.site_txns[ss as usize];
-                if let Err(cpos) = col.binary_search_by_key(&txn, |e| e.0) {
-                    col.insert(cpos, (txn, ts));
+                let inserted_at = {
+                    let col = &mut self.site_txns[ss as usize];
+                    match col.binary_search_by_key(&txn, |e| e.0) {
+                        Err(cpos) => {
+                            col.insert(cpos, (txn, ts));
+                            (cpos + 1 < col.len()).then_some(cpos)
+                        }
+                        Ok(_) => None,
+                    }
+                };
+                // The column gained an entry at `cpos`: open a hole in
+                // every member's position-space dependency bitset. The new
+                // member has no dependencies at this site yet.
+                if let Some(cpos) = inserted_at {
+                    let Self {
+                        site_txns,
+                        deps_out,
+                        ..
+                    } = &mut *self;
+                    for &(_, js) in &site_txns[ss as usize] {
+                        if js == ts {
+                            continue;
+                        }
+                        let orow = &mut deps_out[js as usize];
+                        if let Ok(p) = orow.binary_search_by_key(&ss, |e| e.0) {
+                            orow[p].1.shift_up_from(cpos as u32);
+                        }
+                    }
                 }
             }
         }
@@ -106,48 +223,111 @@ impl DenseTsgd {
         let Some(ts) = self.txns.slot_of(&txn) else {
             return;
         };
-        self.version += 1;
+        // Entries for other txns survive: removing `txn` deletes its walk
+        // transitions (cycles can only vanish, validating `NoCycle`) and the
+        // dependencies touching it (which only blocked transitions through
+        // `txn` itself, so surviving `Cycle` witnesses stay dep-free).
+        self.walk.borrow_mut().map.retain(|&slot, m| {
+            slot != ts
+                && match m {
+                    WalkMemo::NoCycle => true,
+                    WalkMemo::Cycle(w) => w.iter().all(|&(_, from, to)| from != ts && to != ts),
+                }
+        });
         // Outgoing dependencies: clear our bit in each target's inbound set.
+        // Decrements are checked — a desynced bitset is counted, not a
+        // scheduler panic (the debug assert pins the invariant in tests).
         let mut out = std::mem::take(&mut self.deps_out[ts as usize]);
-        for &(ss, after) in &out {
-            if let Some(entry) = self.deps_in[after as usize].iter_mut().find(|e| e.0 == ss) {
-                if entry.1.remove(ts) {
-                    self.incoming[after as usize] -= 1;
-                    self.dep_count -= 1;
+        for (ss, afters) in &out {
+            for apos in afters.iter() {
+                // Columns are still intact here, so the stored position
+                // resolves to the after-transaction's slot.
+                let after = match self.site_txns[*ss as usize].get(apos as usize) {
+                    Some(&(_, a)) => a,
+                    None => {
+                        debug_assert!(false, "dependency accounting desynced removing {txn}");
+                        self.desync.set(self.desync.get() + 1);
+                        continue;
+                    }
+                };
+                let entry = self.deps_in[after as usize].iter_mut().find(|e| e.0 == *ss);
+                if let Some(entry) = entry {
+                    if entry.1.remove(ts) {
+                        if self.incoming[after as usize] == 0 || self.dep_count == 0 {
+                            debug_assert!(false, "dependency accounting desynced removing {txn}");
+                            self.desync.set(self.desync.get() + 1);
+                        } else {
+                            self.incoming[after as usize] -= 1;
+                            self.dep_count -= 1;
+                        }
+                    }
                 }
             }
         }
         out.clear();
         self.deps_out[ts as usize] = out;
-        // Incoming dependencies: drop the mirror entry in each source.
+        // Incoming dependencies: drop our column position from each
+        // source's mirror entry.
         let mut inrows = std::mem::take(&mut self.deps_in[ts as usize]);
         for (ss, befs) in &inrows {
+            let tpos = self.site_txns[*ss as usize]
+                .binary_search_by_key(&txn, |e| e.0)
+                .ok();
             for b in befs.iter() {
                 let row = &mut self.deps_out[b as usize];
-                if let Some(pos) = row.iter().position(|&e| e == (*ss, ts)) {
-                    row.swap_remove(pos);
+                if let (Some(tpos), Ok(pos)) = (tpos, row.binary_search_by_key(ss, |e| e.0)) {
+                    if row[pos].1.remove(tpos as u32) && row[pos].1.is_empty() {
+                        row.remove(pos);
+                    }
                 }
-                self.dep_count -= 1;
+                if self.dep_count == 0 {
+                    debug_assert!(false, "dependency accounting desynced removing {txn}");
+                    self.desync.set(self.desync.get() + 1);
+                } else {
+                    self.dep_count -= 1;
+                }
             }
         }
         self.incoming[ts as usize] = 0;
         inrows.clear();
         self.deps_in[ts as usize] = inrows;
         // Edges; release site slots that end up edge-free (the reference
-        // drops empty site nodes from `site_txns` the same way).
+        // drops empty site nodes from `site_txns` the same way). Every
+        // dependency touching `txn` is gone, so no member bitset holds the
+        // vacated position and the hole can be shifted closed.
         let mut rows = std::mem::take(&mut self.txn_sites[ts as usize]);
         for &(site, ss) in &rows {
-            let col = &mut self.site_txns[ss as usize];
-            if let Ok(pos) = col.binary_search_by_key(&txn, |e| e.0) {
-                col.remove(pos);
+            let removed_at = {
+                let col = &mut self.site_txns[ss as usize];
+                match col.binary_search_by_key(&txn, |e| e.0) {
+                    Ok(pos) => {
+                        col.remove(pos);
+                        (pos < col.len()).then_some(pos)
+                    }
+                    Err(_) => None,
+                }
+            };
+            if let Some(pos) = removed_at {
+                let Self {
+                    site_txns,
+                    deps_out,
+                    ..
+                } = &mut *self;
+                for &(_, js) in &site_txns[ss as usize] {
+                    let orow = &mut deps_out[js as usize];
+                    if let Ok(p) = orow.binary_search_by_key(&ss, |e| e.0) {
+                        orow[p].1.shift_down_from(pos as u32);
+                    }
+                }
             }
-            if col.is_empty() {
+            if self.site_txns[ss as usize].is_empty() {
                 self.sites.release(&site);
             }
         }
         rows.clear();
         self.txn_sites[ts as usize] = rows;
         self.txns.release(&txn);
+        self.topo_remove_txn(ts);
     }
 
     /// Add a dependency. Debug-asserts both edges exist (like the
@@ -163,6 +343,11 @@ impl DenseTsgd {
         ) else {
             return;
         };
+        // The mirror stores the after-txn's *column position*; both debug
+        // asserts above passed, so the column contains it.
+        let Ok(apos) = self.site_txns[ss as usize].binary_search_by_key(&dep.after, |e| e.0) else {
+            return;
+        };
         let row = &mut self.deps_in[asl as usize];
         let pos = match row.binary_search_by_key(&ss, |e| e.0) {
             Ok(p) => p,
@@ -174,8 +359,33 @@ impl DenseTsgd {
         if row[pos].1.insert(bs) {
             self.incoming[asl as usize] += 1;
             self.dep_count += 1;
-            self.deps_out[bs as usize].push((ss, asl));
-            self.version += 1;
+            let orow = &mut self.deps_out[bs as usize];
+            match orow.binary_search_by_key(&ss, |e| e.0) {
+                Ok(p) => {
+                    orow[p].1.insert(apos as u32);
+                }
+                Err(p) => {
+                    let mut bits = DenseBitSet::new();
+                    bits.insert(apos as u32);
+                    orow.insert(p, (ss, bits));
+                }
+            }
+            // The new dependency blocks exactly one walk transition: only
+            // `Cycle` witnesses that used it are invalidated (`NoCycle`
+            // memos stay valid — blocking can't create a cycle).
+            self.walk.borrow_mut().map.retain(|_, m| match m {
+                WalkMemo::NoCycle => true,
+                WalkMemo::Cycle(w) => !w.contains(&(ss, bs, asl)),
+            });
+            let backlog = {
+                let mut topo = self.topo.borrow_mut();
+                topo.pending.push((ss, bs, asl));
+                topo.delta_edges += 1;
+                topo.pending.len()
+            };
+            if backlog >= TOPO_DRAIN_BATCH {
+                self.ensure_topo_current();
+            }
         }
     }
 
@@ -189,6 +399,31 @@ impl DenseTsgd {
             return false;
         };
         self.has_dep_slots(ss, bs, asl)
+    }
+
+    /// *Column positions* of the after-txns of dependencies
+    /// `(site, before → ·)`: the blocked set of one `Eliminate_Cycles` scan
+    /// column in the column's own index space, resolved with a single
+    /// binary search so the scan skips whole words at a time.
+    #[inline]
+    fn deps_after_at(&self, before: u32, site: u32) -> Option<&DenseBitSet> {
+        let row = &self.deps_out[before as usize];
+        row.binary_search_by_key(&site, |e| e.0)
+            .ok()
+            .map(|p| &row[p].1)
+    }
+
+    /// Visit the slot of every after-txn of `before`'s outgoing
+    /// dependencies, translating stored column positions back to slots.
+    fn for_each_after(&self, before: u32, mut f: impl FnMut(u32)) {
+        for (ss, afters) in &self.deps_out[before as usize] {
+            let col = &self.site_txns[*ss as usize];
+            for apos in afters.iter() {
+                if let Some(&(_, a)) = col.get(apos as usize) {
+                    f(a);
+                }
+            }
+        }
     }
 
     #[inline]
@@ -286,6 +521,13 @@ impl DenseTsgd {
         self.txns.capacity()
     }
 
+    /// Highest site slot count ever in use (bound for site-slot-indexed
+    /// side tables, e.g. [`EliminateScratch`]).
+    #[inline]
+    pub fn site_capacity(&self) -> usize {
+        self.sites.capacity()
+    }
+
     /// Number of dependencies.
     #[inline]
     pub fn dep_count(&self) -> usize {
@@ -316,17 +558,24 @@ impl DenseTsgd {
     pub fn deps_set(&self) -> BTreeSet<Dep> {
         let mut out = BTreeSet::new();
         for (before, row) in self.deps_out.iter().enumerate() {
-            for &(ss, asl) in row {
-                if let (Some(site), Some(b), Some(a)) = (
-                    self.sites.key_of(ss),
-                    self.txns.key_of(before as u32),
-                    self.txns.key_of(asl),
-                ) {
-                    out.insert(Dep {
-                        site,
-                        before: b,
-                        after: a,
-                    });
+            for (ss, afters) in row {
+                for apos in afters.iter() {
+                    let Some(&(after, _)) = self
+                        .site_txns
+                        .get(*ss as usize)
+                        .and_then(|c| c.get(apos as usize))
+                    else {
+                        continue;
+                    };
+                    if let (Some(site), Some(b)) =
+                        (self.sites.key_of(*ss), self.txns.key_of(before as u32))
+                    {
+                        out.insert(Dep {
+                            site,
+                            before: b,
+                            after,
+                        });
+                    }
                 }
             }
         }
@@ -337,6 +586,276 @@ impl DenseTsgd {
     #[inline]
     pub fn reach_cache_hits(&self) -> u64 {
         self.reach_hits.get()
+    }
+
+    /// Total Δ-edge records batched into the online topological order (the
+    /// `tsgd.delta_edges` metric).
+    #[inline]
+    pub fn delta_edges(&self) -> u64 {
+        self.topo.borrow().delta_edges
+    }
+
+    /// Total nodes re-keyed by incremental order repairs (the
+    /// `tsgd.topo_shift` metric). Drains the pending batch first so the
+    /// reported figure covers every recorded edge.
+    pub fn topo_shift(&self) -> u64 {
+        self.ensure_topo_current();
+        self.topo.borrow().topo_shift
+    }
+
+    /// Checked-decrement failures observed so far (see
+    /// [`DenseTsgd::remove_txn`]).
+    #[inline]
+    pub fn desync_count(&self) -> u64 {
+        self.desync.get()
+    }
+
+    /// Read and reset the desync counter — the kernel turns a non-zero
+    /// return into a counted `ProtocolViolation` effect.
+    #[inline]
+    pub fn take_desync(&self) -> u64 {
+        self.desync.replace(0)
+    }
+
+    /// Multi-member SCC groups of the dependency digraph, as id lists
+    /// (drains the pending Δ-edge batch first). Empty on every valid
+    /// Scheme 2 run: a dependency cycle implies a TSGD closed walk that
+    /// `Eliminate_Cycles` would have broken.
+    pub fn dep_groups(&self) -> Vec<Vec<GlobalTxnId>> {
+        self.ensure_topo_current();
+        let topo = self.topo.borrow();
+        let mut out = Vec::new();
+        for g in &topo.groups {
+            if g.len() > 1 {
+                let mut ids: Vec<GlobalTxnId> =
+                    g.iter().filter_map(|&m| self.txns.key_of(m)).collect();
+                ids.sort_unstable();
+                out.push(ids);
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// True iff the maintained order is a valid topological order of the
+    /// dependency digraph's condensation: every live dependency either
+    /// stays inside one SCC group or points key-forward between two
+    /// representatives. Drains the pending batch first. Test/validation
+    /// grade.
+    pub fn dep_order_consistent(&self) -> bool {
+        self.ensure_topo_current();
+        let topo = self.topo.borrow();
+        for (_, slot) in self.txns.iter_sorted() {
+            for (ss, afters) in &self.deps_out[slot as usize] {
+                let col = &self.site_txns[*ss as usize];
+                for apos in afters.iter() {
+                    let Some(&(_, after)) = col.get(apos as usize) else {
+                        return false;
+                    };
+                    let (ru, rv) = (topo.scc.root(slot), topo.scc.root(after));
+                    if ru == rv {
+                        continue;
+                    }
+                    let (Some(ku), Some(kv)) = (topo.order.key_of(ru), topo.order.key_of(rv))
+                    else {
+                        return false;
+                    };
+                    if ku >= kv {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Drain the batched Δ-edges into the online topological order. Each
+    /// record is revalidated against the live dependency set before being
+    /// applied, which makes records stale by deletion or slot recycling
+    /// harmless: a triple that revalidates *is* a current dependency.
+    pub fn ensure_topo_current(&self) {
+        if self.topo.borrow().pending.is_empty() {
+            return;
+        }
+        let mut guard = self.topo.borrow_mut();
+        let topo = &mut *guard;
+        let pending = std::mem::take(&mut topo.pending);
+        for (ss, bs, asl) in pending {
+            if !self.has_dep_slots(ss, bs, asl) {
+                continue;
+            }
+            self.apply_topo_edge(topo, bs, asl);
+        }
+    }
+
+    /// Apply one validated dependency edge to the order: Pearce–Kelly
+    /// bounded-region repair on the representative digraph, with cycle
+    /// regions collapsed into SCC groups.
+    fn apply_topo_edge(&self, topo: &mut DepTopo, bs: u32, asl: u32) {
+        let u = topo.scc.root(bs);
+        let v = topo.scc.root(asl);
+        if u == v {
+            return;
+        }
+        let result = {
+            let DepTopo {
+                order,
+                scc,
+                group_id,
+                groups,
+                ..
+            } = &mut *topo;
+            let (scc, group_id, groups) = (&*scc, &*group_id, &*groups);
+            order.add_edge(
+                u,
+                v,
+                |n, buf| {
+                    buf.clear();
+                    let gid = group_id[n as usize];
+                    if gid == u32::MAX {
+                        self.for_each_after(n, |a| {
+                            let r = scc.root(a);
+                            if r != n {
+                                buf.push(r);
+                            }
+                        });
+                    } else {
+                        for &m in &groups[gid as usize] {
+                            self.for_each_after(m, |a| {
+                                let r = scc.root(a);
+                                if r != n {
+                                    buf.push(r);
+                                }
+                            });
+                        }
+                    }
+                },
+                |n, buf| {
+                    buf.clear();
+                    let gid = group_id[n as usize];
+                    if gid == u32::MAX {
+                        for (_, befs) in &self.deps_in[n as usize] {
+                            for b in befs.iter() {
+                                let r = scc.root(b);
+                                if r != n {
+                                    buf.push(r);
+                                }
+                            }
+                        }
+                    } else {
+                        for &m in &groups[gid as usize] {
+                            for (_, befs) in &self.deps_in[m as usize] {
+                                for b in befs.iter() {
+                                    let r = scc.root(b);
+                                    if r != n {
+                                        buf.push(r);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                },
+            )
+        };
+        match result {
+            TopoResult::Ordered { shifted } => topo.topo_shift += shifted as u64,
+            TopoResult::Cycle { region } => {
+                Self::merge_reps(&mut topo.scc, &mut topo.group_id, &mut topo.groups, &region);
+                self.rebuild_topo_order(topo);
+            }
+        }
+    }
+
+    /// Collapse the given representatives (and any groups they head) into
+    /// one SCC group. Caller repairs the order afterwards.
+    fn merge_reps(
+        scc: &mut UnionFind,
+        group_id: &mut [u32],
+        groups: &mut Vec<Vec<u32>>,
+        reps: &[u32],
+    ) {
+        let mut members: Vec<u32> = Vec::new();
+        for &r in reps {
+            let gid = group_id[r as usize];
+            if gid == u32::MAX {
+                members.push(r);
+            } else {
+                members.append(&mut groups[gid as usize]);
+            }
+        }
+        members.sort_unstable();
+        members.dedup();
+        if members.len() <= 1 {
+            for &m in &members {
+                group_id[m as usize] = u32::MAX;
+            }
+            return;
+        }
+        for i in 1..members.len() {
+            scc.union(members[0], members[i]);
+        }
+        let gid = groups.len() as u32;
+        for &m in &members {
+            group_id[m as usize] = gid;
+        }
+        groups.push(members);
+    }
+
+    /// Full-rebuild fallback: recompute the representative digraph from the
+    /// live dependency set, collapse any remaining multi-node SCCs, and
+    /// renumber the order along the condensation. Only reached when a
+    /// dependency cycle was found — never on a valid Scheme 2 run.
+    fn rebuild_topo_order(&self, topo: &mut DepTopo) {
+        let mut g: DiGraph<u32> = DiGraph::new();
+        for (_, slot) in self.txns.iter_sorted() {
+            g.add_node(topo.scc.root(slot));
+        }
+        for (_, slot) in self.txns.iter_sorted() {
+            let ru = topo.scc.root(slot);
+            let scc = &topo.scc;
+            self.for_each_after(slot, |a| {
+                let ra = scc.root(a);
+                if ru != ra {
+                    g.add_edge(ru, ra);
+                }
+            });
+        }
+        // `sccs()` is Tarjan in reverse topological order of the
+        // condensation; collapsing multi-node components here folds in any
+        // cycles closed by edges batched after the one that tripped us.
+        let comps = g.sccs();
+        let mut order_list: Vec<u32> = Vec::with_capacity(comps.len());
+        for comp in comps.iter().rev() {
+            if comp.len() > 1 {
+                Self::merge_reps(&mut topo.scc, &mut topo.group_id, &mut topo.groups, comp);
+            }
+            order_list.push(topo.scc.root(comp[0]));
+        }
+        topo.order.renumber(&order_list);
+        topo.topo_shift += order_list.len() as u64;
+    }
+
+    /// Order upkeep for a removed transaction. A singleton leaves in O(1)
+    /// (deletions never invalidate a topological order); a group member
+    /// dissolves its group — re-rooting the union-find members back to
+    /// singletons — and the survivors are re-formed by a rebuild, since the
+    /// SCC may have split into several components.
+    fn topo_remove_txn(&self, ts: u32) {
+        let mut guard = self.topo.borrow_mut();
+        let topo = &mut *guard;
+        let gid = topo.group_id.get(ts as usize).copied().unwrap_or(u32::MAX);
+        if gid == u32::MAX {
+            topo.order.remove(ts);
+            return;
+        }
+        let rep = topo.scc.root(ts);
+        topo.order.remove(rep);
+        let members = std::mem::take(&mut topo.groups[gid as usize]);
+        for &m in &members {
+            topo.group_id[m as usize] = u32::MAX;
+        }
+        topo.scc.reroot(&members);
+        self.rebuild_topo_order(topo);
     }
 
     fn extra_slots(&self, extra: &BTreeSet<Dep>) -> BTreeSet<(u32, u32, u32)> {
@@ -408,24 +927,87 @@ impl DenseTsgd {
     }
 
     /// Memoized closed-walk query against the *current* dependency set.
-    /// Results are cached per transaction slot until the structure changes;
+    /// Entries are invalidated per-witness by the mutation that breaks them
+    /// (see [`WalkMemo`]) instead of wholesale on every structure change;
     /// hits are counted for the `tsgd.reach_cache_hit` metric.
     pub fn has_cycle_involving_cached(&self, txn: GlobalTxnId) -> bool {
         let Some(ts) = self.txns.slot_of(&txn) else {
             return false;
         };
-        let mut cache = self.reach.borrow_mut();
-        if cache.version != self.version {
-            cache.version = self.version;
-            cache.walk.clear();
+        {
+            let cache = self.walk.borrow();
+            if let Some(memo) = cache.map.get(&ts) {
+                self.reach_hits.set(self.reach_hits.get() + 1);
+                return matches!(memo, WalkMemo::Cycle(_));
+            }
         }
-        if let Some(&hit) = cache.walk.get(&ts) {
-            self.reach_hits.set(self.reach_hits.get() + 1);
-            return hit;
+        let witness = self.closed_walk_witness(ts);
+        let found = witness.is_some();
+        self.walk.borrow_mut().map.insert(
+            ts,
+            match witness {
+                Some(w) => WalkMemo::Cycle(w),
+                None => WalkMemo::NoCycle,
+            },
+        );
+        found
+    }
+
+    /// [`DenseTsgd::closed_walk_from`] with parent tracking: returns the
+    /// transitions `(site, from, to)` of a dependency-free closed walk
+    /// through `start`, if one exists — the invalidation witness stored by
+    /// [`DenseTsgd::has_cycle_involving_cached`].
+    fn closed_walk_witness(&self, start: u32) -> Option<Vec<(u32, u32, u32)>> {
+        let blocked = |site: u32, before: u32, after: u32| self.has_dep_slots(site, before, after);
+        let mut visited: Vec<DenseBitSet> = vec![DenseBitSet::new(); self.txns.capacity()];
+        let mut parent: BTreeMap<(u32, u32), (u32, u32)> = BTreeMap::new();
+        let mut stack: Vec<(u32, u32)> = Vec::new();
+        for &(_, us) in self.sites_row(start) {
+            for &(_, ws) in self.txns_col(us) {
+                if ws == start || blocked(us, start, ws) {
+                    continue;
+                }
+                if visited[ws as usize].insert(us) {
+                    stack.push((ws, us));
+                }
+            }
         }
-        let result = self.closed_walk_from(ts, &BTreeSet::new());
-        cache.walk.insert(ts, result);
-        result
+        while let Some((v, arrived)) = stack.pop() {
+            for &(_, us) in self.sites_row(v) {
+                if us == arrived {
+                    continue;
+                }
+                for &(_, ws) in self.txns_col(us) {
+                    if ws == v || blocked(us, v, ws) {
+                        continue;
+                    }
+                    if ws == start {
+                        let mut trail = vec![(us, v, start)];
+                        let mut cur = (v, arrived);
+                        loop {
+                            let (txn, a) = cur;
+                            match parent.get(&cur) {
+                                Some(&prev) => {
+                                    trail.push((a, prev.0, txn));
+                                    cur = prev;
+                                }
+                                None => {
+                                    trail.push((a, start, txn));
+                                    break;
+                                }
+                            }
+                        }
+                        trail.reverse();
+                        return Some(trail);
+                    }
+                    if visited[ws as usize].insert(us) {
+                        parent.insert((ws, us), (v, arrived));
+                        stack.push((ws, us));
+                    }
+                }
+            }
+        }
+        None
     }
 
     /// Exponential DFS oracle — a direct port of
@@ -503,6 +1085,10 @@ impl DenseTsgd {
 /// `Δ` and charges `steps` **tick-for-tick identically** to
 /// [`crate::tsgd::eliminate_cycles`]: adjacency vectors are id-sorted, so
 /// the traversal examines candidate edges in the reference order.
+///
+/// This is the full-rescan variant, kept as the second oracle (the
+/// `dense-memo` kernel) for [`eliminate_cycles_dense_with`], which computes
+/// the same answer with revisit scans amortized to O(1).
 // mdbs-lint: allow(no-panic-in-scheduler, scope=item) — slot indices come from the interner and adjacency rows are grown at insert_txn; prop_tsgd + kernel_equivalence pin the invariant against the reference Tsgd.
 pub fn eliminate_cycles_dense(
     tsgd: &DenseTsgd,
@@ -575,6 +1161,276 @@ pub fn eliminate_cycles_dense(
                 let temp = tp.remove(0);
                 // mdbs-lint: allow(no-panic-in-scheduler) — s_par and t_par are updated in lockstep above.
                 s_par.get_mut(&v).expect("parents in sync").remove(0);
+                v = temp;
+            }
+        }
+    }
+    delta
+}
+
+/// Per-visit scan position for one `(node, arrival-site)` state of the
+/// Figure 4 traversal: the next candidate to examine and the abstract ticks
+/// already charged for the (permanently skipped) prefix before it.
+#[derive(Clone, Copy, Debug, Default)]
+struct ScanCursor {
+    site_idx: u32,
+    txn_idx: u32,
+    charged: u64,
+}
+
+/// Reusable scratch for [`eliminate_cycles_dense_with`]: the traversal's
+/// `used`/Δ sets, parent stacks, and scan cursors, all slot-indexed and
+/// epoch-stamped so a new call costs O(1) to "clear" and the hot loop
+/// allocates nothing after warm-up.
+#[derive(Clone, Debug, Default)]
+pub struct EliminateScratch {
+    epoch: u64,
+    /// Site slot → *column positions* of successors already used (`used`
+    /// set of Figure 4). Position space is stable for the whole call: the
+    /// TSGD is borrowed shared, so no column mutates underneath.
+    used: Vec<(u64, DenseBitSet)>,
+    /// Site slot → `before` slots with a Δ-dependency into `gi`.
+    delta_sites: Vec<(u64, DenseBitSet)>,
+    /// Txn slot → arrival-site stack (reference `s_par`, back = newest).
+    s_par: Vec<(u64, Vec<u32>)>,
+    /// Txn slot → parent-txn stack (reference `t_par`, back = newest).
+    t_par: Vec<(u64, Vec<u32>)>,
+    /// Txn slot → cursors keyed by arrival site (`u32::MAX` = none).
+    cursors: Vec<(u64, Vec<(u32, ScanCursor)>)>,
+}
+
+impl EliminateScratch {
+    /// Fresh scratch (grows lazily to the TSGD's slot capacities).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn begin(&mut self, txn_cap: usize, site_cap: usize) {
+        self.epoch += 1;
+        if self.used.len() < site_cap {
+            self.used.resize_with(site_cap, Default::default);
+            self.delta_sites.resize_with(site_cap, Default::default);
+        }
+        if self.s_par.len() < txn_cap {
+            self.s_par.resize_with(txn_cap, Default::default);
+            self.t_par.resize_with(txn_cap, Default::default);
+            self.cursors.resize_with(txn_cap, Default::default);
+        }
+    }
+}
+
+// mdbs-lint: allow(no-panic-in-scheduler, scope=item) — callers index with slots below the capacities EliminateScratch::begin sized the rows to.
+#[inline]
+fn stamp_bitset(vec: &mut [(u64, DenseBitSet)], idx: u32, epoch: u64) -> &mut DenseBitSet {
+    let e = &mut vec[idx as usize];
+    if e.0 != epoch {
+        e.0 = epoch;
+        e.1.clear();
+    }
+    &mut e.1
+}
+
+// mdbs-lint: allow(no-panic-in-scheduler, scope=item) — callers index with slots below the capacities EliminateScratch::begin sized the rows to.
+#[inline]
+fn stamp_list(vec: &mut [(u64, Vec<u32>)], idx: u32, epoch: u64) -> &mut Vec<u32> {
+    let e = &mut vec[idx as usize];
+    if e.0 != epoch {
+        e.0 = epoch;
+        e.1.clear();
+    }
+    &mut e.1
+}
+
+// mdbs-lint: allow(no-panic-in-scheduler, scope=item) — callers index with slots below the capacities EliminateScratch::begin sized the rows to.
+#[inline]
+fn stamped_bit(vec: &[(u64, DenseBitSet)], idx: u32, bit: u32, epoch: u64) -> bool {
+    let e = &vec[idx as usize];
+    e.0 == epoch && e.1.contains(bit)
+}
+
+/// Cursor-amortized Figure 4: same Δ and **identical step charges** as
+/// [`eliminate_cycles_dense`] / [`crate::tsgd::eliminate_cycles`], but the
+/// *machine* cost of a revisit is O(1) instead of a rescan.
+///
+/// Within one call every skip condition of the candidate scan is monotone —
+/// `ws == v` is fixed, `used` and the Δ set only grow, and the dependency
+/// set cannot change through the shared borrow — and a chosen candidate
+/// becomes skippable immediately after its choice (it enters `used`, or the
+/// Δ set when `ws = gi`). So when the walk re-enters a `(node,
+/// arrival-site)` state, the reference scan would re-examine a prefix of
+/// permanently skipped candidates, charging one tick each and skipping the
+/// arrival-site column without ticks: a per-state [`ScanCursor`] replays
+/// that prefix as a single `bump(charged)` and resumes the scan at the
+/// first never-examined candidate. Totals stay bit-for-bit equal while the
+/// machine work collapses to the number of *distinct* candidate
+/// examinations.
+// mdbs-lint: allow(no-panic-in-scheduler, scope=item) — slot indices come from the interner and scratch rows are sized from the TSGD capacities in begin(); kernel_equivalence pins parity against the reference Tsgd.
+pub fn eliminate_cycles_dense_with(
+    tsgd: &DenseTsgd,
+    gi: GlobalTxnId,
+    steps: &mut StepCounter,
+    scratch: &mut EliminateScratch,
+) -> BTreeSet<Dep> {
+    let mut delta: BTreeSet<Dep> = BTreeSet::new();
+    let Some(gslot) = tsgd.txn_slot(gi) else {
+        // Reference behaviour for an absent gi: one outer tick, empty Δ.
+        steps.tick(StepKind::Act);
+        return delta;
+    };
+    scratch.begin(tsgd.txn_capacity(), tsgd.site_capacity());
+    let epoch = scratch.epoch;
+    let mut v = gslot;
+
+    loop {
+        steps.tick(StepKind::Act);
+        // Most recent arrival site of `v` (`u32::MAX` when none) — the
+        // reference's `s_par.get(&v).first()`.
+        let arrived = match scratch.s_par.get(v as usize) {
+            Some((e, list)) if *e == epoch => list.last().copied().unwrap_or(u32::MAX),
+            _ => u32::MAX,
+        };
+        let cur_idx;
+        let mut cur;
+        {
+            let ent = &mut scratch.cursors[v as usize];
+            if ent.0 != epoch {
+                ent.0 = epoch;
+                ent.1.clear();
+            }
+            cur_idx = match ent.1.iter().position(|c| c.0 == arrived) {
+                Some(i) => i,
+                None => {
+                    ent.1.push((arrived, ScanCursor::default()));
+                    ent.1.len() - 1
+                }
+            };
+            cur = ent.1[cur_idx].1;
+        }
+        // Replay the permanently-skipped prefix in O(1).
+        steps.bump(StepKind::Act, cur.charged);
+        let row = tsgd.sites_row(v);
+        let v_id = tsgd.txn_at_slot(v).expect("live txn slot");
+        let mut si = cur.site_idx as usize;
+        let mut ti = cur.txn_idx as usize;
+        let mut chosen: Option<(u32, u32, u32)> = None;
+        // Ticks for this scan segment, bumped in one O(1) call at the end
+        // (arithmetically identical to the reference's per-candidate tick).
+        let mut seen = 0u64;
+        // Each skip condition of the per-candidate scan is a bit in the
+        // column's position space — `used` and the blocked set are stored
+        // that way, `ws == v` and the Δ test pin one position each — so a
+        // column scan is a word-parallel find-first-clear over the OR of
+        // the skip masks, with ticks recovered from position arithmetic.
+        'search: while si < row.len() {
+            let us = row[si].1;
+            if us == arrived {
+                si += 1;
+                ti = 0;
+                continue;
+            }
+            let col = tsgd.txns_col(us);
+            let col_len = col.len();
+            if ti >= col_len {
+                si += 1;
+                ti = 0;
+                continue;
+            }
+            let blocked = tsgd.deps_after_at(v, us).map_or(&[][..], |b| b.as_words());
+            let used = match &scratch.used[us as usize] {
+                (e, b) if *e == epoch => b.as_words(),
+                _ => &[][..],
+            };
+            // `v` is always a member of its own site's column; a failed
+            // lookup leaves the bit unset, matching the reference (which
+            // would then simply never see `ws == v`).
+            let posv = col
+                .binary_search_by_key(&v_id, |e| e.0)
+                .unwrap_or(usize::MAX);
+            let gpos = col.binary_search_by_key(&gi, |e| e.0).ok();
+            let delta_blocked = gpos.is_some() && stamped_bit(&scratch.delta_sites, us, v, epoch);
+            let first_w = ti / 64;
+            let last_w = (col_len - 1) / 64;
+            let mut found = None;
+            let mut w = first_w;
+            while w <= last_w {
+                let used_w = used.get(w).copied().unwrap_or(0);
+                let blocked_w = blocked.get(w).copied().unwrap_or(0);
+                // `used` never skips the gi candidate; the Δ test only
+                // applies to it; `blocked` applies to everyone.
+                let mut skip = match gpos {
+                    Some(g) if g / 64 == w => {
+                        let gbit = 1u64 << (g % 64);
+                        (used_w & !gbit) | blocked_w | if delta_blocked { gbit } else { 0 }
+                    }
+                    _ => used_w | blocked_w,
+                };
+                if posv / 64 == w {
+                    skip |= 1u64 << (posv % 64);
+                }
+                let mut cand = !skip;
+                if w == first_w {
+                    cand &= !0u64 << (ti % 64);
+                }
+                if w == last_w && !col_len.is_multiple_of(64) {
+                    cand &= (1u64 << (col_len % 64)) - 1;
+                }
+                if cand != 0 {
+                    found = Some(w * 64 + cand.trailing_zeros() as usize);
+                    break;
+                }
+                w += 1;
+            }
+            match found {
+                Some(q) => {
+                    seen += (q - ti) as u64 + 1;
+                    ti = q + 1;
+                    chosen = Some((us, q as u32, col[q].1));
+                    break 'search;
+                }
+                None => {
+                    seen += (col_len - ti) as u64;
+                    si += 1;
+                    ti = 0;
+                }
+            }
+        }
+        steps.bump(StepKind::Act, seen);
+        cur.charged += seen;
+        cur.site_idx = si as u32;
+        cur.txn_idx = ti as u32;
+        scratch.cursors[v as usize].1[cur_idx].1 = cur;
+        match chosen {
+            Some((us, q, ws)) => {
+                stamp_bitset(&mut scratch.used, us, epoch).insert(q);
+                if ws == gslot {
+                    stamp_bitset(&mut scratch.delta_sites, us, epoch).insert(v);
+                    // mdbs-lint: allow(no-panic-in-scheduler) — slots on the current traversal path are live by construction.
+                    let site = tsgd.site_at_slot(us).expect("live site slot");
+                    // mdbs-lint: allow(no-panic-in-scheduler) — v is a live node on the traversal path.
+                    let before = tsgd.txn_at_slot(v).expect("live txn slot");
+                    delta.insert(Dep {
+                        site,
+                        before,
+                        after: gi,
+                    });
+                } else {
+                    stamp_list(&mut scratch.s_par, ws, epoch).push(us);
+                    stamp_list(&mut scratch.t_par, ws, epoch).push(v);
+                    v = ws;
+                }
+            }
+            None => {
+                if v == gslot {
+                    break;
+                }
+                // mdbs-lint: allow(no-panic-in-scheduler) — the backtracking search records s_par/t_par together before descending, so a visited node always has both.
+                let temp = stamp_list(&mut scratch.t_par, v, epoch)
+                    .pop()
+                    .expect("visited node has parents");
+                // mdbs-lint: allow(no-panic-in-scheduler) — s_par and t_par are updated in lockstep above.
+                stamp_list(&mut scratch.s_par, v, epoch)
+                    .pop()
+                    .expect("parents in sync");
                 v = temp;
             }
         }
@@ -734,5 +1590,143 @@ mod tests {
         t.add_dep(dep(0, 1, 2));
         t.add_dep(dep(1, 1, 2));
         assert!(!t.has_cycle_involving_cached(g(1)), "fresh walk after bump");
+    }
+
+    #[test]
+    fn cycle_witness_survives_unrelated_mutation() {
+        let mut t = two_txn_cycle();
+        assert!(t.has_cycle_involving_cached(g(1)));
+        // A new txn only adds walk transitions: the Cycle witness for G1 is
+        // untouched and the next query is a hit, not a recomputation.
+        t.insert_txn(g(3), &[s(7)]);
+        let hits = t.reach_cache_hits();
+        assert!(t.has_cycle_involving_cached(g(1)));
+        assert_eq!(t.reach_cache_hits(), hits + 1, "witness kept across insert");
+        // Removing the unrelated txn keeps it too.
+        t.remove_txn(g(3));
+        assert!(t.has_cycle_involving_cached(g(1)));
+        assert_eq!(t.reach_cache_hits(), hits + 2, "witness kept across remove");
+    }
+
+    #[test]
+    fn cursor_eliminate_matches_rescan_and_reference() {
+        let mut reference = Tsgd::new();
+        let mut dense = DenseTsgd::new();
+        let txns: &[(u64, &[u32])] = &[
+            (1, &[0, 1, 2]),
+            (2, &[0, 1]),
+            (3, &[1, 2]),
+            (4, &[0, 2]),
+            (5, &[0, 1, 2]),
+        ];
+        for &(t, ss) in txns {
+            let sites: Vec<SiteId> = ss.iter().map(|&k| s(k)).collect();
+            reference.insert_txn(g(t), &sites);
+            dense.insert_txn(g(t), &sites);
+        }
+        for d in [dep(0, 1, 2), dep(1, 2, 3)] {
+            reference.add_dep(d);
+            dense.add_dep(d);
+        }
+        let mut scratch = EliminateScratch::new();
+        // Several rounds through one scratch: epoch stamping must isolate
+        // calls, and charges must equal the reference every time.
+        for target in [5u64, 1, 4] {
+            let mut steps_ref = StepCounter::new();
+            let mut steps_cur = StepCounter::new();
+            let delta_ref = eliminate_cycles(&reference, g(target), &mut steps_ref);
+            let delta_cur =
+                eliminate_cycles_dense_with(&dense, g(target), &mut steps_cur, &mut scratch);
+            assert_eq!(delta_ref, delta_cur, "Δ diverged for G{target}");
+            assert_eq!(steps_ref, steps_cur, "steps diverged for G{target}");
+        }
+        // Absent-txn path: one outer tick, like the reference.
+        let mut steps = StepCounter::new();
+        assert!(eliminate_cycles_dense_with(&dense, g(9), &mut steps, &mut scratch).is_empty());
+        assert_eq!(steps.act, 1);
+    }
+
+    #[test]
+    fn forward_deps_keep_topo_consistent_without_shifts() {
+        let mut t = DenseTsgd::new();
+        t.insert_txn(g(1), &[s(0), s(1)]);
+        t.insert_txn(g(2), &[s(0), s(1)]);
+        t.insert_txn(g(3), &[s(1)]);
+        t.add_dep(dep(0, 1, 2));
+        t.add_dep(dep(1, 1, 2));
+        t.add_dep(dep(1, 2, 3));
+        assert_eq!(t.delta_edges(), 3);
+        assert!(t.dep_order_consistent());
+        assert!(t.dep_groups().is_empty());
+        // Insertion-ordered dependencies point key-forward: no repairs.
+        assert_eq!(t.topo_shift(), 0);
+        assert_eq!(t.take_desync(), 0);
+    }
+
+    #[test]
+    fn opposite_deps_collapse_into_group_and_split_on_removal() {
+        let mut t = two_txn_cycle();
+        t.add_dep(dep(0, 1, 2));
+        t.add_dep(dep(1, 2, 1));
+        assert_eq!(
+            t.dep_groups(),
+            vec![vec![g(1), g(2)]],
+            "dep cycle collapsed"
+        );
+        assert!(t.dep_order_consistent());
+        // Removing a member dissolves the group; the survivor is a
+        // singleton again and the order stays valid.
+        t.remove_txn(g(2));
+        assert!(t.dep_groups().is_empty());
+        assert!(t.dep_order_consistent());
+        assert_eq!(t.take_desync(), 0);
+        // The freed slot re-forms cleanly.
+        t.insert_txn(g(9), &[s(0), s(1)]);
+        t.add_dep(dep(0, 1, 9));
+        assert!(t.dep_groups().is_empty());
+        assert!(t.dep_order_consistent());
+    }
+
+    #[test]
+    fn recycled_site_slot_carries_no_stale_deps() {
+        let mut t = DenseTsgd::new();
+        // Site 10 is used only by G1/G4 and carries a dependency; removing
+        // both releases its slot with the dependency rows fully cleared.
+        t.insert_txn(g(1), &[s(10)]);
+        t.insert_txn(g(4), &[s(10)]);
+        t.insert_txn(g(2), &[s(0)]);
+        t.add_dep(dep(10, 1, 4));
+        let old_ss = t.site_slot(s(10)).unwrap();
+        t.remove_txn(g(1));
+        t.remove_txn(g(4));
+        assert!(t.site_slot(s(10)).is_none(), "slot released");
+        assert_eq!(t.dep_count(), 0);
+        // A different site re-interned into the recycled slot must see no
+        // trace of site 10's dependency bitsets.
+        t.insert_txn(g(3), &[s(99), s(0)]);
+        assert_eq!(t.site_slot(s(99)), Some(old_ss), "slot recycled");
+        assert!(t.preds_at(g(3), s(99)).is_none());
+        assert!(t.preds_at(g(2), s(99)).is_none());
+        assert_eq!(t.incoming_deps(g(3)), 0);
+        t.add_dep(dep(0, 2, 3));
+        assert!(t.has_dep(s(0), g(2), g(3)));
+        assert!(!t.has_dep(s(99), g(2), g(3)), "no aliasing into site 99");
+        assert!(t.dep_order_consistent());
+        assert_eq!(t.take_desync(), 0);
+    }
+
+    #[test]
+    fn pending_batch_revalidates_stale_records() {
+        let mut t = DenseTsgd::new();
+        t.insert_txn(g(1), &[s(0)]);
+        t.insert_txn(g(2), &[s(0)]);
+        t.add_dep(dep(0, 1, 2));
+        // The record is batched; removing G1 deletes the dependency before
+        // any drain, so the drain must drop the stale triple.
+        t.remove_txn(g(1));
+        t.ensure_topo_current();
+        assert!(t.dep_order_consistent());
+        assert!(t.dep_groups().is_empty());
+        assert_eq!(t.delta_edges(), 1, "the record was still counted");
     }
 }

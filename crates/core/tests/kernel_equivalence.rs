@@ -24,13 +24,25 @@ use mdbs_core::gtm2::Gtm2;
 use mdbs_core::replay::{replay_kernel, replay_sharded_kernel, Script, ScriptEvent};
 use mdbs_core::scheme::{KernelKind, SchemeEffect, SchemeKind};
 use mdbs_core::tsgd::{eliminate_cycles, Dep, Tsgd};
-use mdbs_core::tsgd_dense::{eliminate_cycles_dense, DenseTsgd};
+use mdbs_core::tsgd_dense::{
+    eliminate_cycles_dense, eliminate_cycles_dense_with, DenseTsgd, EliminateScratch,
+};
+use mdbs_schedule::DiGraph;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 /// Strategy: a valid random script described by (n, m, dav, seed).
 fn arb_script() -> impl Strategy<Value = Script> {
     (2usize..12, 2usize..5, 10u64..35, any::<u64>())
+        .prop_map(|(n, m, dav10, seed)| Script::random(n, m, dav10 as f64 / 10.0, seed))
+}
+
+/// Strategy: adversarial scripts for the incremental Scheme 2 path — many
+/// transactions crowded onto few sites (cycle-heavy: `Eliminate_Cycles`
+/// emits Δ-dependencies constantly) with the replay loop's automatic fins
+/// deleting dependency edges while later inits are still arriving.
+fn arb_adversarial_script() -> impl Strategy<Value = Script> {
+    (8usize..20, 2usize..4, 25u64..40, any::<u64>())
         .prop_map(|(n, m, dav10, seed)| Script::random(n, m, dav10 as f64 / 10.0, seed))
 }
 
@@ -234,6 +246,16 @@ proptest! {
         let delta_dense = eliminate_cycles_dense(&dense, fresh, &mut steps_dense);
         prop_assert_eq!(&delta_ref, &delta_dense, "Δ diverged");
         prop_assert_eq!(steps_ref, steps_dense, "EC step charges diverged");
+        // The cursor-amortized production variant must agree too, both on a
+        // fresh scratch and on one that already served a different target.
+        let mut scratch = EliminateScratch::new();
+        for _round in 0..2 {
+            let mut steps_cursor = StepCounter::new();
+            let delta_cursor =
+                eliminate_cycles_dense_with(&dense, fresh, &mut steps_cursor, &mut scratch);
+            prop_assert_eq!(&delta_ref, &delta_cursor, "cursor Δ diverged");
+            prop_assert_eq!(steps_ref, steps_cursor, "cursor EC step charges diverged");
+        }
     }
 
     /// Soundness of the polynomial cycle check: whenever the exponential
@@ -260,5 +282,158 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// Adversarial kernel matrix: cycle-heavy, fin-deletion-heavy scripts
+    /// must leave the incremental-dense, memo-dense, and BTree Scheme 2
+    /// kernels byte-identical, through both the single engine and the
+    /// sharded pump.
+    #[test]
+    fn adversarial_scripts_keep_kernel_matrix_equal(
+        script in arb_adversarial_script(),
+        nshards in 1usize..4,
+    ) {
+        let kind = SchemeKind::Scheme2;
+        let reference = replay_kernel(kind, KernelKind::BTree, &script);
+        let sharded_ref = replay_sharded_kernel(kind, KernelKind::BTree, nshards, &script);
+        for kernel in [KernelKind::Dense, KernelKind::DenseMemo] {
+            let dense = replay_kernel(kind, kernel, &script);
+            prop_assert_eq!(
+                reference.steps, dense.steps,
+                "{}: step counters diverged", kernel.name()
+            );
+            prop_assert_eq!(
+                reference.stats, dense.stats,
+                "{}: engine stats diverged", kernel.name()
+            );
+            prop_assert_eq!(
+                &reference.ser_events, &dense.ser_events,
+                "{}: ser(S) diverged", kernel.name()
+            );
+            prop_assert_eq!(dense.protocol_violations, 0, "{}", kernel.name());
+            prop_assert!(dense.ser_serializable, "{}", kernel.name());
+            let sharded = replay_sharded_kernel(kind, kernel, nshards, &script);
+            prop_assert_eq!(
+                sharded_ref.steps, sharded.steps,
+                "{} @ {} shards: steps diverged", kernel.name(), nshards
+            );
+            prop_assert_eq!(
+                &sharded_ref.ser_events, &sharded.ser_events,
+                "{} @ {} shards: ser(S) diverged", kernel.name(), nshards
+            );
+        }
+    }
+
+    /// Adversarial add/remove-dep interleaving straight against the TSGD
+    /// structures: inserts, deliberate dependency cycles (both directions of
+    /// shared-site pairs), fin-style removals that release and recycle site
+    /// slots, and Eliminate_Cycles rounds whose Δ is folded back in. After
+    /// every removal and at the end, the incremental topo order must stay
+    /// consistent and the collapsed SCC groups must equal the groups an
+    /// offline Tarjan pass finds on the reference dependency digraph.
+    #[test]
+    fn adversarial_dep_interleaving_matches_reference(
+        ops in prop::collection::vec((0u8..4, any::<u8>(), any::<u8>(), any::<u8>()), 1..80),
+    ) {
+        let mut reference = Tsgd::new();
+        let mut dense = DenseTsgd::new();
+        let mut scratch = EliminateScratch::new();
+        let mut live: Vec<GlobalTxnId> = Vec::new();
+        let mut next_id = 1u64;
+        for (op, a, b, c) in ops {
+            match op {
+                0 => {
+                    let txn = GlobalTxnId(next_id);
+                    next_id += 1;
+                    let sites: Vec<SiteId> = (0..4u32)
+                        .filter(|bit| (a | 1 << (next_id % 4)) & (1 << bit) != 0)
+                        .map(SiteId)
+                        .collect();
+                    reference.insert_txn(txn, &sites);
+                    dense.insert_txn(txn, &sites);
+                    live.push(txn);
+                }
+                1 => {
+                    let mut candidates = Vec::new();
+                    for (ai, &ta) in live.iter().enumerate() {
+                        let sites_a: std::collections::BTreeSet<SiteId> =
+                            reference.sites_of(ta).collect();
+                        for &tb in &live[ai + 1..] {
+                            for s in reference.sites_of(tb) {
+                                if sites_a.contains(&s) {
+                                    candidates.push((s, ta, tb));
+                                }
+                            }
+                        }
+                    }
+                    if candidates.is_empty() {
+                        continue;
+                    }
+                    let (site, ta, tb) =
+                        candidates[(a as usize + (b as usize) * 256) % candidates.len()];
+                    // Odd `c` flips the direction, so opposite picks of the
+                    // same pair build genuine dependency cycles.
+                    let (before, after) = if c & 1 == 0 { (ta, tb) } else { (tb, ta) };
+                    let dep = Dep { site, before, after };
+                    reference.add_dep(dep);
+                    dense.add_dep(dep);
+                }
+                2 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let txn = live.remove(a as usize % live.len());
+                    reference.remove_txn(txn);
+                    dense.remove_txn(txn);
+                    prop_assert!(
+                        dense.dep_order_consistent(),
+                        "topo order inconsistent after removing {txn}"
+                    );
+                }
+                _ => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let target = live[a as usize % live.len()];
+                    let mut steps_ref = StepCounter::new();
+                    let mut steps_cursor = StepCounter::new();
+                    let delta_ref = eliminate_cycles(&reference, target, &mut steps_ref);
+                    let delta_cursor = eliminate_cycles_dense_with(
+                        &dense, target, &mut steps_cursor, &mut scratch,
+                    );
+                    prop_assert_eq!(&delta_ref, &delta_cursor, "Δ diverged at {}", target);
+                    prop_assert_eq!(steps_ref, steps_cursor, "EC steps diverged at {}", target);
+                    for dep in delta_ref {
+                        reference.add_dep(dep);
+                        dense.add_dep(dep);
+                    }
+                }
+            }
+            prop_assert_eq!(dense.desync_count(), 0);
+        }
+        let ref_deps: std::collections::BTreeSet<Dep> = reference.deps().collect();
+        prop_assert_eq!(ref_deps, dense.deps_set(), "dependency sets diverged");
+        prop_assert!(dense.dep_order_consistent(), "final topo order inconsistent");
+        let mut g: DiGraph<GlobalTxnId> = DiGraph::new();
+        for t in reference.txns() {
+            g.add_node(t);
+        }
+        for d in reference.deps() {
+            g.add_edge(d.before, d.after);
+        }
+        let mut expected: Vec<Vec<GlobalTxnId>> = g
+            .sccs()
+            .into_iter()
+            .filter(|comp| comp.len() > 1)
+            .map(|mut comp| {
+                comp.sort();
+                comp
+            })
+            .collect();
+        expected.sort();
+        prop_assert_eq!(
+            dense.dep_groups(), expected,
+            "collapsed SCC groups diverged from the offline oracle"
+        );
     }
 }
