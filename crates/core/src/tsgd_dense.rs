@@ -1730,3 +1730,28 @@ mod tests {
         assert_eq!(t.delta_edges(), 1, "the record was still counted");
     }
 }
+
+#[cfg(test)]
+mod review_probe {
+    use super::*;
+    use mdbs_common::ids::{GlobalTxnId, SiteId};
+    fn g(n: u64) -> GlobalTxnId { GlobalTxnId(n) }
+    fn s(n: u32) -> SiteId { SiteId(n) }
+    fn dep(site: u32, before: u64, after: u64) -> Dep {
+        Dep { site: s(site), before: g(before), after: g(after) }
+    }
+
+    #[test]
+    fn pending_batch_visible_edges_keep_order_consistent() {
+        let mut t = DenseTsgd::new();
+        // Insertion order fixes topo keys ascending: z, x, v, u.
+        t.insert_txn(g(1), &[s(0)]); // z
+        t.insert_txn(g(2), &[s(0)]); // x
+        t.insert_txn(g(3), &[s(0)]); // v
+        t.insert_txn(g(4), &[s(0)]); // u
+        t.add_dep(dep(0, 2, 4)); // x -> u (forward)
+        t.add_dep(dep(0, 4, 3)); // u -> v (backward)
+        t.add_dep(dep(0, 3, 1)); // v -> z (backward, pending when u->v drains)
+        assert!(t.dep_order_consistent(), "order broken by batched drain");
+    }
+}
