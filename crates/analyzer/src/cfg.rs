@@ -1,0 +1,488 @@
+//! Per-function control-flow graphs, lowered from the bracketed
+//! [`FlowEvent`](crate::facts::FlowEvent) stream that the fact walker
+//! emits alongside each function's steps.
+//!
+//! Blocks hold step indices (into `FnFact::steps`) in execution order.
+//! Branches fork at `BranchOpen` and join at a fresh merge block; an `if`
+//! without `else` contributes a fallthrough edge from the pre-branch
+//! block straight to the merge. Loops get a dedicated header block —
+//! conditional loops (`while`, `for`) may exit from the header, `loop`
+//! only via `break` — and a back edge from the body end to the header.
+//! `return` and `?` edge to the dedicated exit block (`?` also continues
+//! into a fresh block on the ok path). Code made unreachable by an early
+//! exit lands in a predecessor-less block, which the dataflow solver
+//! leaves at its initial value.
+
+use crate::facts::{FlowEvent, FnFact, Step};
+use std::fmt::Write as _;
+
+/// A per-function control-flow graph over step indices.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Step indices (into `FnFact::steps`) per block, in execution order.
+    pub blocks: Vec<Vec<usize>>,
+    /// Successor block ids per block (deduplicated, insertion order).
+    pub succs: Vec<Vec<usize>>,
+    /// Entry block (always 0, holds the first straight-line steps).
+    pub entry: usize,
+    /// Dedicated empty exit block (always 1).
+    pub exit: usize,
+    /// True for blocks created inside at least one loop — the scope the
+    /// `lost-wakeup` rule restricts itself to.
+    pub in_loop: Vec<bool>,
+}
+
+impl Cfg {
+    /// Lower one function's event stream.
+    pub fn build(fact: &FnFact) -> Cfg {
+        Builder::run(&fact.events)
+    }
+
+    /// Predecessor lists derived from `succs`.
+    pub fn preds(&self) -> Vec<Vec<usize>> {
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); self.blocks.len()];
+        for (b, ss) in self.succs.iter().enumerate() {
+            for &s in ss {
+                preds[s].push(b);
+            }
+        }
+        preds
+    }
+
+    /// Total edge count.
+    pub fn edge_count(&self) -> usize {
+        self.succs.iter().map(Vec::len).sum()
+    }
+
+    /// Render the CFG as DOT, labelling blocks with their steps.
+    pub fn to_dot(&self, fact: &FnFact) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph cfg {{");
+        let _ = writeln!(
+            s,
+            "  label=\"{} ({}:{})\";",
+            fact.qual(),
+            fact.file,
+            fact.line
+        );
+        let _ = writeln!(s, "  node [shape=box, fontname=\"monospace\"];");
+        for (b, steps) in self.blocks.iter().enumerate() {
+            let mut label = if b == self.entry {
+                String::from("entry")
+            } else if b == self.exit {
+                String::from("exit")
+            } else {
+                format!("b{b}")
+            };
+            for &i in steps {
+                label.push_str("\\n");
+                label.push_str(&step_label(&fact.steps[i]));
+            }
+            let _ = writeln!(s, "  n{b} [label=\"{label}\"];");
+        }
+        for (b, ss) in self.succs.iter().enumerate() {
+            for &t in ss {
+                let style = if self.is_back_edge(b, t) {
+                    " [style=dashed, label=\"back\"]"
+                } else {
+                    ""
+                };
+                let _ = writeln!(s, "  n{b} -> n{t}{style};");
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    /// An edge to an earlier block id is a back edge under this builder's
+    /// allocation order (headers are allocated before their bodies).
+    fn is_back_edge(&self, from: usize, to: usize) -> bool {
+        to < from && to != self.exit
+    }
+}
+
+/// One line of DOT block label per step.
+fn step_label(step: &Step) -> String {
+    match step {
+        Step::Acquire {
+            lock,
+            binding,
+            line,
+            ..
+        } => {
+            if binding.starts_with("#t") {
+                format!("{line}: acquire {lock} (tmp)")
+            } else {
+                format!("{line}: acquire {lock} as {binding}")
+            }
+        }
+        Step::Release { binding } => format!("release {binding}"),
+        Step::Send { method, line, .. } => format!("{line}: {method}"),
+        Step::Recv { method, line, .. } => format!("{line}: {method}"),
+        Step::Blocking { what, line, .. } => format!("{line}: blocking {what}"),
+        Step::Call { target, line, .. } => format!("{line}: call {}", target.name()),
+        Step::Suspend { what, line, .. } => format!("{line}: suspend {what}"),
+    }
+}
+
+struct BranchFrame {
+    /// Block before the fork; every `ArmOpen` edges from it.
+    pre: usize,
+    /// Block each arm ended in; `None` for arms that terminated early.
+    arm_ends: Vec<Option<usize>>,
+}
+
+struct LoopFrame {
+    header: usize,
+    /// Block the header (condition) ends in — differs from `header` when
+    /// the condition itself branches.
+    header_end: Option<usize>,
+    conditional: bool,
+    /// Blocks that `break` out of this loop.
+    breaks: Vec<usize>,
+}
+
+struct Builder {
+    blocks: Vec<Vec<usize>>,
+    succs: Vec<Vec<usize>>,
+    in_loop: Vec<bool>,
+    exit: usize,
+    /// Current block; `None` after a terminator (`return`, `break`, ...).
+    cur: Option<usize>,
+    branches: Vec<BranchFrame>,
+    loops: Vec<LoopFrame>,
+}
+
+impl Builder {
+    fn run(events: &[FlowEvent]) -> Cfg {
+        let mut b = Builder {
+            blocks: vec![Vec::new(), Vec::new()],
+            succs: vec![Vec::new(), Vec::new()],
+            in_loop: vec![false, false],
+            exit: 1,
+            cur: Some(0),
+            branches: Vec::new(),
+            loops: Vec::new(),
+        };
+        for e in events {
+            b.event(*e);
+        }
+        if let Some(last) = b.cur {
+            b.edge(last, b.exit);
+        }
+        Cfg {
+            blocks: b.blocks,
+            succs: b.succs,
+            entry: 0,
+            exit: 1,
+            in_loop: b.in_loop,
+        }
+    }
+
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(Vec::new());
+        self.succs.push(Vec::new());
+        self.in_loop.push(!self.loops.is_empty());
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.succs[from].contains(&to) {
+            self.succs[from].push(to);
+        }
+    }
+
+    /// The current block, materializing a fresh (unreachable) one after a
+    /// terminator.
+    fn cur_block(&mut self) -> usize {
+        match self.cur {
+            Some(b) => b,
+            None => {
+                let b = self.new_block();
+                self.cur = Some(b);
+                b
+            }
+        }
+    }
+
+    fn event(&mut self, e: FlowEvent) {
+        match e {
+            FlowEvent::Step(i) => {
+                let b = self.cur_block();
+                self.blocks[b].push(i);
+            }
+            FlowEvent::BranchOpen => {
+                let pre = self.cur_block();
+                self.branches.push(BranchFrame {
+                    pre,
+                    arm_ends: Vec::new(),
+                });
+                self.cur = None;
+            }
+            FlowEvent::ArmOpen => {
+                let Some(frame) = self.branches.last() else {
+                    return;
+                };
+                let pre = frame.pre;
+                let b = self.new_block();
+                self.edge(pre, b);
+                self.cur = Some(b);
+            }
+            FlowEvent::ArmClose => {
+                let end = self.cur.take();
+                if let Some(frame) = self.branches.last_mut() {
+                    frame.arm_ends.push(end);
+                }
+            }
+            FlowEvent::BranchClose { has_fallthrough } => {
+                let Some(frame) = self.branches.pop() else {
+                    return;
+                };
+                let merge = self.new_block();
+                for end in frame.arm_ends.iter().flatten() {
+                    self.edge(*end, merge);
+                }
+                if has_fallthrough || frame.arm_ends.is_empty() {
+                    self.edge(frame.pre, merge);
+                }
+                self.cur = Some(merge);
+            }
+            FlowEvent::LoopOpen { conditional } => {
+                let pre = self.cur_block();
+                self.loops.push(LoopFrame {
+                    header: 0, // patched below (new_block must see the frame)
+                    header_end: None,
+                    conditional,
+                    breaks: Vec::new(),
+                });
+                let header = self.new_block();
+                self.loops.last_mut().expect("just pushed").header = header;
+                self.edge(pre, header);
+                self.cur = Some(header);
+            }
+            FlowEvent::LoopBody => {
+                let he = self.cur_block();
+                let body = self.new_block();
+                self.edge(he, body);
+                if let Some(frame) = self.loops.last_mut() {
+                    frame.header_end = Some(he);
+                }
+                self.cur = Some(body);
+            }
+            FlowEvent::LoopClose => {
+                let Some(frame) = self.loops.pop() else {
+                    return;
+                };
+                if let Some(end) = self.cur {
+                    self.edge(end, frame.header); // back edge
+                }
+                let after = self.new_block();
+                if frame.conditional {
+                    if let Some(he) = frame.header_end {
+                        self.edge(he, after);
+                    }
+                }
+                for b in frame.breaks {
+                    self.edge(b, after);
+                }
+                self.cur = Some(after);
+            }
+            FlowEvent::Return => {
+                if let Some(b) = self.cur.take() {
+                    self.edge(b, self.exit);
+                }
+            }
+            FlowEvent::Try => {
+                if let Some(b) = self.cur {
+                    self.edge(b, self.exit);
+                    let ok = self.new_block();
+                    self.edge(b, ok);
+                    self.cur = Some(ok);
+                }
+            }
+            FlowEvent::Break => {
+                if let Some(b) = self.cur.take() {
+                    if let Some(frame) = self.loops.last_mut() {
+                        frame.breaks.push(b);
+                    }
+                }
+            }
+            FlowEvent::Continue => {
+                if let Some(b) = self.cur.take() {
+                    if let Some(frame) = self.loops.last() {
+                        let header = frame.header;
+                        self.edge(b, header);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facts::extract;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn cfg_of(src: &str) -> (Cfg, FnFact) {
+        let parsed = parse(&lex(src).tokens);
+        let facts = extract("crates/test/src/f.rs", &parsed.trees, parsed.errors);
+        let fact = facts.fns[0].clone();
+        (Cfg::build(&fact), fact)
+    }
+
+    /// Blocks reachable from entry.
+    fn reachable(cfg: &Cfg) -> Vec<bool> {
+        let mut seen = vec![false; cfg.blocks.len()];
+        let mut stack = vec![cfg.entry];
+        seen[cfg.entry] = true;
+        while let Some(b) = stack.pop() {
+            for &s in &cfg.succs[b] {
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+
+    #[test]
+    fn straight_line_is_two_blocks() {
+        let (cfg, fact) = cfg_of("fn f(tx: &Sender<u32>) { tx.send(1).ok(); tx.send(2).ok(); }");
+        assert_eq!(cfg.blocks[cfg.entry].len(), fact.steps.len());
+        assert_eq!(cfg.succs[cfg.entry], vec![cfg.exit]);
+    }
+
+    #[test]
+    fn if_else_is_a_diamond() {
+        let (cfg, _) = cfg_of(
+            "fn f(c: bool, tx: &Sender<u32>) {\n\
+               if c { tx.send(1).ok(); } else { tx.send(2).ok(); }\n\
+               tx.send(3).ok();\n\
+             }",
+        );
+        // entry -> arm1, arm2; both -> merge -> exit.
+        assert_eq!(cfg.succs[cfg.entry].len(), 2);
+        let merge = cfg.succs[cfg.succs[cfg.entry][0]][0];
+        assert_eq!(cfg.succs[cfg.succs[cfg.entry][1]], vec![merge]);
+        assert_eq!(cfg.succs[merge], vec![cfg.exit]);
+    }
+
+    #[test]
+    fn if_without_else_has_fallthrough_edge() {
+        let (cfg, _) = cfg_of(
+            "fn f(c: bool, tx: &Sender<u32>) {\n\
+               if c { tx.send(1).ok(); }\n\
+               tx.send(2).ok();\n\
+             }",
+        );
+        // entry -> arm and entry -> merge directly.
+        assert_eq!(cfg.succs[cfg.entry].len(), 2);
+        let arm = cfg.succs[cfg.entry][0];
+        let merge = cfg.succs[cfg.entry][1];
+        assert_eq!(cfg.succs[arm], vec![merge]);
+    }
+
+    #[test]
+    fn loop_has_back_edge_and_break_exit() {
+        let (cfg, _) = cfg_of(
+            "fn f(rx: &Receiver<u32>) {\n\
+               loop {\n\
+                 if done { break; }\n\
+                 rx.try_recv();\n\
+               }\n\
+               rx.try_recv();\n\
+             }",
+        );
+        // Some edge must point backwards (body end -> header).
+        let has_back = cfg
+            .succs
+            .iter()
+            .enumerate()
+            .any(|(b, ss)| ss.iter().any(|&t| cfg.is_back_edge(b, t)));
+        assert!(has_back);
+        // The step after the loop is reachable (via the break).
+        let reach = reachable(&cfg);
+        let after_blocks: Vec<usize> = (0..cfg.blocks.len())
+            .filter(|&b| !cfg.blocks[b].is_empty())
+            .collect();
+        assert!(after_blocks.iter().all(|&b| reach[b]), "{cfg:?}");
+        // An unconditional loop's header has no edge to the after block.
+        assert!(reach[cfg.exit]);
+    }
+
+    #[test]
+    fn infinite_loop_leaves_after_block_unreachable() {
+        let (cfg, _) = cfg_of(
+            "fn f(rx: &Receiver<u32>) {\n\
+               loop { rx.try_recv(); }\n\
+               rx.recv();\n\
+             }",
+        );
+        let reach = reachable(&cfg);
+        // The trailing recv's block exists but is unreachable.
+        let recv_block = cfg
+            .blocks
+            .iter()
+            .position(|b| b.len() == 1 && !reach[cfg.blocks.iter().position(|x| x == b).unwrap()]);
+        assert!(recv_block.is_some() || !reach[cfg.exit]);
+    }
+
+    #[test]
+    fn while_loop_exits_from_header() {
+        let (cfg, _) = cfg_of(
+            "fn f(rx: &Receiver<u32>) {\n\
+               while rx.try_recv().is_ok() { rx.recv_timeout(d); }\n\
+               rx.try_recv();\n\
+             }",
+        );
+        let reach = reachable(&cfg);
+        assert!(reach[cfg.exit]);
+        // Header (holds try_recv + is_ok) has two successors: body + after.
+        let header = (0..cfg.blocks.len())
+            .find(|&b| cfg.blocks[b].len() == 2)
+            .expect("header");
+        assert_eq!(cfg.succs[header].len(), 2);
+    }
+
+    #[test]
+    fn return_and_try_edge_to_exit() {
+        let (cfg, _) = cfg_of(
+            "fn f(m: &Mutex<u32>) -> Result<(), E> {\n\
+               let g = m.lock()?;\n\
+               if c { return Ok(()); }\n\
+               Ok(())\n\
+             }",
+        );
+        let exit_preds: usize = cfg
+            .succs
+            .iter()
+            .map(|ss| ss.iter().filter(|&&t| t == cfg.exit).count())
+            .sum();
+        // `?` error path, early return, and the fn-end fallthrough.
+        assert_eq!(exit_preds, 3, "{cfg:?}");
+    }
+
+    #[test]
+    fn in_loop_marks_loop_blocks_only() {
+        let (cfg, fact) = cfg_of(
+            "fn f(rx: &Receiver<u32>) {\n\
+               rx.try_recv();\n\
+               loop { rx.recv_timeout(d); }\n\
+             }",
+        );
+        assert!(!cfg.in_loop[cfg.entry]);
+        let rt = fact
+            .steps
+            .iter()
+            .position(|s| matches!(s, Step::Recv { method, .. } if method == "recv_timeout"))
+            .unwrap();
+        let body = (0..cfg.blocks.len())
+            .find(|&b| cfg.blocks[b].contains(&rt))
+            .unwrap();
+        assert!(cfg.in_loop[body]);
+    }
+}

@@ -4,11 +4,16 @@
 //! `fn` item, an ordered list of [`Step`]s: lock acquisitions (with their
 //! binding and release points — `drop(guard)` or scope end), channel
 //! `send`/`recv` endpoints, other blocking calls (`join`, condvar `wait`,
-//! `thread::sleep`), and call expressions. It also records channel
-//! creation sites (`let (tx, rx) = bounded(..)`), simple aliases
-//! (`let a = b;`, `container.push(tx)`, struct-literal fields) and struct
-//! field types — everything [`crate::graph`] needs to assemble the call
-//! graph, the lock-order graph and the channel topology.
+//! `thread::sleep`), suspension points (`.await`, `block_timeout`,
+//! `yield_now`), and call expressions. Alongside the linear `steps` it
+//! emits a bracketed [`FlowEvent`] stream recording the control
+//! structure (`if`/`match` arms, loops with back edges, `return`/`?`/
+//! `break`/`continue`) that [`crate::cfg`] lowers into a per-function
+//! control-flow graph. It also records channel creation sites
+//! (`let (tx, rx) = bounded(..)`), simple aliases (`let a = b;`,
+//! `container.push(tx)`, struct-literal fields) and struct field types —
+//! everything [`crate::graph`] needs to assemble the call graph, the
+//! lock-order graph and the channel topology.
 //!
 //! The model is deliberately approximate (names, not types), but sound
 //! in the direction a lint wants: unknown receivers degrade to
@@ -92,6 +97,59 @@ pub enum Step {
         line: u32,
         col: u32,
     },
+    /// A point where the task yields to its executor: `.await`,
+    /// `.block_timeout(..)`, `thread::yield_now()`. (`recv_timeout` and
+    /// `park` keep their [`Step::Recv`]/[`Step::Blocking`] identity;
+    /// [`is_suspension`] classifies all of them uniformly.)
+    Suspend { what: String, line: u32, col: u32 },
+}
+
+/// True for steps after which the task may yield to the scheduler — the
+/// suspension points the reactor-oriented rules reason about: `.await`,
+/// `block_timeout`, `yield_now`, `recv_timeout`, `park`.
+pub fn is_suspension(step: &Step) -> bool {
+    match step {
+        Step::Suspend { .. } => true,
+        Step::Recv { method, .. } => method == "recv_timeout",
+        Step::Blocking { what, .. } => what.contains("park"),
+        _ => false,
+    }
+}
+
+/// One entry in a function's bracketed control-flow event stream — the
+/// input [`crate::cfg`] lowers into a per-function CFG. `Step(i)` events
+/// mirror `steps[i]` in order; the structural events bracket branches
+/// (`if`/`match`), loops, and early exits (`return`, `?`, `break`,
+/// `continue`). The stream is always properly nested because it is
+/// emitted structurally while walking the token tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowEvent {
+    /// `steps[i]` executes here.
+    Step(usize),
+    /// An `if`/`match` opens; its arms follow.
+    BranchOpen,
+    /// One arm's events start.
+    ArmOpen,
+    /// One arm's events end.
+    ArmClose,
+    /// The branch closes. `has_fallthrough` is true for `if` without
+    /// `else`: an implicit empty arm flows straight to the merge.
+    BranchClose { has_fallthrough: bool },
+    /// A loop header opens. `conditional` loops (`while`, `for`) may exit
+    /// from the header; `loop` exits only via `break`.
+    LoopOpen { conditional: bool },
+    /// The header (condition) ends; the loop body begins.
+    LoopBody,
+    /// The loop closes (back edge from body end to header).
+    LoopClose,
+    /// `return`, after its value expression's events.
+    Return,
+    /// `?` — exits early on the error path, continues on the ok path.
+    Try,
+    /// `break` out of the innermost loop.
+    Break,
+    /// `continue` to the innermost loop header.
+    Continue,
 }
 
 /// `let (tx, rx) = bounded(..) / channel(..) / unbounded(..)`.
@@ -137,6 +195,9 @@ pub struct FnFact {
     pub col: u32,
     /// Ordered body events.
     pub steps: Vec<Step>,
+    /// Bracketed control-flow stream mirroring `steps` (every step index
+    /// appears exactly once, in order) — the CFG lowering input.
+    pub events: Vec<FlowEvent>,
     /// Channels created here.
     pub creates: Vec<ChannelCreate>,
     /// `alias -> source` local aliases (`let a = b;`, `c.push(b)`).
@@ -271,6 +332,7 @@ fn scan_fn(
         line,
         col,
         steps: Vec::new(),
+        events: Vec::new(),
         creates: Vec::new(),
         local_aliases: Vec::new(),
         field_aliases: Vec::new(),
@@ -478,6 +540,21 @@ struct FnCtx<'a> {
     tmp: usize,
 }
 
+impl FnCtx<'_> {
+    /// Every step goes through here so the flow-event stream mirrors
+    /// `steps` one-for-one.
+    fn push_step(&mut self, step: Step) {
+        self.fact
+            .events
+            .push(FlowEvent::Step(self.fact.steps.len()));
+        self.fact.steps.push(step);
+    }
+
+    fn event(&mut self, e: FlowEvent) {
+        self.fact.events.push(e);
+    }
+}
+
 /// Walk a `{}` block: split into statements, give `let` statements guard
 /// treatment, and release statement-temporary and scope-bound guards at
 /// the right points.
@@ -525,7 +602,7 @@ fn walk_block(ctx: &mut FnCtx, trees: &[Tree]) {
         };
     }
     for b in scope_guards.into_iter().rev() {
-        ctx.fact.steps.push(Step::Release { binding: b });
+        ctx.push_step(Step::Release { binding: b });
     }
 }
 
@@ -597,7 +674,7 @@ fn handle_stmt(ctx: &mut FnCtx, stmt: &[Tree], scope_guards: &mut Vec<String>) {
         }
     }
     for b in temp_releases.into_iter().rev() {
-        ctx.fact.steps.push(Step::Release { binding: b });
+        ctx.push_step(Step::Release { binding: b });
     }
 }
 
@@ -662,12 +739,62 @@ fn adaptors_only(rest: &[Tree]) -> bool {
 
 /// Walk one statement's trees, emitting events. `guard_at` marks the
 /// top-level `lock` ident that binds the statement's `let` guard.
+/// Control-flow keywords (`if`, `match`, loops, `return`, `break`,
+/// `continue`) are intercepted to emit the bracketed [`FlowEvent`]
+/// structure alongside the steps.
 fn walk_exprs(ctx: &mut FnCtx, trees: &[Tree], guard_at: Option<(usize, &str)>) {
     let mut i = 0;
     while i < trees.len() {
         match &trees[i] {
             Tree::Leaf(tok) if tok.kind == TokKind::Ident => {
                 let name = tok.text.clone();
+                match name.as_str() {
+                    "if" => {
+                        i = handle_if(ctx, trees, i);
+                        continue;
+                    }
+                    "match" => {
+                        i = handle_match(ctx, trees, i);
+                        continue;
+                    }
+                    "while" => {
+                        i = handle_while(ctx, trees, i);
+                        continue;
+                    }
+                    "for" => {
+                        i = handle_for(ctx, trees, i);
+                        continue;
+                    }
+                    "loop" => {
+                        i = handle_loop(ctx, trees, i);
+                        continue;
+                    }
+                    "return" => {
+                        // Value expression first, then the exit edge.
+                        walk_exprs(ctx, &trees[i + 1..], None);
+                        ctx.event(FlowEvent::Return);
+                        return;
+                    }
+                    "break" => {
+                        walk_exprs(ctx, &trees[i + 1..], None); // break value
+                        ctx.event(FlowEvent::Break);
+                        return;
+                    }
+                    "continue" => {
+                        ctx.event(FlowEvent::Continue);
+                        return;
+                    }
+                    "await" if i > 0 && trees[i - 1].is_punct(".") => {
+                        ctx.push_step(Step::Suspend {
+                            what: ".await".to_string(),
+                            line: tok.line,
+                            col: tok.col,
+                        });
+                        i += 1;
+                        continue;
+                    }
+                    _ => {}
+                }
                 // Macro invocation: `name!(...)` — walk the args, but the
                 // macro itself is not a call.
                 if trees.get(i + 1).is_some_and(|t| t.is_punct("!")) {
@@ -694,6 +821,10 @@ fn walk_exprs(ctx: &mut FnCtx, trees: &[Tree], guard_at: Option<(usize, &str)>) 
                 }
                 i += 1;
             }
+            Tree::Leaf(tok) if tok.is_punct("?") => {
+                ctx.event(FlowEvent::Try);
+                i += 1;
+            }
             Tree::Group(g) => {
                 if g.delim == '{' {
                     walk_block(ctx, &g.trees);
@@ -707,6 +838,157 @@ fn walk_exprs(ctx: &mut FnCtx, trees: &[Tree], guard_at: Option<(usize, &str)>) 
             _ => i += 1,
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Control-flow constructs
+// ---------------------------------------------------------------------------
+
+/// Index of the first top-level `{` group at or after `from` (the body of
+/// an `if`/`match`/`while`/`for` — struct literals are not legal in those
+/// head positions without parentheses, so the first brace is the body).
+fn body_brace(trees: &[Tree], from: usize) -> usize {
+    let mut j = from;
+    while j < trees.len() && !trees[j].is_group('{') {
+        j += 1;
+    }
+    j
+}
+
+/// `if cond { A } [else if .. | else { B }]` starting at the `if` ident.
+/// Returns the index just past the construct. `else if` chains nest: the
+/// second condition's steps land inside the else arm, which is exactly
+/// when they evaluate.
+fn handle_if(ctx: &mut FnCtx, trees: &[Tree], at: usize) -> usize {
+    let j = body_brace(trees, at + 1);
+    walk_exprs(ctx, &trees[at + 1..j], None); // condition
+    let Some(body) = trees.get(j).and_then(|t| t.group()) else {
+        return j; // malformed (`if` in a pattern guard) — condition walked
+    };
+    ctx.event(FlowEvent::BranchOpen);
+    ctx.event(FlowEvent::ArmOpen);
+    walk_block(ctx, &body.trees);
+    ctx.event(FlowEvent::ArmClose);
+    let mut end = j + 1;
+    let mut has_fallthrough = true;
+    if trees.get(end).is_some_and(|t| t.is_ident("else")) {
+        has_fallthrough = false;
+        ctx.event(FlowEvent::ArmOpen);
+        if trees.get(end + 1).is_some_and(|t| t.is_ident("if")) {
+            end = handle_if(ctx, trees, end + 1);
+        } else if let Some(g) = trees.get(end + 1).and_then(|t| t.group()) {
+            walk_block(ctx, &g.trees);
+            end += 2;
+        } else {
+            end += 1;
+        }
+        ctx.event(FlowEvent::ArmClose);
+    }
+    ctx.event(FlowEvent::BranchClose { has_fallthrough });
+    end
+}
+
+/// `match scrut { pat [if guard] => body, ... }` starting at `match`.
+fn handle_match(ctx: &mut FnCtx, trees: &[Tree], at: usize) -> usize {
+    let j = body_brace(trees, at + 1);
+    walk_exprs(ctx, &trees[at + 1..j], None); // scrutinee
+    let Some(body) = trees.get(j).and_then(|t| t.group()) else {
+        return j;
+    };
+    ctx.event(FlowEvent::BranchOpen);
+    walk_match_arms(ctx, &body.trees);
+    ctx.event(FlowEvent::BranchClose {
+        has_fallthrough: false,
+    });
+    j + 1
+}
+
+/// The comma-separated arms inside a match body. Patterns (and guards)
+/// are walked inside their arm — struct patterns feed the same
+/// field-alias harvest as struct literals, and guard calls evaluate only
+/// on that arm's path.
+fn walk_match_arms(ctx: &mut FnCtx, trees: &[Tree]) {
+    let mut i = 0;
+    loop {
+        // Find the arm's `=>` (delimiters inside patterns are groups, so
+        // a top-level scan cannot see a nested arrow).
+        let mut arrow = None;
+        let mut k = i;
+        while k + 1 < trees.len() {
+            if trees[k].is_punct("=") && trees[k + 1].is_punct(">") {
+                arrow = Some(k);
+                break;
+            }
+            k += 1;
+        }
+        let Some(arrow) = arrow else { break };
+        ctx.event(FlowEvent::ArmOpen);
+        walk_exprs(ctx, &trees[i..arrow], None); // pattern + guard
+        let mut b = arrow + 2;
+        if let Some(g) = trees
+            .get(b)
+            .and_then(|t| t.group())
+            .filter(|g| g.delim == '{')
+        {
+            walk_block(ctx, &g.trees);
+            b += 1;
+            if trees.get(b).is_some_and(|t| t.is_punct(",")) {
+                b += 1;
+            }
+        } else {
+            // Expression body up to the top-level comma.
+            let mut e = b;
+            while e < trees.len() && !trees[e].is_punct(",") {
+                e += 1;
+            }
+            walk_exprs(ctx, &trees[b..e], None);
+            b = (e + 1).min(trees.len());
+        }
+        ctx.event(FlowEvent::ArmClose);
+        i = b;
+    }
+}
+
+/// `while cond { .. }` / `while let pat = expr { .. }`: the condition
+/// re-evaluates every iteration, so its steps live in the loop header.
+fn handle_while(ctx: &mut FnCtx, trees: &[Tree], at: usize) -> usize {
+    let j = body_brace(trees, at + 1);
+    ctx.event(FlowEvent::LoopOpen { conditional: true });
+    walk_exprs(ctx, &trees[at + 1..j], None); // condition (header)
+    ctx.event(FlowEvent::LoopBody);
+    if let Some(body) = trees.get(j).and_then(|t| t.group()) {
+        walk_block(ctx, &body.trees);
+    }
+    ctx.event(FlowEvent::LoopClose);
+    j + 1
+}
+
+/// `for pat in iter { .. }`: the iterator expression evaluates once,
+/// before the loop.
+fn handle_for(ctx: &mut FnCtx, trees: &[Tree], at: usize) -> usize {
+    let j = body_brace(trees, at + 1);
+    if let Some(p) = trees[at + 1..j].iter().position(|t| t.is_ident("in")) {
+        walk_exprs(ctx, &trees[at + 2 + p..j], None); // iterator, once
+    }
+    ctx.event(FlowEvent::LoopOpen { conditional: true });
+    ctx.event(FlowEvent::LoopBody);
+    if let Some(body) = trees.get(j).and_then(|t| t.group()) {
+        walk_block(ctx, &body.trees);
+    }
+    ctx.event(FlowEvent::LoopClose);
+    j + 1
+}
+
+/// `loop { .. }`: exits only via `break`.
+fn handle_loop(ctx: &mut FnCtx, trees: &[Tree], at: usize) -> usize {
+    let j = at + 1;
+    ctx.event(FlowEvent::LoopOpen { conditional: false });
+    ctx.event(FlowEvent::LoopBody);
+    if let Some(body) = trees.get(j).and_then(|t| t.group()) {
+        walk_block(ctx, &body.trees);
+    }
+    ctx.event(FlowEvent::LoopClose);
+    j + 1
 }
 
 const BOUNDED_RECV: [&str; 2] = ["try_recv", "recv_timeout"];
@@ -728,20 +1010,20 @@ fn handle_method_call(
                 Some((gi, b)) if gi == i => b.to_string(),
                 _ => String::new(), // synthetic #tN assigned at statement end
             };
-            ctx.fact.steps.push(Step::Acquire {
+            ctx.push_step(Step::Acquire {
                 lock: lock_name,
                 binding,
                 line,
                 col,
             });
         }
-        "send" | "try_send" => ctx.fact.steps.push(Step::Send {
+        "send" | "try_send" => ctx.push_step(Step::Send {
             base,
             method: name.to_string(),
             line,
             col,
         }),
-        "recv" | "try_recv" | "recv_timeout" => ctx.fact.steps.push(Step::Recv {
+        "recv" | "try_recv" | "recv_timeout" => ctx.push_step(Step::Recv {
             base,
             method: name.to_string(),
             bounded: BOUNDED_RECV.contains(&name),
@@ -749,7 +1031,14 @@ fn handle_method_call(
             col,
         }),
         "join" | "wait" => {
-            ctx.fact.steps.push(Step::Blocking {
+            ctx.push_step(Step::Blocking {
+                what: format!(".{name}()"),
+                line,
+                col,
+            });
+        }
+        "block_timeout" => {
+            ctx.push_step(Step::Suspend {
                 what: format!(".{name}()"),
                 line,
                 col,
@@ -768,7 +1057,7 @@ fn handle_method_call(
                         .push((container.clone(), idents[0].to_string()));
                 }
             }
-            ctx.fact.steps.push(Step::Call {
+            ctx.push_step(Step::Call {
                 target: CallTarget::Method {
                     name: name.to_string(),
                     base,
@@ -781,7 +1070,7 @@ fn handle_method_call(
             if name.chars().next().is_some_and(char::is_uppercase) {
                 return; // enum-variant / tuple-struct pattern or literal
             }
-            ctx.fact.steps.push(Step::Call {
+            ctx.push_step(Step::Call {
                 target: CallTarget::Method {
                     name: name.to_string(),
                     base,
@@ -811,13 +1100,18 @@ fn handle_plain_call(ctx: &mut FnCtx, trees: &[Tree], i: usize, name: &str, line
             if let Some(arg) = trees.get(i + 1).and_then(|t| t.group()) {
                 let idents: Vec<&str> = arg.trees.iter().filter_map(|t| t.ident()).collect();
                 if idents.len() == 1 && arg.trees.len() == 1 {
-                    ctx.fact.steps.push(Step::Release {
+                    ctx.push_step(Step::Release {
                         binding: idents[0].to_string(),
                     });
                 }
             }
         }
-        "sleep" | "park" => ctx.fact.steps.push(Step::Blocking {
+        "sleep" | "park" => ctx.push_step(Step::Blocking {
+            what: format!("{name}()"),
+            line,
+            col,
+        }),
+        "yield_now" => ctx.push_step(Step::Suspend {
             what: format!("{name}()"),
             line,
             col,
@@ -835,7 +1129,7 @@ fn handle_plain_call(ctx: &mut FnCtx, trees: &[Tree], i: usize, name: &str, line
                     name: name.to_string(),
                 },
             };
-            ctx.fact.steps.push(Step::Call { target, line, col });
+            ctx.push_step(Step::Call { target, line, col });
         }
     }
 }
@@ -1085,6 +1379,141 @@ mod tests {
         assert_eq!(s.name, "S");
         assert!(s.fields[0].1.contains(&"Scheme".to_string()));
         assert!(s.fields[1].1.contains(&"VecDeque".to_string()));
+    }
+
+    /// Compact shape string for an event stream: `s` step, `<`/`>` branch
+    /// (`≥` when the branch has fallthrough), `[`/`]` arm, `w(`/`l(`
+    /// conditional/unconditional loop open, `|` loop body, `)` loop
+    /// close, `R` return, `?` try, `^` break, `@` continue.
+    fn shape(events: &[FlowEvent]) -> String {
+        let mut s = String::new();
+        for e in events {
+            s.push_str(match e {
+                FlowEvent::Step(_) => "s",
+                FlowEvent::BranchOpen => "<",
+                FlowEvent::ArmOpen => "[",
+                FlowEvent::ArmClose => "]",
+                FlowEvent::BranchClose {
+                    has_fallthrough: true,
+                } => "≥",
+                FlowEvent::BranchClose {
+                    has_fallthrough: false,
+                } => ">",
+                FlowEvent::LoopOpen { conditional: true } => "w(",
+                FlowEvent::LoopOpen { conditional: false } => "l(",
+                FlowEvent::LoopBody => "|",
+                FlowEvent::LoopClose => ")",
+                FlowEvent::Return => "R",
+                FlowEvent::Try => "?",
+                FlowEvent::Break => "^",
+                FlowEvent::Continue => "@",
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn events_mirror_steps_exactly_once_in_order() {
+        let f = facts(
+            "fn g(m: &Mutex<u32>, tx: &Sender<u32>) {\n\
+               let guard = m.lock().unwrap();\n\
+               if c { drop(guard); } else { tx.send(1).ok(); }\n\
+               for x in xs { tx.send(x).ok(); }\n\
+             }",
+        );
+        let fact = &f.fns[0];
+        let step_ids: Vec<usize> = fact
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                FlowEvent::Step(i) => Some(*i),
+                _ => None,
+            })
+            .collect();
+        let expect: Vec<usize> = (0..fact.steps.len()).collect();
+        assert_eq!(step_ids, expect, "{:?}", fact.events);
+    }
+
+    #[test]
+    fn if_else_and_match_bracket_arms() {
+        let f = facts(
+            "fn g(c: bool, tx: &Sender<u32>) {\n\
+               if c { tx.send(1).ok(); } else { tx.send(2).ok(); }\n\
+               if c { tx.send(3).ok(); }\n\
+               match v { A => tx.send(4).ok(), B => {} };\n\
+             }",
+        );
+        // send + .ok() are two steps per non-empty arm.
+        assert_eq!(shape(&f.fns[0].events), "<[ss][ss]><[ss]≥<[ss][]>");
+    }
+
+    #[test]
+    fn loops_break_continue_and_return() {
+        let f = facts(
+            "fn g(rx: &Receiver<u32>) {\n\
+               loop {\n\
+                 match rx.try_recv() { Ok(v) => continue, Err(_) => break }\n\
+               }\n\
+               while rx.try_recv().is_ok() { rx.recv_timeout(d); }\n\
+               return;\n\
+             }",
+        );
+        assert_eq!(
+            shape(&f.fns[0].events),
+            "l(|s<[@][^]>)w(ss|s)R",
+            "{:?}",
+            f.fns[0].events
+        );
+    }
+
+    #[test]
+    fn else_if_nests_inside_else_arm() {
+        let f = facts(
+            "fn g(tx: &Sender<u32>) {\n\
+               if a { tx.send(1).ok(); } else if b { tx.send(2).ok(); } else { tx.send(3).ok(); }\n\
+             }",
+        );
+        assert_eq!(shape(&f.fns[0].events), "<[ss][<[ss][ss]>]>");
+    }
+
+    #[test]
+    fn suspension_steps_and_classifier() {
+        let f = facts(
+            "async fn g(m: &Mutex<u32>, tx: &Sender<u32>, rx: &Receiver<u32>) {\n\
+               let g = m.lock().await;\n\
+               tx.send(1).await;\n\
+               self.pool.block_timeout(d);\n\
+               std::thread::yield_now();\n\
+               rx.recv_timeout(d);\n\
+               std::thread::park();\n\
+               rx.recv();\n\
+             }",
+        );
+        let steps = &f.fns[0].steps;
+        let suspends: Vec<&str> = steps
+            .iter()
+            .filter_map(|s| match s {
+                Step::Suspend { what, .. } => Some(what.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            suspends,
+            [".await", ".await", ".block_timeout()", "yield_now()"]
+        );
+        let n_susp = steps.iter().filter(|s| is_suspension(s)).count();
+        // 4 Suspend steps + recv_timeout + park; plain recv() is blocking
+        // but not a cooperative suspension point.
+        assert_eq!(n_susp, 6, "{steps:?}");
+        assert!(steps.iter().any(
+            |s| matches!(s, Step::Recv { method, .. } if method == "recv" && !is_suspension(s))
+        ));
+    }
+
+    #[test]
+    fn try_emits_flow_event() {
+        let f = facts("fn g(m: &Mutex<u32>) -> Result<(), E> { let g = m.lock()?; Ok(()) }");
+        assert!(f.fns[0].events.contains(&FlowEvent::Try));
     }
 
     #[test]

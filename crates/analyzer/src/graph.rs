@@ -14,10 +14,21 @@
 //! * **`blocking-in-pump`** — flag blocking calls (unbounded `recv`,
 //!   `join`, condvar `wait`, `sleep`, blocking `lock`) reachable from the
 //!   scheduler entry points in [`PUMP_ENTRY_POINTS`].
-//! * **`no-lock-across-send`** — the flow-sensitive, interprocedural
-//!   rewrite of the PR 2 lexical rule: a guard released (explicit `drop`
-//!   or scope end) before the channel call no longer fires, and a send
-//!   hidden inside a callee now does.
+//! * **`no-lock-across-send`** — guard liveness as a *may*-dataflow over
+//!   each function's CFG ([`crate::cfg`]/[`crate::dataflow`]): a guard
+//!   released on every path before the channel call no longer fires, a
+//!   guard dropped on only one `match` arm still does (the branch-merge
+//!   soundness fix), and a send hidden inside a callee is caught through
+//!   the call graph. The pre-CFG linear scan survives as
+//!   [`Db::lock_pass_legacy`] behind `--legacy-flow`.
+//! * **`guard-across-suspend`** — any lock guard live at a suspension
+//!   point (`.await`, `block_timeout`, park/yield) on some CFG path,
+//!   interprocedurally via may-suspend summaries.
+//! * **`double-lock-path`** — re-acquisition of a held lock along any
+//!   CFG path (including through a directly-called method on the same
+//!   type), previously only caught when it formed a global cycle.
+//! * **`lost-wakeup`** — inside pump/worker loops, a state check that
+//!   precedes waker registration on some path into a suspension point.
 //!
 //! Call resolution is name-based with two precision aids: struct-field
 //! types resolve `self.field.method()` to the field type's impls, and
@@ -27,10 +38,13 @@
 //! analyses conservative about what they claim rather than what they
 //! assume.
 
-use crate::facts::{Base, CallTarget, FileFacts, FnFact, Step, StructFact};
+use crate::cfg::Cfg;
+use crate::dataflow::{solve, BitSet, Merge};
+use crate::facts::{is_suspension, Base, CallTarget, FileFacts, FnFact, Step, StructFact};
 use crate::report::json_str;
 use crate::rules::{
-    Violation, BLOCKING_IN_PUMP, CHANNEL_TOPOLOGY, LOCK_ORDER_CYCLE, NO_LOCK_ACROSS_SEND,
+    Violation, BLOCKING_IN_PUMP, CHANNEL_TOPOLOGY, DOUBLE_LOCK_PATH, GUARD_ACROSS_SUSPEND,
+    LOCK_ORDER_CYCLE, LOST_WAKEUP, NO_LOCK_ACROSS_SEND,
 };
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt::Write as _;
@@ -169,6 +183,24 @@ pub struct ChannelNode {
     pub receivers: Vec<Endpoint>,
 }
 
+/// One exported per-function CFG (the pump entry points only — the
+/// functions whose shape the reactor migration cares about).
+#[derive(Clone, Debug)]
+pub struct FnCfg {
+    /// Qualified function name.
+    pub func: String,
+    /// Defining file.
+    pub file: String,
+    /// 1-based line of the definition.
+    pub line: u32,
+    /// Block count (including entry/exit).
+    pub blocks: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Full DOT rendering, written by `--emit-graphs`.
+    pub dot: String,
+}
+
 /// The graph artifacts exported in the JSON report and as DOT files.
 #[derive(Clone, Debug, Default)]
 pub struct Graphs {
@@ -180,6 +212,10 @@ pub struct Graphs {
     pub lock_cycles: Vec<Vec<String>>,
     /// Channel topology, sorted by (file, line).
     pub channels: Vec<ChannelNode>,
+    /// Per-function CFGs for [`PUMP_ENTRY_POINTS`], sorted by name. The
+    /// JSON report carries block/edge counts; the DOT text goes to
+    /// `--emit-graphs` files only.
+    pub cfgs: Vec<FnCfg>,
 }
 
 impl Graphs {
@@ -246,7 +282,27 @@ impl Graphs {
         if !self.channels.is_empty() {
             s.push_str("\n      ");
         }
-        s.push_str("]\n    }\n  }");
+        s.push_str("]\n    },\n");
+        s.push_str("    \"cfgs\": [");
+        for (i, c) in self.cfgs.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('\n');
+            let _ = write!(
+                s,
+                "      {{ \"fn\": {}, \"file\": {}, \"line\": {}, \"blocks\": {}, \"edges\": {} }}",
+                json_str(&c.func),
+                json_str(&c.file),
+                c.line,
+                c.blocks,
+                c.edges
+            );
+        }
+        if !self.cfgs.is_empty() {
+            s.push_str("\n    ");
+        }
+        s.push_str("]\n  }");
         s
     }
 
@@ -331,17 +387,35 @@ pub struct GraphAnalysis {
     pub graphs: Graphs,
 }
 
-/// Run the graph-level analyses over all extracted file facts.
+/// Run the graph-level analyses over all extracted file facts with the
+/// default (CFG dataflow) engine.
 pub fn analyze_graph(files: &[FileFacts]) -> GraphAnalysis {
+    analyze_graph_with(files, false)
+}
+
+/// Run the graph-level analyses. With `legacy_flow`, guard liveness uses
+/// the pre-CFG linear scan and the three path-sensitive rules
+/// (`guard-across-suspend`, `double-lock-path`, `lost-wakeup`) are
+/// skipped — the `--legacy-flow` engine-diffing mode.
+pub fn analyze_graph_with(files: &[FileFacts], legacy_flow: bool) -> GraphAnalysis {
     let db = Db::build(files);
     let adj = db.call_edges();
     let trans_locks = db.transitive_locks(&adj);
     let trans_chan = db.transitive_channel_ops(&adj);
     let mut violations = Vec::new();
-    let (lock_nodes, lock_edges) = db.lock_pass(&trans_locks, &trans_chan, &mut violations);
+    let (lock_nodes, lock_edges) = if legacy_flow {
+        db.lock_pass_legacy(&trans_locks, &trans_chan, &mut violations)
+    } else {
+        let trans_suspend = db.transitive_suspends(&adj);
+        db.lock_pass(&trans_locks, &trans_chan, &trans_suspend, &mut violations)
+    };
     let lock_cycles = cycle_pass(&lock_nodes, &lock_edges, &mut violations);
     let channels = db.channel_pass(&mut violations);
-    db.blocking_pass(&adj, &mut violations);
+    let reachable = db.pump_reachable(&adj);
+    db.blocking_pass(&reachable, &mut violations);
+    if !legacy_flow {
+        db.lost_wakeup_pass(&reachable, &mut violations);
+    }
     GraphAnalysis {
         violations,
         graphs: Graphs {
@@ -349,6 +423,7 @@ pub fn analyze_graph(files: &[FileFacts]) -> GraphAnalysis {
             lock_edges,
             lock_cycles,
             channels,
+            cfgs: db.cfg_exports(),
         },
     }
 }
@@ -567,10 +642,12 @@ impl<'a> Db<'a> {
         chan
     }
 
-    /// Walk every function with a live-guard set: emit lock-order edges
-    /// and the flow-sensitive + interprocedural `no-lock-across-send`
-    /// violations.
-    fn lock_pass(
+    /// The pre-CFG linear scan (`--legacy-flow`): walk every function's
+    /// step stream with a live-guard list. Unsound at branch merges — a
+    /// `drop()` on one `match` arm clears the guard for the code after
+    /// the merge on *every* path — which is exactly what the CFG-based
+    /// [`Db::lock_pass`] fixes. Kept for one release to diff engines.
+    fn lock_pass_legacy(
         &self,
         trans_locks: &[BTreeSet<String>],
         trans_chan: &[bool],
@@ -670,7 +747,325 @@ impl<'a> Db<'a> {
                             }
                         }
                     }
-                    Step::Blocking { .. } => {}
+                    Step::Blocking { .. } | Step::Suspend { .. } => {}
+                }
+            }
+        }
+        (nodes.into_iter().collect(), edges.into_values().collect())
+    }
+
+    /// Fixpoint: does the function hit a non-channel suspension point
+    /// (`.await`, `block_timeout`, park/yield), directly or through any
+    /// callee? Channel receives are deliberately excluded — a call that
+    /// does channel ops under a guard is already `no-lock-across-send`.
+    fn transitive_suspends(&self, adj: &[Vec<CallEdge>]) -> Vec<bool> {
+        let mut susp: Vec<bool> = self
+            .fns
+            .iter()
+            .map(|f| f.steps.iter().any(is_non_channel_suspension))
+            .collect();
+        loop {
+            let mut changed = false;
+            for i in 0..self.fns.len() {
+                if susp[i] {
+                    continue;
+                }
+                if adj[i].iter().any(|e| susp[e.callee]) {
+                    susp[i] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        susp
+    }
+
+    /// CFG-based guard-liveness pass: solve a *may*-dataflow (one fact
+    /// per acquire site) over each function's CFG, then re-walk every
+    /// block from its fixpoint in-state to emit lock-order edges and the
+    /// `no-lock-across-send` / `guard-across-suspend` /
+    /// `double-lock-path` violations. May-join means a guard dropped on
+    /// only one branch is still live after the merge.
+    fn lock_pass(
+        &self,
+        trans_locks: &[BTreeSet<String>],
+        trans_chan: &[bool],
+        trans_suspend: &[bool],
+        out: &mut Vec<Violation>,
+    ) -> (Vec<String>, Vec<LockEdge>) {
+        let mut nodes: BTreeSet<String> = BTreeSet::new();
+        let mut edges: BTreeMap<(String, String), LockEdge> = BTreeMap::new();
+        for (i, f) in self.fns.iter().enumerate() {
+            for step in &f.steps {
+                if let Step::Acquire { lock, .. } = step {
+                    nodes.insert(lock.clone());
+                }
+            }
+            // One dataflow fact per acquire site in this function.
+            let acquires: Vec<usize> = f
+                .steps
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s, Step::Acquire { .. }))
+                .map(|(idx, _)| idx)
+                .collect();
+            if acquires.is_empty() {
+                continue;
+            }
+            let nfacts = acquires.len();
+            let acq_fields = |si: usize| -> (&str, &str, u32) {
+                match &f.steps[si] {
+                    Step::Acquire {
+                        lock,
+                        binding,
+                        line,
+                        ..
+                    } => (lock.as_str(), binding.as_str(), *line),
+                    _ => unreachable!("acquires holds Acquire indices only"),
+                }
+            };
+            let apply = |state: &mut BitSet, step_idx: usize| match &f.steps[step_idx] {
+                Step::Acquire { .. } => {
+                    let bit = acquires
+                        .iter()
+                        .position(|&si| si == step_idx)
+                        .expect("every Acquire step is an acquire site");
+                    state.set(bit);
+                }
+                Step::Release { binding } => {
+                    for (bit, &si) in acquires.iter().enumerate() {
+                        if acq_fields(si).1 == binding {
+                            state.clear(bit);
+                        }
+                    }
+                }
+                _ => {}
+            };
+            let cfg = Cfg::build(f);
+            let ins = solve(
+                cfg.blocks.len(),
+                &cfg.succs,
+                cfg.entry,
+                nfacts,
+                Merge::May,
+                &BitSet::empty(nfacts),
+                &mut |b, state| {
+                    for &step_idx in &cfg.blocks[b] {
+                        apply(state, step_idx);
+                    }
+                },
+            );
+            // Innermost live guard: the latest acquire site still live.
+            let innermost = |state: &BitSet| -> Option<usize> {
+                state.iter_ones().map(|bit| acquires[bit]).max()
+            };
+            for (b, block) in cfg.blocks.iter().enumerate() {
+                let mut state = ins[b].clone();
+                for &step_idx in block {
+                    match &f.steps[step_idx] {
+                        Step::Acquire {
+                            lock, line, col, ..
+                        } => {
+                            if let Some(held_bit) = state
+                                .iter_ones()
+                                .find(|&bit| acq_fields(acquires[bit]).0 == lock)
+                            {
+                                let (_, hbind, hline) = acq_fields(acquires[held_bit]);
+                                out.push(Violation {
+                                    rule: DOUBLE_LOCK_PATH,
+                                    file: f.file.clone(),
+                                    line: *line,
+                                    col: *col,
+                                    message: format!(
+                                        "lock `{lock}` re-acquired while guard `{}` (bound line \
+                                         {hline}) still holds it on some path — self-deadlock \
+                                         on a non-reentrant mutex",
+                                        guard_label(hbind, lock)
+                                    ),
+                                });
+                            }
+                            for bit in state.iter_ones() {
+                                let held = acq_fields(acquires[bit]).0;
+                                // Same-lock re-acquisition is double-lock-path's
+                                // finding; a self-edge here would re-report it
+                                // as a one-node lock-order cycle.
+                                if held == lock {
+                                    continue;
+                                }
+                                edges
+                                    .entry((held.to_string(), lock.clone()))
+                                    .or_insert_with(|| LockEdge {
+                                        from: held.to_string(),
+                                        to: lock.clone(),
+                                        file: f.file.clone(),
+                                        line: *line,
+                                        via: None,
+                                    });
+                            }
+                        }
+                        Step::Send {
+                            method, line, col, ..
+                        }
+                        | Step::Recv {
+                            method, line, col, ..
+                        } => {
+                            if let Some(si) = innermost(&state) {
+                                let (lock, binding, gline) = acq_fields(si);
+                                out.push(Violation {
+                                    rule: NO_LOCK_ACROSS_SEND,
+                                    file: f.file.clone(),
+                                    line: *line,
+                                    col: *col,
+                                    message: format!(
+                                        "`.{method}()` while lock guard `{}` (bound line {gline}) \
+                                         is live — a blocked channel with a held lock deadlocks \
+                                         the site pump; drop the guard first",
+                                        guard_label(binding, lock)
+                                    ),
+                                });
+                            }
+                        }
+                        step @ (Step::Suspend { .. } | Step::Blocking { .. }) => {
+                            // Channel suspensions (recv_timeout) are
+                            // no-lock-across-send's Recv case, not ours.
+                            if !is_suspension(step) {
+                                // Non-park Blocking: blocking-in-pump's.
+                            } else if let Some(si) = innermost(&state) {
+                                let (lock, binding, gline) = acq_fields(si);
+                                let (what, line, col) = match step {
+                                    Step::Suspend { what, line, col } => (what, *line, *col),
+                                    Step::Blocking { what, line, col } => (what, *line, *col),
+                                    _ => unreachable!(),
+                                };
+                                out.push(Violation {
+                                    rule: GUARD_ACROSS_SUSPEND,
+                                    file: f.file.clone(),
+                                    line,
+                                    col,
+                                    message: format!(
+                                        "suspension point `{what}` while lock guard `{}` (bound \
+                                         line {gline}) is live on some path — a suspended task \
+                                         holding a lock starves every task that needs it; drop \
+                                         the guard before suspending",
+                                        guard_label(binding, lock)
+                                    ),
+                                });
+                            }
+                        }
+                        Step::Call { target, line, col } => {
+                            if !state.any() {
+                                continue;
+                            }
+                            for callee in self.resolve(i, target) {
+                                // Interprocedural lock-order edges;
+                                // same-name edges are dropped because the
+                                // name heuristic cannot distinguish two
+                                // `lock` fields of different objects from
+                                // a genuine re-entry.
+                                for inner in &trans_locks[callee] {
+                                    for bit in state.iter_ones() {
+                                        let held = acq_fields(acquires[bit]).0;
+                                        if held != inner {
+                                            edges
+                                                .entry((held.to_string(), inner.clone()))
+                                                .or_insert_with(|| LockEdge {
+                                                    from: held.to_string(),
+                                                    to: inner.clone(),
+                                                    file: f.file.clone(),
+                                                    line: *line,
+                                                    via: Some(self.quals[callee].clone()),
+                                                });
+                                        }
+                                    }
+                                }
+                                if trans_chan[callee] {
+                                    let si = innermost(&state).expect("state non-empty");
+                                    let (lock, binding, gline) = acq_fields(si);
+                                    out.push(Violation {
+                                        rule: NO_LOCK_ACROSS_SEND,
+                                        file: f.file.clone(),
+                                        line: *line,
+                                        col: *col,
+                                        message: format!(
+                                            "call to `{}` performs channel operations while lock \
+                                             guard `{}` (bound line {gline}) is live — drop the \
+                                             guard before calling",
+                                            self.quals[callee],
+                                            guard_label(binding, lock)
+                                        ),
+                                    });
+                                } else if trans_suspend[callee] && confidently_typed(target) {
+                                    // May-suspend summaries only travel
+                                    // through calls whose target is typed
+                                    // (or a rank-filtered free fn) — a
+                                    // complex-receiver name fallback that
+                                    // happens to share a name with a
+                                    // spinning method is not evidence the
+                                    // guard crosses a suspension.
+                                    let si = innermost(&state).expect("state non-empty");
+                                    let (lock, binding, gline) = acq_fields(si);
+                                    out.push(Violation {
+                                        rule: GUARD_ACROSS_SUSPEND,
+                                        file: f.file.clone(),
+                                        line: *line,
+                                        col: *col,
+                                        message: format!(
+                                            "call to `{}` may suspend while lock guard `{}` \
+                                             (bound line {gline}) is live — drop the guard \
+                                             before calling",
+                                            self.quals[callee],
+                                            guard_label(binding, lock)
+                                        ),
+                                    });
+                                }
+                                // Depth-1 interprocedural re-entry: a
+                                // method on the *same type* directly
+                                // re-acquiring a lock we hold. Typed
+                                // receivers only — name fallback is too
+                                // weak to claim same-object re-entry.
+                                let same_object = matches!(
+                                    target,
+                                    CallTarget::Method {
+                                        base: Base::SelfOnly | Base::SelfField(_),
+                                        ..
+                                    }
+                                ) && self.fns[callee].self_type
+                                    == self.fns[i].self_type;
+                                if !same_object {
+                                    continue;
+                                }
+                                for cstep in &self.fns[callee].steps {
+                                    let Step::Acquire { lock: clock, .. } = cstep else {
+                                        continue;
+                                    };
+                                    if let Some(bit) = state
+                                        .iter_ones()
+                                        .find(|&bit| acq_fields(acquires[bit]).0 == clock)
+                                    {
+                                        let (_, hbind, hline) = acq_fields(acquires[bit]);
+                                        out.push(Violation {
+                                            rule: DOUBLE_LOCK_PATH,
+                                            file: f.file.clone(),
+                                            line: *line,
+                                            col: *col,
+                                            message: format!(
+                                                "call to `{}` re-acquires lock `{clock}` while \
+                                                 guard `{}` (bound line {hline}) still holds it \
+                                                 — self-deadlock on a non-reentrant mutex",
+                                                self.quals[callee],
+                                                guard_label(hbind, clock)
+                                            ),
+                                        });
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        Step::Release { .. } => {}
+                    }
+                    apply(&mut state, step_idx);
                 }
             }
         }
@@ -819,10 +1214,9 @@ impl<'a> Db<'a> {
         chan
     }
 
-    /// BFS from the pump entry points; flag every blocking step in a
-    /// reachable function, with the call path in the message.
-    fn blocking_pass(&self, adj: &[Vec<CallEdge>], out: &mut Vec<Violation>) {
-        // fn index -> (entry qual, call path).
+    /// BFS from the pump entry points: fn index -> (entry qual, call
+    /// path). Shared by `blocking_pass` and `lost_wakeup_pass`.
+    fn pump_reachable(&self, adj: &[Vec<CallEdge>]) -> BTreeMap<usize, (String, Vec<usize>)> {
         let mut visited: BTreeMap<usize, (String, Vec<usize>)> = BTreeMap::new();
         for entry_name in PUMP_ENTRY_POINTS {
             for (i, q) in self.quals.iter().enumerate() {
@@ -845,7 +1239,17 @@ impl<'a> Db<'a> {
                 }
             }
         }
-        for (&i, (entry, path)) in &visited {
+        visited
+    }
+
+    /// Flag every blocking step in a function reachable from a pump
+    /// entry point, with the call path in the message.
+    fn blocking_pass(
+        &self,
+        visited: &BTreeMap<usize, (String, Vec<usize>)>,
+        out: &mut Vec<Violation>,
+    ) {
+        for (&i, (entry, path)) in visited {
             let f = self.fns[i];
             let path_str = path
                 .iter()
@@ -880,6 +1284,152 @@ impl<'a> Db<'a> {
                 });
             }
         }
+    }
+
+    /// `lost-wakeup`: in pump/worker loops, a state check that precedes
+    /// waker registration on some path into a suspension point. Between
+    /// the check and the registration a producer can enqueue and notify;
+    /// the notification hits no registered waker and the consumer parks
+    /// on stale state. Two-bit may-dataflow per function: C = "a check
+    /// has happened", S = "the most recent check precedes the most
+    /// recent registration" (stale). Only functions reachable from
+    /// [`PUMP_ENTRY_POINTS`] that register a waker are analyzed, and
+    /// only suspension points inside loops flag.
+    fn lost_wakeup_pass(
+        &self,
+        visited: &BTreeMap<usize, (String, Vec<usize>)>,
+        out: &mut Vec<Violation>,
+    ) {
+        const C: usize = 0; // a state check has happened
+        const S: usize = 1; // that check is stale (register came after)
+        for (&i, (entry, _)) in visited {
+            let f = self.fns[i];
+            if !f.steps.iter().any(is_register_step) {
+                continue;
+            }
+            let cfg = Cfg::build(f);
+            let apply = |state: &mut BitSet, step: &Step| {
+                if is_check_step(step) {
+                    state.set(C);
+                    state.clear(S);
+                } else if is_register_step(step) && state.get(C) {
+                    state.set(S);
+                }
+            };
+            let ins = solve(
+                cfg.blocks.len(),
+                &cfg.succs,
+                cfg.entry,
+                2,
+                Merge::May,
+                &BitSet::empty(2),
+                &mut |b, state| {
+                    for &si in &cfg.blocks[b] {
+                        apply(state, &f.steps[si]);
+                    }
+                },
+            );
+            for (b, block) in cfg.blocks.iter().enumerate() {
+                let mut state = ins[b].clone();
+                for &si in block {
+                    let step = &f.steps[si];
+                    if cfg.in_loop[b] && is_suspension(step) && state.get(S) {
+                        let (what, line, col) = suspension_site(step);
+                        out.push(Violation {
+                            rule: LOST_WAKEUP,
+                            file: f.file.clone(),
+                            line,
+                            col,
+                            message: format!(
+                                "suspension point `{what}` in a loop reachable from `{entry}` \
+                                 can miss a wakeup: on some path the state check happens before \
+                                 the waker is registered, so a notification between them is \
+                                 lost — register first, re-check, then suspend"
+                            ),
+                        });
+                    }
+                    apply(&mut state, step);
+                }
+            }
+        }
+    }
+
+    /// Per-function CFG exports for the pump entry points.
+    fn cfg_exports(&self) -> Vec<FnCfg> {
+        let mut out: Vec<FnCfg> = self
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| PUMP_ENTRY_POINTS.contains(&self.quals[*i].as_str()))
+            .map(|(i, f)| {
+                let cfg = Cfg::build(f);
+                FnCfg {
+                    func: self.quals[i].clone(),
+                    file: f.file.clone(),
+                    line: f.line,
+                    blocks: cfg.blocks.len(),
+                    edges: cfg.edge_count(),
+                    dot: cfg.to_dot(f),
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| (&a.func, &a.file).cmp(&(&b.func, &b.file)));
+        out
+    }
+}
+
+/// Non-channel suspension: `.await`, `block_timeout`, park/yield — the
+/// facts a may-suspend summary propagates. Channel receives are excluded
+/// (they are `no-lock-across-send`'s concern under a guard).
+fn is_non_channel_suspension(step: &Step) -> bool {
+    matches!(step, Step::Suspend { .. })
+        || matches!(step, Step::Blocking { what, .. } if what.contains("park"))
+}
+
+/// Call targets precise enough to carry a may-suspend summary: typed
+/// receivers and qualified paths resolve through impls, bare names only
+/// to rank-filtered free fns. Method calls on local/complex receivers
+/// fall back to any same-named function — too weak for this rule.
+fn confidently_typed(target: &CallTarget) -> bool {
+    match target {
+        CallTarget::Qualified { .. } | CallTarget::Bare { .. } => true,
+        CallTarget::Method { base, .. } => matches!(base, Base::SelfOnly | Base::SelfField(_)),
+    }
+}
+
+/// State-check calls whose result guards a suspension decision.
+const CHECK_METHODS: [&str; 4] = ["try_recv", "is_empty", "peek", "is_ready"];
+
+/// Waker/handoff-hint registration calls.
+const REGISTER_METHODS: [&str; 5] = [
+    "register",
+    "register_waker",
+    "subscribe",
+    "add_waker",
+    "set_waker",
+];
+
+fn is_check_step(step: &Step) -> bool {
+    match step {
+        Step::Recv { method, .. } => method == "try_recv",
+        Step::Call { target, .. } => CHECK_METHODS.contains(&target.name()),
+        _ => false,
+    }
+}
+
+fn is_register_step(step: &Step) -> bool {
+    matches!(step, Step::Call { target, .. } if REGISTER_METHODS.contains(&target.name()))
+}
+
+/// Location of a suspension step (callers guarantee `is_suspension`).
+fn suspension_site(step: &Step) -> (String, u32, u32) {
+    match step {
+        Step::Suspend { what, line, col } => (what.clone(), *line, *col),
+        Step::Blocking { what, line, col } => (what.clone(), *line, *col),
+        Step::Recv {
+            method, line, col, ..
+        } => (format!(".{method}()"), *line, *col),
+        _ => (String::new(), 1, 1),
     }
 }
 

@@ -8,10 +8,10 @@
 //! [`SchemeEffect::ProtocolViolation`] effects; this crate is the gate
 //! that keeps it that way.
 //!
-//! See [`rules`] for the eight invariants, [`report`] for the JSON schema,
-//! [`parser`]/[`facts`]/[`graph`] for the three interprocedural stages,
-//! and the repository README's "Static analysis" section for the
-//! allow-comment escape hatch.
+//! See [`rules`] for the eleven invariants, [`report`] for the JSON and
+//! SARIF schemas, [`parser`]/[`facts`]/[`cfg`]/[`dataflow`]/[`graph`]
+//! for the analysis stages, and the repository README's "Static
+//! analysis" section for the allow-comment escape hatch.
 //!
 //! Run it as a tool:
 //!
@@ -21,6 +21,8 @@
 //!
 //! [`SchemeEffect::ProtocolViolation`]: ../mdbs_core/scheme/enum.SchemeEffect.html
 
+pub mod cfg;
+pub mod dataflow;
 pub mod facts;
 pub mod graph;
 pub mod lexer;
@@ -29,10 +31,11 @@ pub mod report;
 pub mod rules;
 
 use report::Report;
-use rules::SourceFile;
+use rules::{AnalyzeOptions, SourceFile};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Directory names never scanned: vendored deps, build output, test code
 /// (exempt from every rule) and the analyzer's own deliberately-violating
@@ -92,6 +95,13 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 /// Lint the whole workspace rooted at `root` (including `README.md` for
 /// the `metric-docs-sync` rule).
 pub fn run_workspace(root: &Path) -> io::Result<Report> {
+    run_workspace_with(root, AnalyzeOptions::default())
+}
+
+/// [`run_workspace`] with explicit engine options (`--legacy-flow`).
+/// Times the full sweep so the report carries its own perf budget.
+pub fn run_workspace_with(root: &Path, opts: AnalyzeOptions) -> io::Result<Report> {
+    let start = Instant::now();
     let files = collect_files(root)?;
     let mut sources = Vec::with_capacity(files.len());
     for rel in &files {
@@ -106,20 +116,31 @@ pub fn run_workspace(root: &Path) -> io::Result<Report> {
         });
     }
     let readme = fs::read_to_string(root.join("README.md")).ok();
-    let analysis = rules::analyze(&sources, readme.as_deref());
+    let analysis = rules::analyze_with(&sources, readme.as_deref(), opts);
     Ok(Report {
         files_scanned: sources.len(),
         violations: analysis.violations,
         graphs: analysis.graphs,
+        wall_ms: Some(start.elapsed().as_millis() as u64),
     })
 }
 
 /// Lint an in-memory set of sources — the entry point fixture tests use.
 pub fn run_sources(sources: &[SourceFile], readme: Option<&str>) -> Report {
-    let analysis = rules::analyze(sources, readme);
+    run_sources_with(sources, readme, AnalyzeOptions::default())
+}
+
+/// [`run_sources`] with explicit engine options.
+pub fn run_sources_with(
+    sources: &[SourceFile],
+    readme: Option<&str>,
+    opts: AnalyzeOptions,
+) -> Report {
+    let analysis = rules::analyze_with(sources, readme, opts);
     Report {
         files_scanned: sources.len(),
         violations: analysis.violations,
         graphs: analysis.graphs,
+        wall_ms: None,
     }
 }

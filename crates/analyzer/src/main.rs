@@ -1,32 +1,64 @@
 //! `mdbs-lint` CLI.
 //!
 //! ```text
-//! cargo run -p mdbs-analyzer -- --workspace [--json PATH] [--emit-graphs DIR] [--quiet]
+//! cargo run -p mdbs-analyzer -- --workspace [--json PATH] [--sarif PATH]
+//!     [--format human|json|sarif] [--emit-graphs DIR] [--legacy-flow] [--quiet]
 //! cargo run -p mdbs-analyzer -- FILE.rs [FILE.rs ...]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
 
-use mdbs_analyzer::rules::SourceFile;
-use mdbs_analyzer::{find_workspace_root, run_sources, run_workspace};
+use mdbs_analyzer::rules::{AnalyzeOptions, SourceFile};
+use mdbs_analyzer::{find_workspace_root, run_sources_with, run_workspace_with};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
 
 fn main() -> ExitCode {
     let mut workspace = false;
     let mut quiet = false;
+    let mut format = Format::Human;
     let mut json_path: Option<PathBuf> = None;
+    let mut sarif_path: Option<PathBuf> = None;
     let mut graphs_dir: Option<PathBuf> = None;
+    let mut opts = AnalyzeOptions::default();
     let mut files: Vec<PathBuf> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workspace" => workspace = true,
             "--quiet" | "-q" => quiet = true,
+            "--legacy-flow" => opts.legacy_flow = true,
+            "--format" => match args.next().as_deref() {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                Some(other) => {
+                    eprintln!("mdbs-lint: unknown format `{other}` (human|json|sarif)");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("mdbs-lint: --format needs a value (human|json|sarif)");
+                    return ExitCode::from(2);
+                }
+            },
             "--json" => match args.next() {
                 Some(p) => json_path = Some(PathBuf::from(p)),
                 None => {
                     eprintln!("mdbs-lint: --json needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--sarif" => match args.next() {
+                Some(p) => sarif_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("mdbs-lint: --sarif needs a path");
                     return ExitCode::from(2);
                 }
             },
@@ -40,13 +72,18 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "mdbs-lint: static analysis for the mdbs workspace\n\n\
-                     USAGE:\n  mdbs-lint --workspace [--json PATH] [--emit-graphs DIR] \
+                     USAGE:\n  mdbs-lint --workspace [--json PATH] [--sarif PATH] \
+                     [--format human|json|sarif]\n      [--emit-graphs DIR] [--legacy-flow] \
                      [--quiet]\n  \
                      mdbs-lint FILE.rs [FILE.rs ...]\n\n\
-                     Scans workspace sources for the eight invariants documented in the\n\
+                     Scans workspace sources for the eleven invariants documented in the\n\
                      README's \"Static analysis\" section; exits 1 on any violation.\n\
-                     --emit-graphs writes lock_order.dot and channel_topology.dot from\n\
-                     the interprocedural pass into DIR (created if missing)."
+                     --format selects the stdout rendering; --json/--sarif additionally\n\
+                     write the JSON report / SARIF 2.1.0 log to files.\n\
+                     --emit-graphs writes lock_order.dot, channel_topology.dot and a\n\
+                     cfg_<fn>.dot per pump entry point into DIR (created if missing).\n\
+                     --legacy-flow runs the pre-CFG linear guard scan (no path-sensitive\n\
+                     rules, no stale-allow detection) to diff engines."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -70,7 +107,7 @@ fn main() -> ExitCode {
             eprintln!("mdbs-lint: no workspace root above {}", cwd.display());
             return ExitCode::from(2);
         };
-        match run_workspace(&root) {
+        match run_workspace_with(&root, opts) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("mdbs-lint: {e}");
@@ -94,11 +131,17 @@ fn main() -> ExitCode {
                 }
             }
         }
-        run_sources(&sources, None)
+        run_sources_with(&sources, None, opts)
     };
 
     if let Some(path) = &json_path {
         if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("mdbs-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = &sarif_path {
+        if let Err(e) = std::fs::write(path, report.to_sarif()) {
             eprintln!("mdbs-lint: writing {}: {e}", path.display());
             return ExitCode::from(2);
         }
@@ -118,9 +161,23 @@ fn main() -> ExitCode {
             eprintln!("mdbs-lint: writing {}: {e}", chan.display());
             return ExitCode::from(2);
         }
+        for c in &report.graphs.cfgs {
+            let name = format!("cfg_{}.dot", c.func.replace("::", "_"));
+            let path = dir.join(name);
+            if let Err(e) = std::fs::write(&path, &c.dot) {
+                eprintln!("mdbs-lint: writing {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
     }
-    if !quiet {
-        print!("{}", report.render_human());
+    match format {
+        Format::Human => {
+            if !quiet {
+                print!("{}", report.render_human());
+            }
+        }
+        Format::Json => print!("{}", report.to_json()),
+        Format::Sarif => print!("{}", report.to_sarif()),
     }
     if report.is_clean() {
         ExitCode::SUCCESS

@@ -7,13 +7,16 @@
 //!   "tool": "mdbs-lint",
 //!   "version": "0.1.0",
 //!   "files_scanned": 61,
+//!   "wall_clock_ms": 412,
 //!   "total_violations": 2,
 //!   "by_rule": { "no-panic-in-scheduler": 2 },
 //!   "graphs": {
 //!     "lock_order": { "nodes": [...], "edges": [...], "cycles": [...] },
 //!     "channel_topology": { "channels": [
 //!       { "tx": "...", "rx": "...", "file": "...", "line": 1,
-//!         "created_in": "...", "senders": [...], "receivers": [...] } ] }
+//!         "created_in": "...", "senders": [...], "receivers": [...] } ] },
+//!     "cfgs": [ { "fn": "Gtm2::pump", "file": "...", "line": 1,
+//!                 "blocks": 9, "edges": 11 } ]
 //!   },
 //!   "violations": [
 //!     { "rule": "no-panic-in-scheduler", "file": "crates/core/src/gtm1.rs",
@@ -22,11 +25,15 @@
 //! }
 //! ```
 //!
+//! `wall_clock_ms` appears only on timed workspace runs — CI enforces the
+//! lint self-performance budget against it. [`Report::to_sarif`] emits
+//! the same findings as SARIF 2.1.0 for GitHub code scanning.
+//!
 //! Hand-written emission — the analyzer is dependency-free by design, so
 //! it can never be the crate that drags a vendored tree into the build.
 
 use crate::graph::Graphs;
-use crate::rules::Violation;
+use crate::rules::{rule_description, Violation};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -42,6 +49,9 @@ pub struct Report {
     pub violations: Vec<Violation>,
     /// Lock-order and channel-topology graphs from the interprocedural pass.
     pub graphs: Graphs,
+    /// Wall clock of the full sweep in milliseconds; `Some` only for
+    /// timed workspace runs (the CI perf budget reads it).
+    pub wall_ms: Option<u64>,
 }
 
 impl Report {
@@ -66,6 +76,9 @@ impl Report {
         let _ = writeln!(s, "  \"tool\": \"mdbs-lint\",");
         let _ = writeln!(s, "  \"version\": {},", json_str(VERSION));
         let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
+        if let Some(ms) = self.wall_ms {
+            let _ = writeln!(s, "  \"wall_clock_ms\": {ms},");
+        }
         let _ = writeln!(s, "  \"total_violations\": {},", self.violations.len());
         s.push_str("  \"by_rule\": {");
         let by_rule = self.by_rule();
@@ -103,6 +116,76 @@ impl Report {
             s.push_str("  ");
         }
         s.push_str("]\n}\n");
+        s
+    }
+
+    /// Serialize as a SARIF 2.1.0 log for GitHub code scanning. The
+    /// `rules` array always carries the full rule set (suppressible plus
+    /// meta-rules) so `ruleIndex` stays stable across runs.
+    pub fn to_sarif(&self) -> String {
+        let all_rules: Vec<&str> = crate::rules::RULES
+            .iter()
+            .copied()
+            .chain([
+                crate::rules::BAD_ALLOW,
+                crate::rules::STALE_ALLOW,
+                crate::rules::PARSE_ERROR,
+            ])
+            .collect();
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(
+            s,
+            "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\","
+        );
+        let _ = writeln!(s, "  \"version\": \"2.1.0\",");
+        s.push_str("  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n");
+        let _ = writeln!(s, "          \"name\": \"mdbs-lint\",");
+        let _ = writeln!(s, "          \"version\": {},", json_str(VERSION));
+        s.push_str("          \"rules\": [");
+        for (i, rule) in all_rules.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('\n');
+            let _ = write!(
+                s,
+                "            {{ \"id\": {}, \"shortDescription\": {{ \"text\": {} }} }}",
+                json_str(rule),
+                json_str(rule_description(rule))
+            );
+        }
+        s.push_str("\n          ]\n        }\n      },\n");
+        s.push_str("      \"results\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('\n');
+            let rule_index = all_rules
+                .iter()
+                .position(|r| *r == v.rule)
+                .unwrap_or(all_rules.len() - 1);
+            let _ = write!(
+                s,
+                "        {{\n          \"ruleId\": {},\n          \"ruleIndex\": {},\n          \
+                 \"level\": \"error\",\n          \"message\": {{ \"text\": {} }},\n          \
+                 \"locations\": [\n            {{ \"physicalLocation\": {{\n              \
+                 \"artifactLocation\": {{ \"uri\": {}, \"uriBaseId\": \"%SRCROOT%\" }},\n              \
+                 \"region\": {{ \"startLine\": {}, \"startColumn\": {} }}\n            }} }}\n          \
+                 ]\n        }}",
+                json_str(v.rule),
+                rule_index,
+                json_str(&v.message),
+                json_str(&v.file),
+                v.line.max(1),
+                v.col.max(1)
+            );
+        }
+        if !self.violations.is_empty() {
+            s.push_str("\n      ");
+        }
+        s.push_str("]\n    }\n  ]\n}\n");
         s
     }
 
@@ -171,6 +254,7 @@ mod tests {
             files_scanned: 3,
             violations: vec![],
             graphs: Graphs::default(),
+            wall_ms: None,
         };
         let j = r.to_json();
         assert!(j.contains("\"total_violations\": 0"));
@@ -178,7 +262,49 @@ mod tests {
         assert!(j.contains("\"graphs\": {"));
         assert!(j.contains("\"lock_order\""));
         assert!(j.contains("\"channels\""));
+        assert!(j.contains("\"cfgs\""));
         assert!(j.contains("\"violations\": []"));
+        assert!(!j.contains("wall_clock_ms"));
         assert!(r.is_clean());
+    }
+
+    #[test]
+    fn wall_clock_emitted_when_timed() {
+        let r = Report {
+            files_scanned: 3,
+            violations: vec![],
+            graphs: Graphs::default(),
+            wall_ms: Some(412),
+        };
+        assert!(r.to_json().contains("\"wall_clock_ms\": 412,"));
+    }
+
+    #[test]
+    fn sarif_shape() {
+        let r = Report {
+            files_scanned: 1,
+            violations: vec![Violation {
+                rule: crate::rules::NO_PANIC,
+                file: "crates/core/src/gtm1.rs".to_string(),
+                line: 7,
+                col: 3,
+                message: "a \"quoted\" message".to_string(),
+            }],
+            graphs: Graphs::default(),
+            wall_ms: None,
+        };
+        let s = r.to_sarif();
+        assert!(s.contains("\"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\""));
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"name\": \"mdbs-lint\""));
+        assert!(s.contains("\"ruleId\": \"no-panic-in-scheduler\""));
+        assert!(s.contains("\"ruleIndex\": 0"));
+        assert!(s.contains("\"startLine\": 7"));
+        assert!(s.contains("a \\\"quoted\\\" message"));
+        // Every suppressible rule plus the meta-rules is declared.
+        for rule in crate::rules::RULES {
+            assert!(s.contains(&format!("\"id\": \"{rule}\"")), "{rule}");
+        }
+        assert!(s.contains("\"id\": \"stale-allow\""));
     }
 }

@@ -1,23 +1,29 @@
 //! The `mdbs-lint` rule engine.
 //!
-//! Eight workspace invariants, each motivated by the paper's conservatism
+//! Eleven workspace invariants, each motivated by the paper's conservatism
 //! argument (Section 3: aborting a global transaction is prohibitively
 //! expensive, so the scheduler must not fail where it can refuse):
 //!
 //! | rule | scope | invariant |
 //! |------|-------|-----------|
 //! | `no-panic-in-scheduler` | `crates/core/src`, `crates/localdb/src` | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`/indexing in protocol paths |
-//! | `no-lock-across-send` | workspace | no channel operation — direct or inside a callee — while a lock guard is live (flow-sensitive: `drop(guard)`/scope exit release it) |
+//! | `no-lock-across-send` | workspace | no channel operation — direct or inside a callee — while a lock guard may be live on any CFG path (`drop(guard)`/scope exit release it; a drop on one branch only does not) |
 //! | `no-silent-send-drop` | workspace | `let _ = ...send(...)` is forbidden — count the drop instead |
 //! | `metric-docs-sync` | workspace + README.md | every literal metric name registered on the instrument `Registry` is unique per kind and documented |
 //! | `exhaustive-scheme-match` | `crates/core/src` | no `_ =>` arm in a `match` whose patterns name `SchemeEffect`/`QueueOp` |
 //! | `lock-order-cycle` | workspace | the global lock-acquisition-order graph is acyclic |
 //! | `channel-topology` | workspace | every channel someone sends into has a draining receiver |
 //! | `blocking-in-pump` | workspace | no blocking call (`recv`, `join`, `wait`, `sleep`, `lock`) reachable from `Gtm2::pump` or the site-server loop |
+//! | `guard-across-suspend` | workspace | no lock guard live across a suspension point (`.await`, `block_timeout`, park/yield) on any path, directly or through a may-suspend callee |
+//! | `double-lock-path` | workspace | no re-acquisition of a held lock on any CFG path (including via a directly-called method on the same type) |
+//! | `lost-wakeup` | pump-reachable fns | inside loops, state must not be checked before the waker is registered on any path into a suspension point |
 //!
-//! The first five are per-file (token-level); the last three — and the
-//! rewritten `no-lock-across-send` — run on the interprocedural call
-//! graph built by [`crate::parser`] → [`crate::facts`] → [`crate::graph`].
+//! The first five are per-file (token-level); the rest run on per-function
+//! CFGs ([`crate::cfg`]) with a worklist dataflow solver
+//! ([`crate::dataflow`]) plus the interprocedural call graph built by
+//! [`crate::parser`] → [`crate::facts`] → [`crate::graph`]. The pre-CFG
+//! linear guard scan survives behind [`AnalyzeOptions::legacy_flow`]
+//! (`--legacy-flow`) to diff engines; it skips the last three rules.
 //!
 //! Escape hatch: `// mdbs-lint: allow(<rule>) — <justification>` on the
 //! same line or the line above suppresses one rule there; a directive
@@ -28,14 +34,19 @@
 //! one shared invariant (e.g. the slot-indexed dense kernels), where a
 //! per-line directive on every site would bury the real signal. The
 //! justification must state the invariant; an item-scoped allow with no
-//! following item is reported as `bad-allow`. Delimiter-unbalanced files
-//! get a non-suppressible `parse-error` diagnostic instead of a panic.
+//! following item is reported as `bad-allow`. A well-formed allow that
+//! suppresses *zero* findings in the default-engine run is reported as
+//! `stale-allow` (the `#[expect]` semantics): dead directives hide real
+//! regressions behind the suppression they no longer need. Delimiter-
+//! unbalanced files get a non-suppressible `parse-error` diagnostic
+//! instead of a panic.
 //!
 //! Test code (`#[test]` / `#[cfg(test)]` items, files under `tests/`)
 //! is exempt from every rule.
 
 use crate::graph::Graphs;
 use crate::lexer::{lex, Comment, TokKind, Token};
+use std::cell::Cell;
 use std::collections::BTreeMap;
 
 /// Rule: panics forbidden in scheduler/protocol paths.
@@ -54,15 +65,24 @@ pub const LOCK_ORDER_CYCLE: &str = "lock-order-cycle";
 pub const CHANNEL_TOPOLOGY: &str = "channel-topology";
 /// Rule: no blocking call reachable from the scheduler pump loops.
 pub const BLOCKING_IN_PUMP: &str = "blocking-in-pump";
+/// Rule: no lock guard live across a suspension point on any path.
+pub const GUARD_ACROSS_SUSPEND: &str = "guard-across-suspend";
+/// Rule: no re-acquisition of a held lock along any CFG path.
+pub const DOUBLE_LOCK_PATH: &str = "double-lock-path";
+/// Rule: no state check before waker registration in pump loops.
+pub const LOST_WAKEUP: &str = "lost-wakeup";
 /// Meta-rule: malformed or unjustified allow directives.
 pub const BAD_ALLOW: &str = "bad-allow";
+/// Meta-rule: a well-formed allow directive that suppressed nothing in
+/// the final run (not suppressible — delete the directive).
+pub const STALE_ALLOW: &str = "stale-allow";
 /// Meta-rule: delimiter imbalance kept the token-tree parser from
 /// recovering full structure (not suppressible — fix the file).
 pub const PARSE_ERROR: &str = "parse-error";
 
-/// All suppressible rules (BAD_ALLOW and PARSE_ERROR cannot be allowed
-/// away).
-pub const RULES: [&str; 8] = [
+/// All suppressible rules (BAD_ALLOW, STALE_ALLOW and PARSE_ERROR cannot
+/// be allowed away).
+pub const RULES: [&str; 11] = [
     NO_PANIC,
     NO_LOCK_ACROSS_SEND,
     NO_SILENT_SEND_DROP,
@@ -71,7 +91,31 @@ pub const RULES: [&str; 8] = [
     LOCK_ORDER_CYCLE,
     CHANNEL_TOPOLOGY,
     BLOCKING_IN_PUMP,
+    GUARD_ACROSS_SUSPEND,
+    DOUBLE_LOCK_PATH,
+    LOST_WAKEUP,
 ];
+
+/// One-line rule description, emitted into the SARIF `rules` array.
+pub fn rule_description(rule: &str) -> &'static str {
+    match rule {
+        NO_PANIC => "No panicking construct in scheduler/protocol paths.",
+        NO_LOCK_ACROSS_SEND => "No channel operation while a lock guard may be live on any path.",
+        NO_SILENT_SEND_DROP => "No silently discarded send result.",
+        METRIC_DOCS_SYNC => "Registered metric names are unique per kind and README-documented.",
+        EXHAUSTIVE_SCHEME_MATCH => "No wildcard arm in matches over protocol enums.",
+        LOCK_ORDER_CYCLE => "The global lock-acquisition-order graph is acyclic.",
+        CHANNEL_TOPOLOGY => "Every channel someone sends into has a draining receiver.",
+        BLOCKING_IN_PUMP => "No blocking call reachable from the scheduler pump loops.",
+        GUARD_ACROSS_SUSPEND => "No lock guard live across a suspension point on any path.",
+        DOUBLE_LOCK_PATH => "No re-acquisition of a held lock along any CFG path.",
+        LOST_WAKEUP => "No state check before waker registration on a path into a suspension.",
+        BAD_ALLOW => "Allow directives must be well-formed and justified.",
+        STALE_ALLOW => "Allow directives must suppress at least one finding.",
+        PARSE_ERROR => "Files must parse to a balanced token tree.",
+        _ => "mdbs-lint diagnostic.",
+    }
+}
 
 /// One diagnostic.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -109,11 +153,29 @@ pub struct Analysis {
     pub graphs: Graphs,
 }
 
-/// Analyze a set of sources plus the README (for `metric-docs-sync`):
-/// the per-file token rules, then the interprocedural graph pass over
-/// the extracted facts. Allow directives suppress graph-rule violations
-/// at the reported site exactly like per-file ones.
+/// Engine options threaded from the CLI.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnalyzeOptions {
+    /// Use the pre-CFG linear guard scan for `no-lock-across-send` /
+    /// lock-order edges and skip the three path-sensitive rules — the
+    /// `--legacy-flow` engine-diffing mode. Stale-allow detection is
+    /// also skipped (hit counts are only meaningful for the engine the
+    /// directives target).
+    pub legacy_flow: bool,
+}
+
+/// Analyze a set of sources plus the README (for `metric-docs-sync`)
+/// with the default (CFG dataflow) engine.
 pub fn analyze(files: &[SourceFile], readme: Option<&str>) -> Analysis {
+    analyze_with(files, readme, AnalyzeOptions::default())
+}
+
+/// Analyze a set of sources plus the README: the per-file token rules,
+/// then the interprocedural graph pass over the extracted facts. Allow
+/// directives suppress graph-rule violations at the reported site
+/// exactly like per-file ones; well-formed directives that suppressed
+/// nothing anywhere are reported as `stale-allow`.
+pub fn analyze_with(files: &[SourceFile], readme: Option<&str>, opts: AnalyzeOptions) -> Analysis {
     let mut violations = Vec::new();
     let mut metrics = MetricTable::default();
     let mut allows: Vec<(String, AllowDirectives)> = Vec::new();
@@ -125,13 +187,33 @@ pub fn analyze(files: &[SourceFile], readme: Option<&str>) -> Analysis {
     if let Some(text) = readme {
         metrics.check_against_readme(text, &mut violations);
     }
-    let graph = crate::graph::analyze_graph(&facts);
+    let graph = crate::graph::analyze_graph_with(&facts, opts.legacy_flow);
     for v in graph.violations {
         let suppressed = allows
             .iter()
             .any(|(path, a)| *path == v.file && a.suppresses(v.rule, v.line));
         if !suppressed {
             violations.push(v);
+        }
+    }
+    if !opts.legacy_flow {
+        for (path, a) in &allows {
+            for e in &a.entries {
+                if e.hits.get() == 0 {
+                    violations.push(Violation {
+                        rule: STALE_ALLOW,
+                        file: path.clone(),
+                        line: e.first,
+                        col: 1,
+                        message: format!(
+                            "mdbs-lint allow({}) suppresses nothing — the code it covered no \
+                             longer trips the rule; delete the directive so future violations \
+                             surface",
+                            e.rule
+                        ),
+                    });
+                }
+            }
         }
     }
     violations
@@ -197,11 +279,20 @@ fn in_scheduler_scope(path: &str) -> bool {
 // Allow directives
 // ---------------------------------------------------------------------------
 
+/// One well-formed, justified allow directive with a suppression-hit
+/// counter (interior mutability: `suppresses` is called through shared
+/// references during filtering, but stale-allow needs the tally).
+struct AllowEntry {
+    rule: String,
+    /// Directive line. A line-scoped directive covers `first..=first+1`;
+    /// an item-scoped one covers the whole item that starts after it.
+    first: u32,
+    last: u32,
+    hits: Cell<u32>,
+}
+
 struct AllowDirectives {
-    /// (rule, first line, last line) triples. A line-scoped directive
-    /// covers its own line and the next; an item-scoped one covers the
-    /// whole item that starts after it.
-    entries: Vec<(String, u32, u32)>,
+    entries: Vec<AllowEntry>,
 }
 
 impl AllowDirectives {
@@ -312,20 +403,36 @@ impl AllowDirectives {
                     .last()
                     .map_or(c.line + 1, |t| t.line)
                     .max(c.line + 1);
-                entries.push((rule.to_string(), c.line, last_line));
+                entries.push(AllowEntry {
+                    rule: rule.to_string(),
+                    first: c.line,
+                    last: last_line,
+                    hits: Cell::new(0),
+                });
             } else {
-                entries.push((rule.to_string(), c.line, c.line + 1));
+                entries.push(AllowEntry {
+                    rule: rule.to_string(),
+                    first: c.line,
+                    last: c.line + 1,
+                    hits: Cell::new(0),
+                });
             }
         }
         AllowDirectives { entries }
     }
 
     /// A line-scoped directive on line N covers violations on lines N
-    /// and N+1; an item-scoped one covers its whole recorded span.
+    /// and N+1; an item-scoped one covers its whole recorded span. Every
+    /// match bumps the entry's hit counter for stale-allow detection.
     fn suppresses(&self, rule: &str, line: u32) -> bool {
-        self.entries
-            .iter()
-            .any(|(r, first, last)| r == rule && *first <= line && line <= *last)
+        let mut hit = false;
+        for e in &self.entries {
+            if e.rule == rule && e.first <= line && line <= e.last {
+                e.hits.set(e.hits.get() + 1);
+                hit = true;
+            }
+        }
+        hit
     }
 }
 

@@ -2,8 +2,8 @@
 //! triggering and one non-triggering snippet, the combined JSON report is
 //! pinned to a golden file, and the workspace itself must lint clean.
 
-use mdbs_analyzer::rules::{self, SourceFile};
-use mdbs_analyzer::{find_workspace_root, run_sources, run_workspace};
+use mdbs_analyzer::rules::{self, AnalyzeOptions, SourceFile};
+use mdbs_analyzer::{find_workspace_root, run_sources, run_sources_with, run_workspace};
 use std::path::Path;
 
 /// A fixture README providing the Observability table the
@@ -342,6 +342,191 @@ fn blocking_in_pump_good_is_quiet() {
     assert!(fired.is_empty(), "unexpected: {fired:?}");
 }
 
+/// The pinned branch-merge regression: the guard is dropped in only one
+/// `match` arm, so the other arm still holds it at the send. The legacy
+/// linear scan clears the guard on the first `drop` it sees and misses
+/// the bug; the CFG engine's may-merge keeps it live.
+#[test]
+fn branch_merge_bad_fires_under_cfg_engine_only() {
+    let src = include_str!("fixtures/branch_merge_bad.rs");
+    let fired = rules_fired("crates/sim/src/fixture.rs", src);
+    assert_eq!(fired, [rules::NO_LOCK_ACROSS_SEND]);
+    let legacy = run_sources_with(
+        &[fixture("crates/sim/src/fixture.rs", src)],
+        None,
+        AnalyzeOptions { legacy_flow: true },
+    );
+    assert!(
+        legacy.is_clean(),
+        "legacy scan unexpectedly caught the branch-merge case:\n{}",
+        legacy.render_human()
+    );
+}
+
+#[test]
+fn branch_merge_good_is_quiet() {
+    let fired = rules_fired(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/branch_merge_good.rs"),
+    );
+    assert!(fired.is_empty(), "unexpected: {fired:?}");
+}
+
+#[test]
+fn guard_across_suspend_bad_fires() {
+    let report = run_sources(
+        &[fixture(
+            "crates/sim/src/fixture.rs",
+            include_str!("fixtures/guard_across_suspend_bad.rs"),
+        )],
+        None,
+    );
+    let fired: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+    // Two findings: the direct `yield_now` under the guard, and the
+    // suspension one call level down in `Pool::backoff`.
+    assert_eq!(
+        fired,
+        [rules::GUARD_ACROSS_SUSPEND, rules::GUARD_ACROSS_SUSPEND]
+    );
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.message.contains("Pool::backoff")),
+        "{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn guard_across_suspend_good_is_quiet() {
+    let fired = rules_fired(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/guard_across_suspend_good.rs"),
+    );
+    assert!(fired.is_empty(), "unexpected: {fired:?}");
+}
+
+#[test]
+fn lost_wakeup_bad_fires() {
+    let report = run_sources(
+        &[fixture(
+            "crates/sim/src/fixture.rs",
+            include_str!("fixtures/lost_wakeup_bad.rs"),
+        )],
+        None,
+    );
+    let fired: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+    assert_eq!(fired, [rules::LOST_WAKEUP]);
+    assert!(
+        report.violations[0].message.contains("register first"),
+        "{}",
+        report.violations[0].message
+    );
+}
+
+#[test]
+fn lost_wakeup_good_is_quiet() {
+    // Register-then-check-then-suspend is the correct order.
+    let fired = rules_fired(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/lost_wakeup_good.rs"),
+    );
+    assert!(fired.is_empty(), "unexpected: {fired:?}");
+}
+
+#[test]
+fn double_lock_path_bad_fires() {
+    let report = run_sources(
+        &[fixture(
+            "crates/sim/src/fixture.rs",
+            include_str!("fixtures/double_lock_path_bad.rs"),
+        )],
+        None,
+    );
+    let fired: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+    // Two findings (intra- and interprocedural) and *only* those — the
+    // same-lock self-edge must not also surface as a lock-order cycle.
+    assert_eq!(fired, [rules::DOUBLE_LOCK_PATH, rules::DOUBLE_LOCK_PATH]);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.message.contains("Store::touch")),
+        "{}",
+        report.render_human()
+    );
+    assert!(report.graphs.lock_cycles.is_empty());
+}
+
+#[test]
+fn double_lock_path_good_is_quiet() {
+    let fired = rules_fired(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/double_lock_path_good.rs"),
+    );
+    assert!(fired.is_empty(), "unexpected: {fired:?}");
+}
+
+#[test]
+fn stale_allow_fires_and_names_the_rule() {
+    // The allow suppresses nothing: the send happens after the guard is
+    // dropped, so `no-lock-across-send` never trips inside its scope.
+    let src = "\
+pub fn publish(state: &std::sync::Mutex<u64>, tx: &std::sync::mpsc::Sender<u64>) {
+    let guard = state.lock().unwrap();
+    drop(guard);
+    // mdbs-lint: allow(no-lock-across-send) — stale: the guard is already dropped.
+    tx.send(1).ok();
+}
+";
+    let report = run_sources(&[fixture("crates/sim/src/fixture.rs", src)], None);
+    let fired: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+    assert_eq!(fired, [rules::STALE_ALLOW]);
+    assert_eq!(report.violations[0].line, 4, "points at the directive");
+    assert!(
+        report.violations[0]
+            .message
+            .contains("allow(no-lock-across-send)"),
+        "{}",
+        report.violations[0].message
+    );
+}
+
+#[test]
+fn useful_allow_is_not_stale() {
+    // The same directive actually suppressing a violation stays silent.
+    let src = "\
+pub fn publish(state: &std::sync::Mutex<u64>, tx: &std::sync::mpsc::Sender<u64>) {
+    let guard = state.lock().unwrap();
+    // mdbs-lint: allow(no-lock-across-send) — fixture: the send is non-blocking here.
+    tx.send(*guard).ok();
+}
+";
+    let fired = rules_fired("crates/sim/src/fixture.rs", src);
+    assert!(fired.is_empty(), "unexpected: {fired:?}");
+}
+
+#[test]
+fn stale_allow_is_skipped_under_legacy_flow() {
+    // Hit counts only describe the default engine, so the legacy scan
+    // must not judge directives by them.
+    let src = "\
+pub fn publish(state: &std::sync::Mutex<u64>, tx: &std::sync::mpsc::Sender<u64>) {
+    let guard = state.lock().unwrap();
+    drop(guard);
+    // mdbs-lint: allow(no-lock-across-send) — stale: the guard is already dropped.
+    tx.send(1).ok();
+}
+";
+    let report = run_sources_with(
+        &[fixture("crates/sim/src/fixture.rs", src)],
+        None,
+        AnalyzeOptions { legacy_flow: true },
+    );
+    assert!(report.is_clean(), "{}", report.render_human());
+}
+
 #[test]
 fn unbalanced_delimiters_degrade_to_parse_error() {
     let report = run_sources(
@@ -356,12 +541,10 @@ fn unbalanced_delimiters_degrade_to_parse_error() {
     assert!(fired.iter().all(|r| *r == rules::PARSE_ERROR), "{fired:?}");
 }
 
-/// The combined report over every triggering fixture, pinned as a golden
-/// JSON file. Regenerate by running this test with
-/// `UPDATE_GOLDEN=1 cargo test -p mdbs-analyzer`.
-#[test]
-fn golden_report() {
-    let sources = [
+/// Every triggering fixture, combined — the input pinned by both the
+/// JSON and the SARIF golden.
+fn golden_sources() -> Vec<SourceFile> {
+    vec![
         fixture(
             "crates/core/src/exhaustive_match_bad.rs",
             include_str!("fixtures/exhaustive_match_bad.rs"),
@@ -412,16 +595,60 @@ fn golden_report() {
             "crates/sim/src/parse_unbalanced.rs",
             include_str!("fixtures/parse_unbalanced.rs"),
         ),
-    ];
-    let report = run_sources(&sources, Some(FIXTURE_README));
-    let got = report.to_json();
-    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden.json");
+        fixture(
+            "crates/sim/src/branch_merge_bad.rs",
+            include_str!("fixtures/branch_merge_bad.rs"),
+        ),
+        fixture(
+            "crates/sim/src/guard_across_suspend_bad.rs",
+            include_str!("fixtures/guard_across_suspend_bad.rs"),
+        ),
+        fixture(
+            "crates/sim/src/lost_wakeup_bad.rs",
+            include_str!("fixtures/lost_wakeup_bad.rs"),
+        ),
+        fixture(
+            "crates/sim/src/double_lock_path_bad.rs",
+            include_str!("fixtures/double_lock_path_bad.rs"),
+        ),
+    ]
+}
+
+/// Compare `got` against a pinned golden file; regenerate with
+/// `UPDATE_GOLDEN=1 cargo test -p mdbs-analyzer`.
+fn assert_golden(got: &str, rel_path: &str) {
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join(rel_path);
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        std::fs::write(&golden_path, format!("{got}\n")).unwrap();
+        let text = if got.ends_with('\n') {
+            got.to_string()
+        } else {
+            format!("{got}\n")
+        };
+        std::fs::write(&golden_path, text).unwrap();
         return;
     }
     let want = std::fs::read_to_string(&golden_path).unwrap();
-    assert_eq!(got.trim_end(), want.trim_end(), "golden report drifted");
+    assert_eq!(got.trim_end(), want.trim_end(), "golden {rel_path} drifted");
+}
+
+/// The combined report over every triggering fixture, pinned as a golden
+/// JSON file.
+#[test]
+fn golden_report() {
+    let report = run_sources(&golden_sources(), Some(FIXTURE_README));
+    assert_golden(&report.to_json(), "tests/fixtures/golden.json");
+}
+
+/// The same combined report as SARIF 2.1.0 — what CI uploads to code
+/// scanning.
+#[test]
+fn golden_sarif_report() {
+    let report = run_sources(&golden_sources(), Some(FIXTURE_README));
+    let sarif = report.to_sarif();
+    // Minimal schema sanity independent of the pinned text.
+    assert!(sarif.contains("\"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\""));
+    assert!(sarif.contains("\"version\": \"2.1.0\""));
+    assert_golden(&sarif, "tests/fixtures/golden.sarif");
 }
 
 /// The repository itself must lint clean — this is the same check CI runs
@@ -474,4 +701,24 @@ fn threaded_channel_topology_matches_golden_dot() {
     }
     let want = std::fs::read_to_string(&golden_path).unwrap();
     assert_eq!(got.trim_end(), want.trim_end(), "channel topology drifted");
+}
+
+/// The control-flow graph the analyzer builds for the real `Gtm2::pump`
+/// scheduler loop, pinned as a golden DOT graph — the same artifact
+/// `--emit-graphs` writes as `cfg_Gtm2_pump.dot`.
+/// Regenerate with `UPDATE_GOLDEN=1 cargo test -p mdbs-analyzer`.
+#[test]
+fn gtm2_pump_cfg_matches_golden_dot() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above the analyzer crate");
+    let report = run_workspace(&root).expect("workspace scan");
+    let pump = report
+        .graphs
+        .cfgs
+        .iter()
+        .find(|c| c.func == "Gtm2::pump")
+        .expect("Gtm2::pump CFG exported");
+    assert!(pump.blocks >= 4, "pump CFG suspiciously small: {pump:?}");
+    assert!(pump.edges >= pump.blocks - 1, "pump CFG disconnected");
+    assert_golden(&pump.dot, "tests/fixtures/gtm2_pump_cfg.dot");
 }

@@ -1,0 +1,15 @@
+//! Non-triggering counterpart of `branch_merge_bad.rs`: the guard is
+//! released on *every* arm before the send, so the may-analysis merge
+//! clears it and no rule fires.
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub fn publish(state: &Mutex<u64>, tx: &Sender<u64>, fast_path: bool) {
+    let guard = state.lock().unwrap();
+    match fast_path {
+        true => drop(guard),
+        false => drop(guard),
+    }
+    tx.send(1).ok();
+}

@@ -1,0 +1,33 @@
+//! Triggering fixture for `double-lock-path`: the same lock re-acquired
+//! while already held, once on a conditional path in the same function
+//! and once through a same-type helper method.
+
+use std::sync::Mutex;
+
+pub struct Store {
+    meta: Mutex<u64>,
+}
+
+impl Store {
+    /// Intraprocedural: the `if` path re-locks `meta` while `first` is live.
+    pub fn bump(&self, hard: bool) {
+        let first = self.meta.lock().unwrap();
+        if hard {
+            let second = self.meta.lock().unwrap();
+            drop(second);
+        }
+        drop(first);
+    }
+
+    /// Interprocedural: `touch` re-locks `meta` while the caller holds it.
+    pub fn update(&self) {
+        let guard = self.meta.lock().unwrap();
+        self.touch();
+        drop(guard);
+    }
+
+    fn touch(&self) {
+        let guard = self.meta.lock().unwrap();
+        drop(guard);
+    }
+}

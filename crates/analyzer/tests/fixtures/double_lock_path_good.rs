@@ -1,0 +1,33 @@
+//! Non-triggering counterpart of `double_lock_path_bad.rs`: every
+//! re-acquisition happens after the first guard is released, and the
+//! helper is only called lock-free.
+
+use std::sync::Mutex;
+
+pub struct Store {
+    meta: Mutex<u64>,
+}
+
+impl Store {
+    pub fn bump(&self, hard: bool) {
+        let first = self.meta.lock().unwrap();
+        drop(first);
+        if hard {
+            let second = self.meta.lock().unwrap();
+            drop(second);
+        }
+    }
+
+    pub fn update(&self) {
+        {
+            let guard = self.meta.lock().unwrap();
+            drop(guard);
+        }
+        self.touch();
+    }
+
+    fn touch(&self) {
+        let guard = self.meta.lock().unwrap();
+        drop(guard);
+    }
+}

@@ -1,0 +1,30 @@
+//! Triggering fixture for `guard-across-suspend`: a mutex guard held
+//! across a suspension point, once directly (`yield_now` in a spin loop)
+//! and once through a typed helper that transitively suspends.
+
+use std::sync::Mutex;
+
+pub struct Pool {
+    inner: Mutex<Vec<u64>>,
+}
+
+impl Pool {
+    /// Direct: the guard is live at the `yield_now` suspension.
+    pub fn spin_drain(&self) {
+        let guard = self.inner.lock().unwrap();
+        while guard.is_empty() {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Interprocedural: `backoff` suspends and the guard spans the call.
+    pub fn drain(&self) -> usize {
+        let guard = self.inner.lock().unwrap();
+        self.backoff();
+        guard.len()
+    }
+
+    fn backoff(&self) {
+        std::thread::yield_now();
+    }
+}

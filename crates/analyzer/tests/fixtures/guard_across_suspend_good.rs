@@ -1,0 +1,36 @@
+//! Non-triggering counterpart of `guard_across_suspend_bad.rs`: the
+//! guard is released before every suspension point, directly and around
+//! the suspending helper.
+
+use std::sync::Mutex;
+
+pub struct Pool {
+    inner: Mutex<Vec<u64>>,
+}
+
+impl Pool {
+    pub fn spin_drain(&self) {
+        loop {
+            {
+                let guard = self.inner.lock().unwrap();
+                if !guard.is_empty() {
+                    return;
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    pub fn drain(&self) -> usize {
+        let n = {
+            let guard = self.inner.lock().unwrap();
+            guard.len()
+        };
+        self.backoff();
+        n
+    }
+
+    fn backoff(&self) {
+        std::thread::yield_now();
+    }
+}

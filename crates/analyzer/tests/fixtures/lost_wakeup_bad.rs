@@ -1,0 +1,32 @@
+//! Triggering fixture for `lost-wakeup`: a worker loop that checks the
+//! queue, *then* registers its waker, then suspends. A notification that
+//! arrives between the check and the registration is lost — the worker
+//! parks on stale information.
+
+use crossbeam_channel::Receiver;
+
+pub struct Waker;
+
+impl Waker {
+    pub fn register(&self) {}
+}
+
+pub struct SiteWorker {
+    pub rx: Receiver<u64>,
+    pub waker: Waker,
+}
+
+impl SiteWorker {
+    pub fn run(&mut self) {
+        loop {
+            if let Ok(job) = self.rx.try_recv() {
+                self.execute(job);
+                continue;
+            }
+            self.waker.register();
+            std::thread::yield_now();
+        }
+    }
+
+    fn execute(&mut self, _job: u64) {}
+}

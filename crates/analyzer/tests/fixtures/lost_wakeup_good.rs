@@ -1,0 +1,31 @@
+//! Non-triggering counterpart of `lost_wakeup_bad.rs`: register first,
+//! re-check, then suspend. Any notification that lands after the
+//! registration wakes the worker, so nothing is lost.
+
+use crossbeam_channel::Receiver;
+
+pub struct Waker;
+
+impl Waker {
+    pub fn register(&self) {}
+}
+
+pub struct SiteWorker {
+    pub rx: Receiver<u64>,
+    pub waker: Waker,
+}
+
+impl SiteWorker {
+    pub fn run(&mut self) {
+        loop {
+            self.waker.register();
+            if let Ok(job) = self.rx.try_recv() {
+                self.execute(job);
+                continue;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    fn execute(&mut self, _job: u64) {}
+}

@@ -608,7 +608,6 @@ pub struct Scheme2Dense {
     memo: bool,
 }
 
-// mdbs-lint: allow(no-panic-in-scheduler, scope=item) — slot indices come from the interner and every row Vec is grown by ensure_*_rows/intern before use; the kernel-equivalence proptests and debug_validate exercise the invariant on random scripts.
 impl Scheme2Dense {
     /// Fresh state on the cursor-amortized `Eliminate_Cycles` path.
     pub fn new() -> Self {

@@ -1423,11 +1423,9 @@ pub fn eliminate_cycles_dense_with(
                 if v == gslot {
                     break;
                 }
-                // mdbs-lint: allow(no-panic-in-scheduler) — the backtracking search records s_par/t_par together before descending, so a visited node always has both.
                 let temp = stamp_list(&mut scratch.t_par, v, epoch)
                     .pop()
                     .expect("visited node has parents");
-                // mdbs-lint: allow(no-panic-in-scheduler) — s_par and t_par are updated in lockstep above.
                 stamp_list(&mut scratch.s_par, v, epoch)
                     .pop()
                     .expect("parents in sync");
@@ -1735,10 +1733,18 @@ mod tests {
 mod review_probe {
     use super::*;
     use mdbs_common::ids::{GlobalTxnId, SiteId};
-    fn g(n: u64) -> GlobalTxnId { GlobalTxnId(n) }
-    fn s(n: u32) -> SiteId { SiteId(n) }
+    fn g(n: u64) -> GlobalTxnId {
+        GlobalTxnId(n)
+    }
+    fn s(n: u32) -> SiteId {
+        SiteId(n)
+    }
     fn dep(site: u32, before: u64, after: u64) -> Dep {
-        Dep { site: s(site), before: g(before), after: g(after) }
+        Dep {
+            site: s(site),
+            before: g(before),
+            after: g(after),
+        }
     }
 
     #[test]

@@ -147,7 +147,6 @@ impl UnionFind {
     /// be consumed LIFO; rolling back to an outer mark discards inner ones.
     pub fn rollback(&mut self, mark: UfMark) {
         while self.log.len() > mark.0 {
-            // mdbs-lint: allow(no-panic-in-scheduler) — the loop guard proves the log is non-empty.
             let (i, p, s) = self.log.pop().expect("guarded by len");
             self.parent[i as usize] = p;
             self.size[i as usize] = s;

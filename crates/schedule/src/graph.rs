@@ -479,8 +479,17 @@ impl OnlineTopo {
             return TopoResult::Ordered { shifted: 0 };
         }
         let (lb, ub) = (kv, ku);
-        // Forward search from v, bounded above by ub. Old edges strictly
-        // increase keys, so everything reachable already sits above lb.
+        // Both searches are clamped to the window [lb, ub] on BOTH sides.
+        // When every visible edge already respects the order, the lower
+        // bound on the forward search (and the upper bound on the backward
+        // one) never excludes anything: keys strictly increase along old
+        // edges from v and strictly decrease walking them backward from u.
+        // But callers may batch edges — publishing them to the adjacency
+        // the closures read before draining them into this order — and an
+        // out-of-window node reached through such a not-yet-applied edge
+        // must not join the reassignment set: its key would enter the
+        // window multiset and shift ordered nodes past neighbours the
+        // search never examined.
         let mut fwd: Vec<u32> = Vec::new();
         let mut stack = vec![v];
         let mut nbrs: Vec<u32> = Vec::new();
@@ -494,7 +503,7 @@ impl OnlineTopo {
                     cycle = true;
                 }
                 let Some(kw) = self.key_of(w) else { continue };
-                if kw > ub || self.mark[w as usize] & 1 != 0 {
+                if kw < lb || kw > ub || self.mark[w as usize] & 1 != 0 {
                     continue;
                 }
                 self.set_mark(w, 1);
@@ -502,8 +511,6 @@ impl OnlineTopo {
                 stack.push(w);
             }
         }
-        // Backward search from u, bounded below by lb (keys strictly
-        // decrease walking old edges backward).
         let mut bwd: Vec<u32> = Vec::new();
         stack.push(u);
         self.set_mark(u, 2);
@@ -512,7 +519,7 @@ impl OnlineTopo {
             pred(x, &mut nbrs);
             for &w in &nbrs {
                 let Some(kw) = self.key_of(w) else { continue };
-                if kw < lb || self.mark[w as usize] & 2 != 0 {
+                if kw < lb || kw > ub || self.mark[w as usize] & 2 != 0 {
                     continue;
                 }
                 self.set_mark(w, 2);
