@@ -1,0 +1,1094 @@
+//! The on-disk fact database behind `--cache-dir`.
+//!
+//! The per-file front end (lex → token trees → CFG facts in
+//! [`crate::rules::frontend`]) is a pure function of one file's path and
+//! contents, so its output is content-addressed: a 64-bit FNV-1a
+//! fingerprint of the source selects a cached [`FileArtifacts`] and an
+//! unchanged file never gets re-lexed. The interprocedural stage caches
+//! per-function results keyed by a dependency digest computed in
+//! [`crate::graph`] — the digest folds in everything the function's
+//! analysis actually reads (its file's fingerprint, its resolved callees'
+//! summaries), so a cache hit replays byte-identical results and a
+//! changed function dirties exactly the callers whose observed summaries
+//! change.
+//!
+//! Layout under the cache dir, versioned by [`schema_hash`]:
+//!
+//! ```text
+//! <cache-dir>/<schema-hash-hex>/facts.bin     per-file front-end artifacts
+//! <cache-dir>/<schema-hash-hex>/graph.bin     per-function graph results
+//! <cache-dir>/<schema-hash-hex>/manifest.bin  per-file stat fast-path records
+//! ```
+//!
+//! `facts.bin` holds one length-prefixed blob per file. The loader keeps
+//! each raw blob alongside its decoded artifact, so saving after a warm
+//! run re-encodes only the files that actually changed — unchanged blobs
+//! are copied back byte-for-byte.
+//!
+//! The schema hash is an FNV over the analyzer's *own sources* (every
+//! stage that feeds the serialized representation), so any change to the
+//! analyzer invalidates the database without anyone remembering to bump
+//! a version — the CI cache key uses the same hash. Serialization is
+//! hand-rolled (length-prefixed little-endian binary) like the rest of
+//! the crate: the analyzer stays dependency-free. Every decode path
+//! returns `Option`; a truncated or corrupt database degrades to a cold
+//! run, never a panic.
+
+use crate::facts::{
+    Base, CallTarget, ChannelCreate, FieldAlias, FileFacts, FlowEvent, FnFact, Step, StructFact,
+};
+use crate::graph::FnGraphResult;
+use crate::graph::LockEdge;
+use crate::parser::ParseError;
+use crate::rules::{rule_by_name, AllowSpan, FileArtifacts, MetricReg, Violation};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// FNV-1a offset basis / prime (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a hasher — shared by content fingerprints, the
+/// schema hash and the per-function dependency digests.
+#[derive(Clone, Copy)]
+pub struct Fnv(u64);
+
+impl Fnv {
+    /// Fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    /// Fold in raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        for &x in b {
+            self.0 ^= x as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Fold in a length-delimited string (the length prefix keeps
+    /// `"ab"+"c"` and `"a"+"bc"` distinct).
+    pub fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    /// Fold in a u64.
+    pub fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Fold in a u32.
+    pub fn u32(&mut self, v: u32) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Fold in a byte tag.
+    pub fn u8(&mut self, v: u8) {
+        self.bytes(&[v]);
+    }
+
+    /// Fold in a bool as a tag byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// The accumulated hash.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Content fingerprint of one source file.
+///
+/// A word-at-a-time FNV-1a variant: eight bytes are folded per multiply
+/// (with the byte-wise tail and a final length fold), which is ~8×
+/// faster than the canonical byte loop on the warm path, where every
+/// file is fingerprinted every run. Not interchangeable with
+/// [`Fnv::bytes`] — but fingerprints never leave the fact database, and
+/// [`schema_hash`] covers this module, so changing the function
+/// invalidates old databases automatically.
+pub fn fingerprint(source: &str) -> u64 {
+    let b = source.as_bytes();
+    let mut h = FNV_OFFSET;
+    let mut chunks = b.chunks_exact(8);
+    for c in &mut chunks {
+        h ^= u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    for &x in chunks.remainder() {
+        h ^= x as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h ^= b.len() as u64;
+    h.wrapping_mul(FNV_PRIME)
+}
+
+/// The cache-format version of the analyzer: an FNV over its own stage
+/// sources. Editing any analysis stage (or this module) produces a new
+/// hash, so a stale database can never masquerade as current — CI keys
+/// its persisted cache on the same value. Memoized: hashing ~350 KB of
+/// embedded source costs more than a warm file decode, and load, save
+/// and header checks each need the value.
+pub fn schema_hash() -> u64 {
+    static HASH: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *HASH.get_or_init(|| {
+        let mut h = Fnv::new();
+        h.str("mdbs-lint-fact-db");
+        h.str(crate::report::VERSION);
+        for src in [
+            include_str!("lexer.rs"),
+            include_str!("parser.rs"),
+            include_str!("facts.rs"),
+            include_str!("cfg.rs"),
+            include_str!("dataflow.rs"),
+            include_str!("graph.rs"),
+            include_str!("rules.rs"),
+            include_str!("cache.rs"),
+        ] {
+            h.str(src);
+        }
+        h.finish()
+    })
+}
+
+/// Magic prefixes so a file from another tool (or a half-written one)
+/// fails fast.
+const FACTS_MAGIC: &[u8; 8] = b"MDBSFCT1";
+const GRAPH_MAGIC: &[u8; 8] = b"MDBSGRF1";
+const MANIFEST_MAGIC: &[u8; 8] = b"MDBSMAN1";
+
+/// Per-function graph cache keyed by the dependency digest alone. The
+/// digest already folds in the function's identity (defining file path,
+/// qualified name, ordinal) along with everything its analysis reads,
+/// so the key needs no strings — lookups and persistence stay on u64s.
+/// A cross-function digest collision would replay the wrong result, but
+/// at ~10³ functions per workspace the probability is ~2⁻⁴⁵, and the CI
+/// cold-vs-warm byte diff plus the edit-sequence proptest would surface
+/// it.
+pub type GraphCacheMap = BTreeMap<u64, FnGraphResult>;
+
+/// One file's stat record in the manifest: if size and mtime both still
+/// match, the file is taken as unchanged without reading it — the
+/// make/ninja/cargo fast path. The content fingerprint stays the
+/// authority whenever the stat differs (a `touch` re-reads but still
+/// hits), and `--no-cache` is the oracle that bypasses both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StatEntry {
+    /// File size in bytes.
+    pub size: u64,
+    /// Modification time, nanoseconds since the Unix epoch (0 when the
+    /// filesystem cannot say — which simply disables the fast path).
+    pub mtime_ns: u64,
+    /// Content fingerprint the stat vouches for.
+    pub fingerprint: u64,
+}
+
+/// Workspace-relative path -> stat record.
+pub type Manifest = BTreeMap<String, StatEntry>;
+
+/// Everything loaded from one cache directory.
+#[derive(Default)]
+pub struct FactDb {
+    /// Front-end artifacts keyed by workspace-relative path, each with
+    /// the raw blob it was decoded from (reused verbatim on save); the
+    /// stored fingerprint decides whether an entry is usable.
+    pub files: BTreeMap<String, (FileArtifacts, Vec<u8>)>,
+    /// Per-function interprocedural results.
+    pub graph: GraphCacheMap,
+    /// Stat fast-path records.
+    pub manifest: Manifest,
+}
+
+/// The versioned subdirectory for the current schema.
+fn schema_dir(dir: &Path) -> PathBuf {
+    dir.join(format!("{:016x}", schema_hash()))
+}
+
+/// Load the database for the current schema; anything missing, stale or
+/// corrupt degrades to an empty (cold) database.
+pub fn load(dir: &Path) -> FactDb {
+    let root = schema_dir(dir);
+    let files = fs::read(root.join("facts.bin"))
+        .ok()
+        .and_then(|b| decode_facts_db(&b))
+        .unwrap_or_default();
+    let graph = fs::read(root.join("graph.bin"))
+        .ok()
+        .and_then(|b| decode_graph_db(&b))
+        .unwrap_or_default();
+    let manifest = fs::read(root.join("manifest.bin"))
+        .ok()
+        .and_then(|b| decode_manifest(&b))
+        .unwrap_or_default();
+    FactDb {
+        files,
+        graph,
+        manifest,
+    }
+}
+
+/// Persist the database: full rewrite (entries for files or functions no
+/// longer present are pruned by construction), written via a temp file +
+/// rename so a crashed run leaves the previous database intact.
+///
+/// `blobs` parallels `files`: a `Some` entry is the file's still-valid
+/// encoded blob from [`load`], copied back without re-encoding; `None`
+/// entries (changed files) are encoded fresh.
+pub fn save(
+    dir: &Path,
+    files: &[FileArtifacts],
+    blobs: &[Option<&[u8]>],
+    graph: &GraphCacheMap,
+    manifest: &Manifest,
+) -> io::Result<()> {
+    let root = schema_dir(dir);
+    fs::create_dir_all(&root)?;
+    let mut w = W::new(FACTS_MAGIC);
+    w.u32(files.len() as u32);
+    for (i, a) in files.iter().enumerate() {
+        match blobs.get(i).copied().flatten() {
+            Some(blob) => {
+                w.u32(blob.len() as u32);
+                w.buf.extend_from_slice(blob);
+            }
+            None => {
+                let blob = encode_artifact_blob(a);
+                w.u32(blob.len() as u32);
+                w.buf.extend_from_slice(&blob);
+            }
+        }
+    }
+    write_atomic(&root.join("facts.bin"), &w.buf)?;
+    let mut w = W::new(GRAPH_MAGIC);
+    w.u32(graph.len() as u32);
+    for (digest, r) in graph {
+        w.u64(*digest);
+        enc_fn_result(&mut w, r);
+    }
+    write_atomic(&root.join("graph.bin"), &w.buf)?;
+    let mut w = W::new(MANIFEST_MAGIC);
+    w.u32(manifest.len() as u32);
+    for (path, e) in manifest {
+        w.str(path);
+        w.u64(e.size);
+        w.u64(e.mtime_ns);
+        w.u64(e.fingerprint);
+    }
+    write_atomic(&root.join("manifest.bin"), &w.buf)
+}
+
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)
+}
+
+/// Encode one artifact as a standalone blob (no header).
+fn encode_artifact_blob(a: &FileArtifacts) -> Vec<u8> {
+    let mut w = W {
+        buf: Vec::with_capacity(4096),
+    };
+    enc_artifacts(&mut w, a);
+    w.buf
+}
+
+fn decode_facts_db(bytes: &[u8]) -> Option<BTreeMap<String, (FileArtifacts, Vec<u8>)>> {
+    let mut r = R::new(bytes, FACTS_MAGIC)?;
+    let n = r.u32()? as usize;
+    let mut out = BTreeMap::new();
+    for _ in 0..n {
+        let len = r.u32()? as usize;
+        let blob = r.take(len)?;
+        let mut br = R { b: blob, i: 0 };
+        let a = dec_artifacts(&mut br)?;
+        if br.i != blob.len() {
+            return None; // trailing garbage inside a blob
+        }
+        out.insert(a.path.clone(), (a, blob.to_vec()));
+    }
+    Some(out)
+}
+
+fn decode_manifest(bytes: &[u8]) -> Option<Manifest> {
+    let mut r = R::new(bytes, MANIFEST_MAGIC)?;
+    let n = r.u32()? as usize;
+    let mut out = Manifest::new();
+    for _ in 0..n {
+        let path = r.str()?;
+        let e = StatEntry {
+            size: r.u64()?,
+            mtime_ns: r.u64()?,
+            fingerprint: r.u64()?,
+        };
+        out.insert(path, e);
+    }
+    Some(out)
+}
+
+fn decode_graph_db(bytes: &[u8]) -> Option<GraphCacheMap> {
+    let mut r = R::new(bytes, GRAPH_MAGIC)?;
+    let n = r.u32()? as usize;
+    let mut out = GraphCacheMap::new();
+    for _ in 0..n {
+        let digest = r.u64()?;
+        let res = dec_fn_result(&mut r)?;
+        out.insert(digest, res);
+    }
+    Some(out)
+}
+
+// ---------------------------------------------------------------------------
+// Binary writer / reader
+// ---------------------------------------------------------------------------
+
+struct W {
+    buf: Vec<u8>,
+}
+
+impl W {
+    fn new(magic: &[u8; 8]) -> Self {
+        let mut buf = Vec::with_capacity(1 << 16);
+        buf.extend_from_slice(magic);
+        buf.extend_from_slice(&schema_hash().to_le_bytes());
+        W { buf }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn opt_str(&mut self, s: Option<&str>) {
+        match s {
+            Some(s) => {
+                self.u8(1);
+                self.str(s);
+            }
+            None => self.u8(0),
+        }
+    }
+}
+
+struct R<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> R<'a> {
+    fn new(bytes: &'a [u8], magic: &[u8; 8]) -> Option<Self> {
+        let mut r = R { b: bytes, i: 0 };
+        if r.take(8)? != magic {
+            return None;
+        }
+        if r.u64()? != schema_hash() {
+            return None;
+        }
+        Some(r)
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.i.checked_add(n)?;
+        if end > self.b.len() {
+            return None;
+        }
+        let s = &self.b[self.i..end];
+        self.i = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> Option<bool> {
+        match self.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let n = self.u32()? as usize;
+        Some(std::str::from_utf8(self.take(n)?).ok()?.to_owned())
+    }
+
+    /// Capacity hint for a length-prefixed sequence: trust the count
+    /// only up to the bytes actually left (every element is at least one
+    /// byte), so a corrupt count can never trigger a huge allocation.
+    fn cap(&self, n: u32) -> usize {
+        (n as usize).min(self.b.len() - self.i)
+    }
+
+    fn opt_str(&mut self) -> Option<Option<String>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => Some(Some(self.str()?)),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoders / decoders, one pair per cached type
+// ---------------------------------------------------------------------------
+
+fn enc_violation(w: &mut W, v: &Violation) {
+    w.str(v.rule);
+    w.str(&v.file);
+    w.u32(v.line);
+    w.u32(v.col);
+    w.str(&v.message);
+}
+
+fn dec_violation(r: &mut R) -> Option<Violation> {
+    let rule = rule_by_name(&r.str()?)?;
+    Some(Violation {
+        rule,
+        file: r.str()?,
+        line: r.u32()?,
+        col: r.u32()?,
+        message: r.str()?,
+    })
+}
+
+fn enc_base(w: &mut W, b: &Base) {
+    match b {
+        Base::SelfOnly => w.u8(0),
+        Base::SelfField(f) => {
+            w.u8(1);
+            w.str(f);
+        }
+        Base::Local(n) => {
+            w.u8(2);
+            w.str(n);
+        }
+        Base::Complex => w.u8(3),
+    }
+}
+
+fn dec_base(r: &mut R) -> Option<Base> {
+    Some(match r.u8()? {
+        0 => Base::SelfOnly,
+        1 => Base::SelfField(r.str()?),
+        2 => Base::Local(r.str()?),
+        3 => Base::Complex,
+        _ => return None,
+    })
+}
+
+fn enc_target(w: &mut W, t: &CallTarget) {
+    match t {
+        CallTarget::Method { name, base } => {
+            w.u8(0);
+            w.str(name);
+            enc_base(w, base);
+        }
+        CallTarget::Qualified { ty, name } => {
+            w.u8(1);
+            w.str(ty);
+            w.str(name);
+        }
+        CallTarget::Bare { name } => {
+            w.u8(2);
+            w.str(name);
+        }
+    }
+}
+
+fn dec_target(r: &mut R) -> Option<CallTarget> {
+    Some(match r.u8()? {
+        0 => CallTarget::Method {
+            name: r.str()?,
+            base: dec_base(r)?,
+        },
+        1 => CallTarget::Qualified {
+            ty: r.str()?,
+            name: r.str()?,
+        },
+        2 => CallTarget::Bare { name: r.str()? },
+        _ => return None,
+    })
+}
+
+fn enc_step(w: &mut W, s: &Step) {
+    match s {
+        Step::Acquire {
+            lock,
+            binding,
+            line,
+            col,
+        } => {
+            w.u8(0);
+            w.str(lock);
+            w.str(binding);
+            w.u32(*line);
+            w.u32(*col);
+        }
+        Step::Release { binding } => {
+            w.u8(1);
+            w.str(binding);
+        }
+        Step::Send {
+            base,
+            method,
+            line,
+            col,
+        } => {
+            w.u8(2);
+            enc_base(w, base);
+            w.str(method);
+            w.u32(*line);
+            w.u32(*col);
+        }
+        Step::Recv {
+            base,
+            method,
+            bounded,
+            line,
+            col,
+        } => {
+            w.u8(3);
+            enc_base(w, base);
+            w.str(method);
+            w.bool(*bounded);
+            w.u32(*line);
+            w.u32(*col);
+        }
+        Step::Blocking { what, line, col } => {
+            w.u8(4);
+            w.str(what);
+            w.u32(*line);
+            w.u32(*col);
+        }
+        Step::Call { target, line, col } => {
+            w.u8(5);
+            enc_target(w, target);
+            w.u32(*line);
+            w.u32(*col);
+        }
+        Step::Suspend { what, line, col } => {
+            w.u8(6);
+            w.str(what);
+            w.u32(*line);
+            w.u32(*col);
+        }
+    }
+}
+
+fn dec_step(r: &mut R) -> Option<Step> {
+    Some(match r.u8()? {
+        0 => Step::Acquire {
+            lock: r.str()?,
+            binding: r.str()?,
+            line: r.u32()?,
+            col: r.u32()?,
+        },
+        1 => Step::Release { binding: r.str()? },
+        2 => Step::Send {
+            base: dec_base(r)?,
+            method: r.str()?,
+            line: r.u32()?,
+            col: r.u32()?,
+        },
+        3 => Step::Recv {
+            base: dec_base(r)?,
+            method: r.str()?,
+            bounded: r.bool()?,
+            line: r.u32()?,
+            col: r.u32()?,
+        },
+        4 => Step::Blocking {
+            what: r.str()?,
+            line: r.u32()?,
+            col: r.u32()?,
+        },
+        5 => Step::Call {
+            target: dec_target(r)?,
+            line: r.u32()?,
+            col: r.u32()?,
+        },
+        6 => Step::Suspend {
+            what: r.str()?,
+            line: r.u32()?,
+            col: r.u32()?,
+        },
+        _ => return None,
+    })
+}
+
+fn enc_event(w: &mut W, e: &FlowEvent) {
+    match e {
+        FlowEvent::Step(i) => {
+            w.u8(0);
+            w.u32(*i as u32);
+        }
+        FlowEvent::BranchOpen => w.u8(1),
+        FlowEvent::ArmOpen => w.u8(2),
+        FlowEvent::ArmClose => w.u8(3),
+        FlowEvent::BranchClose { has_fallthrough } => {
+            w.u8(4);
+            w.bool(*has_fallthrough);
+        }
+        FlowEvent::LoopOpen { conditional } => {
+            w.u8(5);
+            w.bool(*conditional);
+        }
+        FlowEvent::LoopBody => w.u8(6),
+        FlowEvent::LoopClose => w.u8(7),
+        FlowEvent::Return => w.u8(8),
+        FlowEvent::Try => w.u8(9),
+        FlowEvent::Break => w.u8(10),
+        FlowEvent::Continue => w.u8(11),
+    }
+}
+
+fn dec_event(r: &mut R) -> Option<FlowEvent> {
+    Some(match r.u8()? {
+        0 => FlowEvent::Step(r.u32()? as usize),
+        1 => FlowEvent::BranchOpen,
+        2 => FlowEvent::ArmOpen,
+        3 => FlowEvent::ArmClose,
+        4 => FlowEvent::BranchClose {
+            has_fallthrough: r.bool()?,
+        },
+        5 => FlowEvent::LoopOpen {
+            conditional: r.bool()?,
+        },
+        6 => FlowEvent::LoopBody,
+        7 => FlowEvent::LoopClose,
+        8 => FlowEvent::Return,
+        9 => FlowEvent::Try,
+        10 => FlowEvent::Break,
+        11 => FlowEvent::Continue,
+        _ => return None,
+    })
+}
+
+fn enc_fn_fact(w: &mut W, f: &FnFact) {
+    w.str(&f.name);
+    w.opt_str(f.self_type.as_deref());
+    w.opt_str(f.trait_name.as_deref());
+    w.str(&f.file);
+    w.u32(f.line);
+    w.u32(f.col);
+    w.u32(f.steps.len() as u32);
+    for s in &f.steps {
+        enc_step(w, s);
+    }
+    w.u32(f.events.len() as u32);
+    for e in &f.events {
+        enc_event(w, e);
+    }
+    w.u32(f.creates.len() as u32);
+    for c in &f.creates {
+        w.str(&c.tx);
+        w.str(&c.rx);
+        w.u32(c.line);
+    }
+    w.u32(f.local_aliases.len() as u32);
+    for (a, s) in &f.local_aliases {
+        w.str(a);
+        w.str(s);
+    }
+    w.u32(f.field_aliases.len() as u32);
+    for fa in &f.field_aliases {
+        w.str(&fa.struct_name);
+        w.str(&fa.field);
+        w.str(&fa.source);
+    }
+}
+
+fn dec_fn_fact(r: &mut R) -> Option<FnFact> {
+    let name = r.str()?;
+    let self_type = r.opt_str()?;
+    let trait_name = r.opt_str()?;
+    let file = r.str()?;
+    let line = r.u32()?;
+    let col = r.u32()?;
+    let n = r.u32()?;
+    let mut steps = Vec::with_capacity(r.cap(n));
+    for _ in 0..n {
+        steps.push(dec_step(r)?);
+    }
+    let n = r.u32()?;
+    let mut events = Vec::with_capacity(r.cap(n));
+    for _ in 0..n {
+        events.push(dec_event(r)?);
+    }
+    let n = r.u32()?;
+    let mut creates = Vec::with_capacity(r.cap(n));
+    for _ in 0..n {
+        creates.push(ChannelCreate {
+            tx: r.str()?,
+            rx: r.str()?,
+            line: r.u32()?,
+        });
+    }
+    let n = r.u32()?;
+    let mut local_aliases = Vec::with_capacity(r.cap(n));
+    for _ in 0..n {
+        local_aliases.push((r.str()?, r.str()?));
+    }
+    let n = r.u32()?;
+    let mut field_aliases = Vec::with_capacity(r.cap(n));
+    for _ in 0..n {
+        field_aliases.push(FieldAlias {
+            struct_name: r.str()?,
+            field: r.str()?,
+            source: r.str()?,
+        });
+    }
+    Some(FnFact {
+        name,
+        self_type,
+        trait_name,
+        file,
+        line,
+        col,
+        steps,
+        events,
+        creates,
+        local_aliases,
+        field_aliases,
+    })
+}
+
+fn enc_file_facts(w: &mut W, f: &FileFacts) {
+    w.str(&f.path);
+    w.u32(f.fns.len() as u32);
+    for fnf in &f.fns {
+        enc_fn_fact(w, fnf);
+    }
+    w.u32(f.structs.len() as u32);
+    for s in &f.structs {
+        w.str(&s.name);
+        w.u32(s.fields.len() as u32);
+        for (name, idents) in &s.fields {
+            w.str(name);
+            w.u32(idents.len() as u32);
+            for id in idents {
+                w.str(id);
+            }
+        }
+    }
+    w.u32(f.parse_errors.len() as u32);
+    for e in &f.parse_errors {
+        w.u32(e.line);
+        w.u32(e.col);
+        w.str(&e.message);
+    }
+}
+
+fn dec_file_facts(r: &mut R) -> Option<FileFacts> {
+    let path = r.str()?;
+    let n = r.u32()?;
+    let mut fns = Vec::with_capacity(r.cap(n));
+    for _ in 0..n {
+        fns.push(dec_fn_fact(r)?);
+    }
+    let n = r.u32()?;
+    let mut structs = Vec::with_capacity(r.cap(n));
+    for _ in 0..n {
+        let name = r.str()?;
+        let n = r.u32()?;
+        let mut fields = Vec::with_capacity(r.cap(n));
+        for _ in 0..n {
+            let fname = r.str()?;
+            let n = r.u32()?;
+            let mut idents = Vec::with_capacity(r.cap(n));
+            for _ in 0..n {
+                idents.push(r.str()?);
+            }
+            fields.push((fname, idents));
+        }
+        structs.push(StructFact { name, fields });
+    }
+    let n = r.u32()?;
+    let mut parse_errors = Vec::with_capacity(r.cap(n));
+    for _ in 0..n {
+        parse_errors.push(ParseError {
+            line: r.u32()?,
+            col: r.u32()?,
+            message: r.str()?,
+        });
+    }
+    Some(FileFacts {
+        path,
+        fns,
+        structs,
+        parse_errors,
+    })
+}
+
+fn enc_artifacts(w: &mut W, a: &FileArtifacts) {
+    w.str(&a.path);
+    w.u64(a.fingerprint);
+    w.u32(a.raw.len() as u32);
+    for v in &a.raw {
+        enc_violation(w, v);
+    }
+    w.u32(a.allows.len() as u32);
+    for s in &a.allows {
+        w.str(&s.rule);
+        w.u32(s.first);
+        w.u32(s.last);
+    }
+    w.u32(a.metrics.len() as u32);
+    for m in &a.metrics {
+        w.str(&m.name);
+        w.str(&m.kind);
+        w.u32(m.line);
+        w.u32(m.col);
+    }
+    enc_file_facts(w, &a.facts);
+}
+
+fn dec_artifacts(r: &mut R) -> Option<FileArtifacts> {
+    let path = r.str()?;
+    let fingerprint = r.u64()?;
+    let n = r.u32()?;
+    let mut raw = Vec::with_capacity(r.cap(n));
+    for _ in 0..n {
+        raw.push(dec_violation(r)?);
+    }
+    let n = r.u32()?;
+    let mut allows = Vec::with_capacity(r.cap(n));
+    for _ in 0..n {
+        allows.push(AllowSpan {
+            rule: r.str()?,
+            first: r.u32()?,
+            last: r.u32()?,
+        });
+    }
+    let n = r.u32()?;
+    let mut metrics = Vec::with_capacity(r.cap(n));
+    for _ in 0..n {
+        metrics.push(MetricReg {
+            name: r.str()?,
+            kind: r.str()?,
+            line: r.u32()?,
+            col: r.u32()?,
+        });
+    }
+    let facts = dec_file_facts(r)?;
+    Some(FileArtifacts {
+        path,
+        fingerprint,
+        raw,
+        allows,
+        metrics,
+        facts,
+    })
+}
+
+fn enc_fn_result(w: &mut W, r: &FnGraphResult) {
+    w.u32(r.violations.len() as u32);
+    for v in &r.violations {
+        enc_violation(w, v);
+    }
+    w.u32(r.edges.len() as u32);
+    for e in &r.edges {
+        w.str(&e.from);
+        w.str(&e.to);
+        w.str(&e.file);
+        w.u32(e.line);
+        w.opt_str(e.via.as_deref());
+    }
+    w.u32(r.lost.len() as u32);
+    for v in &r.lost {
+        enc_violation(w, v);
+    }
+}
+
+fn dec_fn_result(r: &mut R) -> Option<FnGraphResult> {
+    let n = r.u32()?;
+    let mut violations = Vec::with_capacity(r.cap(n));
+    for _ in 0..n {
+        violations.push(dec_violation(r)?);
+    }
+    let n = r.u32()?;
+    let mut edges = Vec::with_capacity(r.cap(n));
+    for _ in 0..n {
+        edges.push(LockEdge {
+            from: r.str()?,
+            to: r.str()?,
+            file: r.str()?,
+            line: r.u32()?,
+            via: r.opt_str()?,
+        });
+    }
+    let n = r.u32()?;
+    let mut lost = Vec::with_capacity(r.cap(n));
+    for _ in 0..n {
+        lost.push(dec_violation(r)?);
+    }
+    Some(FnGraphResult {
+        violations,
+        edges,
+        lost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{frontend, SourceFile};
+
+    const SAMPLE: &str = "\
+pub struct Pool { inner: std::sync::Mutex<u64> }
+impl Pool {
+    pub fn publish(&self, tx: &std::sync::mpsc::Sender<u64>) {
+        let guard = self.inner.lock().unwrap();
+        drop(guard);
+        tx.send(1).ok();
+    }
+}
+pub fn wire() {
+    let (tx, rx) = std::sync::mpsc::channel::<u64>();
+    let alias = tx;
+    let _n = rx.recv();
+    alias.send(2).ok();
+}
+";
+
+    #[test]
+    fn artifact_roundtrip_is_lossless() {
+        let art = frontend(&SourceFile {
+            path: "crates/sim/src/sample.rs".to_string(),
+            source: SAMPLE.to_string(),
+        });
+        let mut w = W::new(FACTS_MAGIC);
+        enc_artifacts(&mut w, &art);
+        let bytes = w.buf.clone();
+        let mut r = R::new(&bytes, FACTS_MAGIC).expect("header");
+        let back = dec_artifacts(&mut r).expect("roundtrip");
+        assert_eq!(back.path, art.path);
+        assert_eq!(back.fingerprint, art.fingerprint);
+        assert_eq!(back.raw, art.raw);
+        assert_eq!(back.facts.fns.len(), art.facts.fns.len());
+        for (a, b) in art.facts.fns.iter().zip(&back.facts.fns) {
+            assert_eq!(format!("{:?}", a.steps), format!("{:?}", b.steps));
+            assert_eq!(a.events, b.events);
+            assert_eq!(a.local_aliases, b.local_aliases);
+        }
+        assert_eq!(r.i, bytes.len(), "trailing bytes after decode");
+    }
+
+    #[test]
+    fn truncated_or_foreign_bytes_decode_to_none() {
+        let art = frontend(&SourceFile {
+            path: "crates/sim/src/sample.rs".to_string(),
+            source: SAMPLE.to_string(),
+        });
+        let blob = encode_artifact_blob(&art);
+        let mut w = W::new(FACTS_MAGIC);
+        w.u32(1);
+        w.u32(blob.len() as u32);
+        w.buf.extend_from_slice(&blob);
+        let bytes = w.buf;
+        // The well-formed database decodes...
+        let db = decode_facts_db(&bytes).expect("well-formed db decodes");
+        assert_eq!(db.len(), 1);
+        assert_eq!(
+            db["crates/sim/src/sample.rs"].0.fingerprint,
+            art.fingerprint
+        );
+        assert_eq!(db["crates/sim/src/sample.rs"].1, blob);
+        // ...and every mangling degrades to None, never a panic.
+        for cut in [0, 7, 8, 15, 16, 20, bytes.len() - 1] {
+            assert!(
+                decode_facts_db(&bytes[..cut]).is_none(),
+                "decode accepted a truncation at {cut}"
+            );
+        }
+        let mut wrong = bytes.clone();
+        wrong[0] ^= 0xFF; // magic
+        assert!(decode_facts_db(&wrong).is_none());
+        let mut stale = bytes.clone();
+        stale[9] ^= 0xFF; // schema hash
+        assert!(decode_facts_db(&stale).is_none());
+    }
+
+    #[test]
+    fn save_load_roundtrip_and_blob_reuse() {
+        let art = frontend(&SourceFile {
+            path: "crates/sim/src/sample.rs".to_string(),
+            source: SAMPLE.to_string(),
+        });
+        let stamp = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0);
+        let dir = std::env::temp_dir().join(format!("mdbs-lint-cache-test-{stamp}"));
+        let mut graph = GraphCacheMap::new();
+        graph.insert(7, FnGraphResult::default());
+        let manifest = Manifest::new();
+        save(&dir, std::slice::from_ref(&art), &[None], &graph, &manifest).expect("save");
+        let db = load(&dir);
+        assert_eq!(db.files.len(), 1);
+        let (back, blob) = &db.files[&art.path];
+        assert_eq!(back.fingerprint, art.fingerprint);
+        assert_eq!(db.graph.len(), 1);
+        // Saving again with the loaded blob reused writes identical bytes.
+        let first = fs::read(schema_dir(&dir).join("facts.bin")).expect("read facts.bin");
+        save(
+            &dir,
+            std::slice::from_ref(back),
+            &[Some(blob.as_slice())],
+            &graph,
+            &manifest,
+        )
+        .expect("resave");
+        let second = fs::read(schema_dir(&dir).join("facts.bin")).expect("reread facts.bin");
+        assert_eq!(first, second);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_contents() {
+        assert_ne!(fingerprint("a"), fingerprint("b"));
+        assert_eq!(fingerprint("same"), fingerprint("same"));
+    }
+
+    #[test]
+    fn missing_cache_dir_loads_empty() {
+        let db = load(Path::new("/nonexistent/mdbs-lint-cache"));
+        assert!(db.files.is_empty());
+        assert!(db.graph.is_empty());
+    }
+}

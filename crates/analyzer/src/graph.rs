@@ -389,7 +389,7 @@ pub struct GraphAnalysis {
 
 /// Run the graph-level analyses over all extracted file facts with the
 /// default (CFG dataflow) engine.
-pub fn analyze_graph(files: &[FileFacts]) -> GraphAnalysis {
+pub fn analyze_graph(files: &[&FileFacts]) -> GraphAnalysis {
     analyze_graph_with(files, false)
 }
 
@@ -397,25 +397,147 @@ pub fn analyze_graph(files: &[FileFacts]) -> GraphAnalysis {
 /// the pre-CFG linear scan and the three path-sensitive rules
 /// (`guard-across-suspend`, `double-lock-path`, `lost-wakeup`) are
 /// skipped — the `--legacy-flow` engine-diffing mode.
-pub fn analyze_graph_with(files: &[FileFacts], legacy_flow: bool) -> GraphAnalysis {
+pub fn analyze_graph_with(files: &[&FileFacts], legacy_flow: bool) -> GraphAnalysis {
+    analyze_graph_incremental(files, legacy_flow, None)
+}
+
+/// The per-function results the expensive CFG passes produce — the unit
+/// of caching for the dirty-region re-solve. Replayable verbatim when
+/// the function's dependency digest is unchanged.
+#[derive(Clone, Debug, Default)]
+pub struct FnGraphResult {
+    /// Lock-pass violations (`no-lock-across-send`,
+    /// `guard-across-suspend`, `double-lock-path`).
+    pub violations: Vec<Violation>,
+    /// Lock-order edges in first-attempt order, deduplicated per
+    /// function; the driver keeps the globally-first edge per
+    /// `(from, to)` pair, matching the full-run semantics.
+    pub edges: Vec<LockEdge>,
+    /// Lost-wakeup violations (empty when not pump-reachable).
+    pub lost: Vec<Violation>,
+}
+
+/// Cross-run state for the dirty-region re-solve: the previous run's
+/// per-function results, the fresh ones being assembled, the per-file
+/// content fingerprints feeding the dependency digests, and hit/miss
+/// counters for the report.
+pub struct GraphCacheCtx {
+    /// Previous run's results, keyed by dependency digest.
+    pub old: crate::cache::GraphCacheMap,
+    /// This run's results (persisted afterwards; entries for deleted
+    /// functions are pruned by construction).
+    pub fresh: crate::cache::GraphCacheMap,
+    /// Workspace-relative path -> content fingerprint.
+    pub fps: BTreeMap<String, u64>,
+    /// Functions whose stored result was replayed.
+    pub hits: usize,
+    /// Functions recomputed from scratch.
+    pub misses: usize,
+}
+
+impl GraphCacheCtx {
+    /// Fresh context seeded with a prior run's graph results.
+    pub fn new(old: crate::cache::GraphCacheMap, fps: BTreeMap<String, u64>) -> Self {
+        GraphCacheCtx {
+            old,
+            fresh: crate::cache::GraphCacheMap::new(),
+            fps,
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+/// Run the graph-level analyses with an optional per-function result
+/// cache. The global prep (call graph, transitive summaries,
+/// pump-reachability) is recomputed every run — it is cheap and global
+/// by nature; the expensive per-function CFG passes (`lock_pass`,
+/// `lost-wakeup`) replay cached results for every function whose
+/// dependency digest is unchanged. The digest covers exactly what those
+/// passes read: the function's own body (via its file's content
+/// fingerprint + ordinal), and each resolved callee's observable
+/// summary (qual, transitive locks/channel/suspend, same-type flag,
+/// acquire list) — so an edit dirties precisely the functions whose
+/// *observed* facts changed, i.e. the call-graph region the edit
+/// reaches.
+pub fn analyze_graph_incremental(
+    files: &[&FileFacts],
+    legacy_flow: bool,
+    mut cache: Option<&mut GraphCacheCtx>,
+) -> GraphAnalysis {
     let db = Db::build(files);
     let adj = db.call_edges();
     let trans_locks = db.transitive_locks(&adj);
     let trans_chan = db.transitive_channel_ops(&adj);
+    let reachable = db.pump_reachable(&adj);
     let mut violations = Vec::new();
     let (lock_nodes, lock_edges) = if legacy_flow {
         db.lock_pass_legacy(&trans_locks, &trans_chan, &mut violations)
     } else {
         let trans_suspend = db.transitive_suspends(&adj);
-        db.lock_pass(&trans_locks, &trans_chan, &trans_suspend, &mut violations)
+        let mut nodes: BTreeSet<String> = BTreeSet::new();
+        for f in &db.fns {
+            for step in &f.steps {
+                if let Step::Acquire { lock, .. } = step {
+                    nodes.insert(lock.clone());
+                }
+            }
+        }
+        let mut edges: BTreeMap<(String, String), LockEdge> = BTreeMap::new();
+        let mut lost_acc: Vec<Violation> = Vec::new();
+        let obs = if cache.is_some() {
+            db.observables(&trans_locks, &trans_chan, &trans_suspend)
+        } else {
+            Vec::new()
+        };
+        for (i, adj_i) in adj.iter().enumerate() {
+            let entry = reachable.get(&i).map(|(e, _)| e.clone());
+            let key = cache
+                .as_ref()
+                .map(|c| db.digest_fn(i, &c.fps, &obs, adj_i, entry.as_deref()));
+            let mut replayed: Option<FnGraphResult> = None;
+            if let (Some(c), Some(k)) = (cache.as_deref_mut(), &key) {
+                if let Some(r) = c.old.remove(k) {
+                    c.hits += 1;
+                    replayed = Some(r);
+                } else {
+                    c.misses += 1;
+                }
+            }
+            let result = match replayed {
+                Some(r) => r,
+                None => {
+                    let (v, e) = db.lock_pass_one(i, &trans_locks, &trans_chan, &trans_suspend);
+                    let lost = match &entry {
+                        Some(en) if db.fns[i].steps.iter().any(is_register_step) => {
+                            db.lost_wakeup_one(i, en)
+                        }
+                        _ => Vec::new(),
+                    };
+                    FnGraphResult {
+                        violations: v,
+                        edges: e,
+                        lost,
+                    }
+                }
+            };
+            violations.extend(result.violations.iter().cloned());
+            lost_acc.extend(result.lost.iter().cloned());
+            for e in &result.edges {
+                edges
+                    .entry((e.from.clone(), e.to.clone()))
+                    .or_insert_with(|| e.clone());
+            }
+            if let (Some(c), Some(k)) = (cache.as_deref_mut(), key) {
+                c.fresh.insert(k, result);
+            }
+        }
+        violations.extend(lost_acc);
+        (nodes.into_iter().collect(), edges.into_values().collect())
     };
     let lock_cycles = cycle_pass(&lock_nodes, &lock_edges, &mut violations);
     let channels = db.channel_pass(&mut violations);
-    let reachable = db.pump_reachable(&adj);
     db.blocking_pass(&reachable, &mut violations);
-    if !legacy_flow {
-        db.lost_wakeup_pass(&reachable, &mut violations);
-    }
     GraphAnalysis {
         violations,
         graphs: Graphs {
@@ -438,17 +560,23 @@ struct Db<'a> {
     fns: Vec<&'a FnFact>,
     quals: Vec<String>,
     rank: Vec<u32>,
+    /// Ordinal of each function within its defining file — part of the
+    /// cache key digest, so two same-qual functions in one file never
+    /// share an entry.
+    ord_in_file: Vec<u32>,
     by_name: BTreeMap<&'a str, Vec<usize>>,
     structs: BTreeMap<&'a str, &'a StructFact>,
 }
 
 impl<'a> Db<'a> {
-    fn build(files: &'a [FileFacts]) -> Self {
+    fn build(files: &[&'a FileFacts]) -> Self {
         let mut fns = Vec::new();
+        let mut ord_in_file = Vec::new();
         let mut structs: BTreeMap<&str, &StructFact> = BTreeMap::new();
         for file in files {
-            for f in &file.fns {
+            for (ord, f) in file.fns.iter().enumerate() {
                 fns.push(f);
+                ord_in_file.push(ord as u32);
             }
             for s in &file.structs {
                 structs.entry(s.name.as_str()).or_insert(s);
@@ -464,77 +592,191 @@ impl<'a> Db<'a> {
             fns,
             quals,
             rank,
+            ord_in_file,
             by_name,
             structs,
         }
     }
 
-    /// Functions named `name` implemented on / for the type or trait `ty`.
-    fn typed(&self, ty: &str, name: &str) -> Vec<usize> {
-        self.by_name
-            .get(name)
-            .map(|c| {
-                c.iter()
-                    .copied()
-                    .filter(|&i| {
-                        self.fns[i].self_type.as_deref() == Some(ty)
-                            || self.fns[i].trait_name.as_deref() == Some(ty)
-                    })
-                    .collect()
+    /// The dependency digest deciding whether a cached per-function
+    /// result is replayable. It folds in everything
+    /// [`Db::lock_pass_one`] / [`Db::lost_wakeup_one`] can observe:
+    ///
+    /// * the function's own body — via its file's content fingerprint
+    ///   plus its ordinal in the file (distinguishing same-qual twins);
+    /// * its pump-reachability entry point (message text + whether the
+    ///   lost-wakeup pass runs at all);
+    /// * for every `Call` step, each resolved callee's observables:
+    ///   qual (violation messages embed it), transitive lock set,
+    ///   channel-op and may-suspend summaries, the same-self-type flag
+    ///   (depth-1 re-entry), and its direct acquire list.
+    ///
+    /// A change anywhere in a callee that alters any of these flips the
+    /// digest of every (transitive) caller that can observe it — the
+    /// dirty region is exactly the affected call-graph cone, while
+    /// callers whose observed summaries are unchanged keep their hits.
+    #[allow(clippy::too_many_arguments)]
+    /// One hash per function summarizing everything a *caller's*
+    /// analysis can observe about it: qualified name, transitive
+    /// lock/channel/suspend summaries, `self` type and own acquire
+    /// sites. Computed once per run so [`Db::digest_fn`] folds a single
+    /// u64 per resolved callee instead of re-hashing lock sets.
+    fn observables(
+        &self,
+        trans_locks: &[BTreeSet<String>],
+        trans_chan: &[bool],
+        trans_suspend: &[bool],
+    ) -> Vec<u64> {
+        (0..self.fns.len())
+            .map(|j| {
+                let mut h = crate::cache::Fnv::new();
+                h.str(&self.quals[j]);
+                let locks = &trans_locks[j];
+                h.u32(locks.len() as u32);
+                for l in locks {
+                    h.str(l);
+                }
+                h.bool(trans_chan[j]);
+                h.bool(trans_suspend[j]);
+                match self.fns[j].self_type.as_deref() {
+                    Some(t) => {
+                        h.u8(1);
+                        h.str(t);
+                    }
+                    None => h.u8(0),
+                }
+                for step in &self.fns[j].steps {
+                    if let Step::Acquire { lock, .. } = step {
+                        h.str(lock);
+                    }
+                }
+                h.u8(0xFE); // acquire-list terminator
+                h.finish()
             })
-            .unwrap_or_default()
+            .collect()
+    }
+
+    /// Dependency digest of function `i`: covers its own body (file
+    /// fingerprint + ordinal), its entry-point classification, its own
+    /// `self` type and every resolved callee's observable summary —
+    /// exactly the inputs `lock_pass_one`/`lost_wakeup_one` read, so an
+    /// equal digest guarantees a byte-identical result. (Hashing both
+    /// sides' `self` types is a sound over-approximation of the
+    /// same-self-type comparison the pass performs; hashing the
+    /// *deduplicated* adjacency rather than per-site resolution is too —
+    /// a callee's per-site contribution is its observable summary, which
+    /// is identical at every site, and the sites themselves are covered
+    /// by the file fingerprint.)
+    fn digest_fn(
+        &self,
+        i: usize,
+        fps: &BTreeMap<String, u64>,
+        obs: &[u64],
+        adj_i: &[CallEdge],
+        entry: Option<&str>,
+    ) -> u64 {
+        let f = self.fns[i];
+        let mut h = crate::cache::Fnv::new();
+        h.u64(fps.get(&f.file).copied().unwrap_or(0));
+        // The defining *path* too, not just the content fingerprint:
+        // violations embed it, and two identical-content files share a
+        // fingerprint. With path + ordinal + qual folded in, the digest
+        // identifies the function, so it serves as the whole cache key.
+        h.str(&f.file);
+        h.u32(self.ord_in_file[i]);
+        h.str(&self.quals[i]);
+        match entry {
+            Some(e) => {
+                h.u8(1);
+                h.str(e);
+            }
+            None => h.u8(0),
+        }
+        match f.self_type.as_deref() {
+            Some(t) => {
+                h.u8(1);
+                h.str(t);
+            }
+            None => h.u8(0),
+        }
+        h.u32(adj_i.len() as u32);
+        for e in adj_i {
+            h.u64(obs[e.callee]);
+        }
+        h.finish()
+    }
+
+    /// Functions named `name` implemented on / for the type or trait
+    /// `ty`, into a cleared caller buffer.
+    fn typed_into(&self, ty: &str, name: &str, out: &mut Vec<usize>) {
+        out.clear();
+        self.typed_append(ty, name, out);
+    }
+
+    /// The same type/trait filter, appended (for multi-type unions).
+    fn typed_append(&self, ty: &str, name: &str, out: &mut Vec<usize>) {
+        if let Some(c) = self.by_name.get(name) {
+            out.extend(c.iter().copied().filter(|&i| {
+                self.fns[i].self_type.as_deref() == Some(ty)
+                    || self.fns[i].trait_name.as_deref() == Some(ty)
+            }));
+        }
     }
 
     /// Name fallback for receivers we cannot type: every same-named
     /// function in a crate the caller's crate may depend on. Ubiquitous
     /// std-collection names are excluded — they would only add noise.
-    fn fallback(&self, caller: usize, name: &str) -> Vec<usize> {
+    fn fallback_into(&self, caller: usize, name: &str, out: &mut Vec<usize>) {
         if UBIQUITOUS_METHODS.contains(&name) {
-            return Vec::new();
+            return;
         }
-        self.by_name
-            .get(name)
-            .map(|c| {
+        if let Some(c) = self.by_name.get(name) {
+            out.extend(
                 c.iter()
                     .copied()
-                    .filter(|&i| self.rank[i] <= self.rank[caller])
-                    .collect()
-            })
-            .unwrap_or_default()
+                    .filter(|&i| self.rank[i] <= self.rank[caller]),
+            );
+        }
     }
 
     /// Resolve one call target to workspace function indices. Empty means
     /// external: the call leaves the analyzed code.
     fn resolve(&self, caller: usize, target: &CallTarget) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.resolve_into(caller, target, &mut out);
+        out
+    }
+
+    /// [`Db::resolve`] into a caller-owned buffer (cleared first), so the
+    /// adjacency construction — one resolution per call site, every run —
+    /// does not allocate per site.
+    fn resolve_into(&self, caller: usize, target: &CallTarget, out: &mut Vec<usize>) {
+        out.clear();
         match target {
             CallTarget::Qualified { ty, name } => {
                 let ty = if ty == "Self" {
                     match self.fns[caller].self_type.as_deref() {
                         Some(t) => t,
-                        None => return Vec::new(),
+                        None => return,
                     }
                 } else {
                     ty.as_str()
                 };
-                self.typed(ty, name)
+                self.typed_into(ty, name, out);
             }
-            CallTarget::Bare { name } => self
-                .by_name
-                .get(name.as_str())
-                .map(|c| {
-                    c.iter()
-                        .copied()
-                        .filter(|&i| {
-                            self.fns[i].self_type.is_none() && self.rank[i] <= self.rank[caller]
-                        })
-                        .collect()
-                })
-                .unwrap_or_default(),
+            CallTarget::Bare { name } => {
+                if let Some(c) = self.by_name.get(name.as_str()) {
+                    out.extend(c.iter().copied().filter(|&i| {
+                        self.fns[i].self_type.is_none() && self.rank[i] <= self.rank[caller]
+                    }));
+                }
+            }
             CallTarget::Method { name, base } => match base {
-                Base::SelfOnly => match self.fns[caller].self_type.as_deref() {
-                    Some(t) => self.typed(t, name),
-                    None => Vec::new(),
-                },
+                Base::SelfOnly => {
+                    if let Some(t) = self.fns[caller].self_type.as_deref() {
+                        self.typed_into(t, name, out);
+                    }
+                }
                 Base::SelfField(field) => {
                     if let Some(t) = self.fns[caller].self_type.as_deref() {
                         if let Some(s) = self.structs.get(t) {
@@ -542,17 +784,18 @@ impl<'a> Db<'a> {
                                 // Known struct, known field: resolve only
                                 // through the field's type idents. Empty
                                 // is a *definitive* external.
-                                let mut out: Vec<usize> =
-                                    idents.iter().flat_map(|id| self.typed(id, name)).collect();
+                                for id in idents {
+                                    self.typed_append(id, name, out);
+                                }
                                 out.sort_unstable();
                                 out.dedup();
-                                return out;
+                                return;
                             }
                         }
                     }
-                    self.fallback(caller, name)
+                    self.fallback_into(caller, name, out);
                 }
-                Base::Local(_) | Base::Complex => self.fallback(caller, name),
+                Base::Local(_) | Base::Complex => self.fallback_into(caller, name, out),
             },
         }
     }
@@ -560,10 +803,12 @@ impl<'a> Db<'a> {
     /// Resolved, per-callee-deduplicated adjacency (first call site wins).
     fn call_edges(&self) -> Vec<Vec<CallEdge>> {
         let mut adj: Vec<Vec<CallEdge>> = vec![Vec::new(); self.fns.len()];
+        let mut buf = Vec::new();
         for (i, f) in self.fns.iter().enumerate() {
             for step in &f.steps {
                 if let Step::Call { target, .. } = step {
-                    for callee in self.resolve(i, target) {
+                    self.resolve_into(i, target, &mut buf);
+                    for &callee in &buf {
                         if !adj[i].iter().any(|e| e.callee == callee) {
                             adj[i].push(CallEdge { callee });
                         }
@@ -782,27 +1027,36 @@ impl<'a> Db<'a> {
         susp
     }
 
-    /// CFG-based guard-liveness pass: solve a *may*-dataflow (one fact
-    /// per acquire site) over each function's CFG, then re-walk every
-    /// block from its fixpoint in-state to emit lock-order edges and the
-    /// `no-lock-across-send` / `guard-across-suspend` /
+    /// CFG-based guard-liveness pass for ONE function: solve a
+    /// *may*-dataflow (one fact per acquire site) over its CFG, then
+    /// re-walk every block from its fixpoint in-state to emit lock-order
+    /// edges and the `no-lock-across-send` / `guard-across-suspend` /
     /// `double-lock-path` violations. May-join means a guard dropped on
-    /// only one branch is still live after the merge.
-    fn lock_pass(
+    /// only one branch is still live after the merge. Pure in the
+    /// function's own facts plus its resolved callees' summaries —
+    /// exactly what [`Db::digest_fn`] fingerprints — so the result is
+    /// replayable from the graph cache.
+    fn lock_pass_one(
         &self,
+        i: usize,
         trans_locks: &[BTreeSet<String>],
         trans_chan: &[bool],
         trans_suspend: &[bool],
-        out: &mut Vec<Violation>,
-    ) -> (Vec<String>, Vec<LockEdge>) {
-        let mut nodes: BTreeSet<String> = BTreeSet::new();
-        let mut edges: BTreeMap<(String, String), LockEdge> = BTreeMap::new();
-        for (i, f) in self.fns.iter().enumerate() {
-            for step in &f.steps {
-                if let Step::Acquire { lock, .. } = step {
-                    nodes.insert(lock.clone());
+    ) -> (Vec<Violation>, Vec<LockEdge>) {
+        let mut out: Vec<Violation> = Vec::new();
+        // First-attempt order with per-pair dedup: the driver's global
+        // `or_insert` merge then reproduces the full-run "first edge
+        // wins" semantics across functions.
+        let mut edges: Vec<LockEdge> = Vec::new();
+        let mut seen: BTreeSet<(String, String)> = BTreeSet::new();
+        let add_edge =
+            |edges: &mut Vec<LockEdge>, seen: &mut BTreeSet<(String, String)>, e: LockEdge| {
+                if seen.insert((e.from.clone(), e.to.clone())) {
+                    edges.push(e);
                 }
-            }
+            };
+        {
+            let f = self.fns[i];
             // One dataflow fact per acquire site in this function.
             let acquires: Vec<usize> = f
                 .steps
@@ -812,7 +1066,7 @@ impl<'a> Db<'a> {
                 .map(|(idx, _)| idx)
                 .collect();
             if acquires.is_empty() {
-                continue;
+                return (out, edges);
             }
             let nfacts = acquires.len();
             let acq_fields = |si: usize| -> (&str, &str, u32) {
@@ -894,15 +1148,17 @@ impl<'a> Db<'a> {
                                 if held == lock {
                                     continue;
                                 }
-                                edges
-                                    .entry((held.to_string(), lock.clone()))
-                                    .or_insert_with(|| LockEdge {
+                                add_edge(
+                                    &mut edges,
+                                    &mut seen,
+                                    LockEdge {
                                         from: held.to_string(),
                                         to: lock.clone(),
                                         file: f.file.clone(),
                                         line: *line,
                                         via: None,
-                                    });
+                                    },
+                                );
                             }
                         }
                         Step::Send {
@@ -968,15 +1224,17 @@ impl<'a> Db<'a> {
                                     for bit in state.iter_ones() {
                                         let held = acq_fields(acquires[bit]).0;
                                         if held != inner {
-                                            edges
-                                                .entry((held.to_string(), inner.clone()))
-                                                .or_insert_with(|| LockEdge {
+                                            add_edge(
+                                                &mut edges,
+                                                &mut seen,
+                                                LockEdge {
                                                     from: held.to_string(),
                                                     to: inner.clone(),
                                                     file: f.file.clone(),
                                                     line: *line,
                                                     via: Some(self.quals[callee].clone()),
-                                                });
+                                                },
+                                            );
                                         }
                                     }
                                 }
@@ -1069,7 +1327,7 @@ impl<'a> Db<'a> {
                 }
             }
         }
-        (nodes.into_iter().collect(), edges.into_values().collect())
+        (out, edges)
     }
 
     /// Build the channel topology and flag channels with senders but no
@@ -1286,72 +1544,66 @@ impl<'a> Db<'a> {
         }
     }
 
-    /// `lost-wakeup`: in pump/worker loops, a state check that precedes
-    /// waker registration on some path into a suspension point. Between
-    /// the check and the registration a producer can enqueue and notify;
-    /// the notification hits no registered waker and the consumer parks
-    /// on stale state. Two-bit may-dataflow per function: C = "a check
-    /// has happened", S = "the most recent check precedes the most
-    /// recent registration" (stale). Only functions reachable from
-    /// [`PUMP_ENTRY_POINTS`] that register a waker are analyzed, and
-    /// only suspension points inside loops flag.
-    fn lost_wakeup_pass(
-        &self,
-        visited: &BTreeMap<usize, (String, Vec<usize>)>,
-        out: &mut Vec<Violation>,
-    ) {
+    /// `lost-wakeup` for ONE function: in pump/worker loops, a state
+    /// check that precedes waker registration on some path into a
+    /// suspension point. Between the check and the registration a
+    /// producer can enqueue and notify; the notification hits no
+    /// registered waker and the consumer parks on stale state. Two-bit
+    /// may-dataflow: C = "a state check has happened", S = "the most
+    /// recent check precedes the most recent registration" (stale). The
+    /// driver calls this only for functions reachable from
+    /// [`PUMP_ENTRY_POINTS`] (`entry` is the reaching entry point) that
+    /// register a waker; only suspension points inside loops flag.
+    fn lost_wakeup_one(&self, i: usize, entry: &str) -> Vec<Violation> {
         const C: usize = 0; // a state check has happened
         const S: usize = 1; // that check is stale (register came after)
-        for (&i, (entry, _)) in visited {
-            let f = self.fns[i];
-            if !f.steps.iter().any(is_register_step) {
-                continue;
+        let mut out = Vec::new();
+        let f = self.fns[i];
+        let cfg = Cfg::build(f);
+        let apply = |state: &mut BitSet, step: &Step| {
+            if is_check_step(step) {
+                state.set(C);
+                state.clear(S);
+            } else if is_register_step(step) && state.get(C) {
+                state.set(S);
             }
-            let cfg = Cfg::build(f);
-            let apply = |state: &mut BitSet, step: &Step| {
-                if is_check_step(step) {
-                    state.set(C);
-                    state.clear(S);
-                } else if is_register_step(step) && state.get(C) {
-                    state.set(S);
+        };
+        let ins = solve(
+            cfg.blocks.len(),
+            &cfg.succs,
+            cfg.entry,
+            2,
+            Merge::May,
+            &BitSet::empty(2),
+            &mut |b, state| {
+                for &si in &cfg.blocks[b] {
+                    apply(state, &f.steps[si]);
                 }
-            };
-            let ins = solve(
-                cfg.blocks.len(),
-                &cfg.succs,
-                cfg.entry,
-                2,
-                Merge::May,
-                &BitSet::empty(2),
-                &mut |b, state| {
-                    for &si in &cfg.blocks[b] {
-                        apply(state, &f.steps[si]);
-                    }
-                },
-            );
-            for (b, block) in cfg.blocks.iter().enumerate() {
-                let mut state = ins[b].clone();
-                for &si in block {
-                    let step = &f.steps[si];
-                    if cfg.in_loop[b] && is_suspension(step) && state.get(S) {
-                        let (what, line, col) = suspension_site(step);
-                        out.push(Violation {
-                            rule: LOST_WAKEUP,
-                            file: f.file.clone(),
-                            line,
-                            col,
-                            message: format!(
-                                "suspension point `{what}` in a loop reachable from `{entry}` \
-                                 can miss a wakeup: on some path the state check happens before \
-                                 the waker is registered, so a notification between them is \
-                                 lost — register first, re-check, then suspend"
-                            ),
-                        });
-                    }
-                    apply(&mut state, step);
+            },
+        );
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            let mut state = ins[b].clone();
+            for &si in block {
+                let step = &f.steps[si];
+                if cfg.in_loop[b] && is_suspension(step) && state.get(S) {
+                    let (what, line, col) = suspension_site(step);
+                    out.push(Violation {
+                        rule: LOST_WAKEUP,
+                        file: f.file.clone(),
+                        line,
+                        col,
+                        message: format!(
+                            "suspension point `{what}` in a loop reachable from `{entry}` \
+                             can miss a wakeup: on some path the state check happens before \
+                             the waker is registered, so a notification between them is \
+                             lost — register first, re-check, then suspend"
+                        ),
+                    });
                 }
+                apply(&mut state, step);
             }
         }
+        out
     }
 
     /// Per-function CFG exports for the pump entry points.

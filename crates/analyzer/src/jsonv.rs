@@ -1,0 +1,264 @@
+//! A minimal JSON reader for `--baseline` report loading.
+//!
+//! The analyzer is dependency-free by design, and the only JSON it ever
+//! *reads* is its own `--json` output, so this parser supports exactly
+//! RFC 8259 — objects, arrays, strings (with escapes), numbers, bools,
+//! null — with no extensions and no serde. Errors carry a byte offset
+//! for diagnostics.
+
+/// A parsed JSON value. Object keys keep insertion order (the report
+/// schema is ordered); duplicate keys keep the first occurrence on
+/// lookup.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (the report only emits unsigned integers).
+    Num(f64),
+    /// String with escapes resolved.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// String payload.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array payload.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as u32 (what line/col fields hold).
+    pub fn as_u32(&self) -> Option<u32> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && *n <= u32::MAX as f64 && n.fract() == 0.0 => {
+                Some(*n as u32)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document; trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let b = text.as_bytes();
+    let mut i = 0usize;
+    let v = value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing data at byte {i}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn value(b: &[u8], i: &mut usize) -> Result<Json, String> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *i += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b'}') {
+                *i += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, i);
+                let key = match b.get(*i) {
+                    Some(b'"') => string(b, i)?,
+                    _ => return Err(format!("expected object key at byte {i}")),
+                };
+                skip_ws(b, i);
+                if b.get(*i) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {i}"));
+                }
+                *i += 1;
+                pairs.push((key, value(b, i)?));
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b'}') => {
+                        *i += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {i}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *i += 1;
+            let mut items = Vec::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b']') {
+                *i += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(value(b, i)?);
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b']') => {
+                        *i += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {i}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(string(b, i)?)),
+        Some(b't') => lit(b, i, "true", Json::Bool(true)),
+        Some(b'f') => lit(b, i, "false", Json::Bool(false)),
+        Some(b'n') => lit(b, i, "null", Json::Null),
+        Some(_) => number(b, i),
+    }
+}
+
+fn lit(b: &[u8], i: &mut usize, word: &str, v: Json) -> Result<Json, String> {
+    if b[*i..].starts_with(word.as_bytes()) {
+        *i += word.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {i}"))
+    }
+}
+
+fn number(b: &[u8], i: &mut usize) -> Result<Json, String> {
+    let start = *i;
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    while *i < b.len() && matches!(b[*i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *i += 1;
+    }
+    let s = std::str::from_utf8(&b[start..*i]).map_err(|_| "bad number".to_string())?;
+    s.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number `{s}` at byte {start}"))
+}
+
+fn string(b: &[u8], i: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(b.get(*i), Some(&b'"'));
+    *i += 1;
+    let mut out = String::new();
+    let mut chunk_start = *i;
+    while *i < b.len() {
+        match b[*i] {
+            b'"' => {
+                out.push_str(
+                    std::str::from_utf8(&b[chunk_start..*i])
+                        .map_err(|_| "invalid utf-8 in string".to_string())?,
+                );
+                *i += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                out.push_str(
+                    std::str::from_utf8(&b[chunk_start..*i])
+                        .map_err(|_| "invalid utf-8 in string".to_string())?,
+                );
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*i + 1..*i + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| format!("truncated \\u escape at byte {i}"))?;
+                        let cp = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {i}"))?;
+                        // Surrogate pairs: the report escaper never emits
+                        // them (it only escapes control chars), so a lone
+                        // surrogate degrades to the replacement char.
+                        out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                        *i += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {i}")),
+                }
+                *i += 1;
+                chunk_start = *i;
+            }
+            _ => *i += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_report_shapes() {
+        let v = parse(
+            r#"{ "tool": "mdbs-lint", "total_violations": 2,
+                 "violations": [
+                   { "rule": "no-panic-in-scheduler", "file": "a.rs", "line": 3, "col": 1,
+                     "message": "a \"quoted\" message\nwith newline" },
+                   { "rule": "stale-allow", "file": "b.rs", "line": 9, "col": 1, "message": "m" }
+                 ] }"#,
+        )
+        .expect("parse");
+        assert_eq!(v.get("tool").and_then(Json::as_str), Some("mdbs-lint"));
+        let arr = v.get("violations").and_then(Json::as_arr).expect("arr");
+        assert_eq!(arr.len(), 2);
+        assert_eq!(
+            arr[0].get("message").and_then(Json::as_str),
+            Some("a \"quoted\" message\nwith newline")
+        );
+        assert_eq!(arr[1].get("line").and_then(Json::as_u32), Some(9));
+    }
+
+    #[test]
+    fn roundtrips_the_escaper() {
+        let nasty = "tab\t quote\" back\\ nl\n ctrl\u{0001} em—dash";
+        let doc = format!("{{ \"k\": {} }}", crate::report::json_str(nasty));
+        let v = parse(&doc).expect("parse");
+        assert_eq!(v.get("k").and_then(Json::as_str), Some(nasty));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("{}extra").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+}

@@ -96,6 +96,65 @@ pub const RULES: [&str; 11] = [
     LOST_WAKEUP,
 ];
 
+/// Every rule id the analyzer can emit: the suppressible set plus the
+/// three meta-rules. Order matches the SARIF driver catalog.
+pub fn all_rules() -> Vec<&'static str> {
+    RULES
+        .iter()
+        .copied()
+        .chain([BAD_ALLOW, STALE_ALLOW, PARSE_ERROR])
+        .collect()
+}
+
+/// Map a rule name back to its canonical `&'static str` — the inverse
+/// the fact-database decoder needs to rebuild [`Violation`]s (whose
+/// `rule` field is a static string compared by pointer-free equality).
+pub fn rule_by_name(name: &str) -> Option<&'static str> {
+    all_rules().into_iter().find(|r| *r == name)
+}
+
+/// Diagnostic severity. `stale-allow` is hygiene (the code is clean, a
+/// directive outlived its reason); everything else is a hard invariant.
+/// Ordering is by severity, so `--fail-on` thresholds compare directly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Informational.
+    Note,
+    /// Hygiene problem; the invariant itself still holds.
+    Warning,
+    /// Invariant violation.
+    Error,
+}
+
+/// The severity of one rule's findings.
+pub fn rule_level(rule: &str) -> Level {
+    if rule == STALE_ALLOW {
+        Level::Warning
+    } else {
+        Level::Error
+    }
+}
+
+/// Lowercase level name, as emitted in JSON/SARIF and parsed by
+/// `--fail-on`.
+pub fn level_name(level: Level) -> &'static str {
+    match level {
+        Level::Note => "note",
+        Level::Warning => "warning",
+        Level::Error => "error",
+    }
+}
+
+/// Parse a `--fail-on` threshold.
+pub fn parse_level(s: &str) -> Option<Level> {
+    match s {
+        "note" => Some(Level::Note),
+        "warning" => Some(Level::Warning),
+        "error" => Some(Level::Error),
+        _ => None,
+    }
+}
+
 /// One-line rule description, emitted into the SARIF `rules` array.
 pub fn rule_description(rule: &str) -> &'static str {
     match rule {
@@ -170,39 +229,162 @@ pub fn analyze(files: &[SourceFile], readme: Option<&str>) -> Analysis {
     analyze_with(files, readme, AnalyzeOptions::default())
 }
 
-/// Analyze a set of sources plus the README: the per-file token rules,
-/// then the interprocedural graph pass over the extracted facts. Allow
-/// directives suppress graph-rule violations at the reported site
-/// exactly like per-file ones; well-formed directives that suppressed
-/// nothing anywhere are reported as `stale-allow`.
+/// Analyze a set of sources plus the README: run the pure per-file
+/// front end on every source, then [`aggregate`]. The serial,
+/// cache-free entry point fixture tests use.
 pub fn analyze_with(files: &[SourceFile], readme: Option<&str>, opts: AnalyzeOptions) -> Analysis {
+    let artifacts: Vec<FileArtifacts> = files.iter().map(frontend).collect();
+    aggregate(&artifacts, readme, opts, None)
+}
+
+/// An allow directive's effect, stripped of its hit counter: the rule it
+/// suppresses and the (inclusive) line span it covers. Pure front-end
+/// output — hit counting happens at aggregation, where the final set of
+/// violations exists.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowSpan {
+    /// Suppressed rule id.
+    pub rule: String,
+    /// Directive line (first covered line).
+    pub first: u32,
+    /// Last covered line.
+    pub last: u32,
+}
+
+/// One literal metric registration site. Cross-file uniqueness and the
+/// README check replay these at aggregation in file order, so per-file
+/// results stay position-independent (and cacheable).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricReg {
+    /// Metric name literal.
+    pub name: String,
+    /// Implied kind (`counter`/`gauge`/`histogram`).
+    pub kind: String,
+    /// 1-based registration line.
+    pub line: u32,
+    /// 1-based registration column.
+    pub col: u32,
+}
+
+/// Everything the per-file front end produces for one source file — a
+/// pure function of `(path, contents)`, which is what makes it
+/// content-addressable in the on-disk fact database
+/// ([`crate::cache`]).
+#[derive(Clone, Debug)]
+pub struct FileArtifacts {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// FNV-1a fingerprint of the file contents.
+    pub fingerprint: u64,
+    /// Per-file violations *before* allow filtering (includes
+    /// `bad-allow` and `parse-error`, which filtering never removes).
+    pub raw: Vec<Violation>,
+    /// Allow-directive spans, in directive order.
+    pub allows: Vec<AllowSpan>,
+    /// Literal metric registration sites, in token order.
+    pub metrics: Vec<MetricReg>,
+    /// Extracted function/struct facts for the interprocedural pass.
+    pub facts: crate::facts::FileFacts,
+}
+
+/// The pure per-file front end: lex → strip test items → allow
+/// directives → token rules → token-tree parse → fact extraction.
+/// Depends on nothing but the one file, so its output is cached under
+/// the file's content fingerprint and computed on a worker pool.
+pub fn frontend(file: &SourceFile) -> FileArtifacts {
+    let fingerprint = crate::cache::fingerprint(&file.source);
+    let lexed = lex(&file.source);
+    let tokens = strip_test_items(&lexed.tokens);
+    let mut raw = Vec::new();
+    let allows = parse_allow_spans(&file.path, &lexed.comments, &tokens, &mut raw);
+
+    if in_scheduler_scope(&file.path) {
+        rule_no_panic(&file.path, &tokens, &mut raw);
+    }
+    rule_silent_send_drop(&file.path, &tokens, &mut raw);
+    let metrics = collect_metric_regs(&tokens);
+    if file.path.starts_with("crates/core/src/") {
+        rule_exhaustive_match(&file.path, &tokens, &mut raw);
+    }
+
+    // Token-tree parse + fact extraction for the graph pass. Delimiter
+    // imbalance degrades to a diagnostic, never a panic.
+    let parsed = crate::parser::parse(&tokens);
+    let facts = crate::facts::extract(&file.path, &parsed.trees, parsed.errors);
+    for e in &facts.parse_errors {
+        raw.push(Violation {
+            rule: PARSE_ERROR,
+            file: file.path.clone(),
+            line: e.line.max(1),
+            col: e.col.max(1),
+            message: format!(
+                "delimiter imbalance: {} — graph analyses may be incomplete for this file",
+                e.message
+            ),
+        });
+    }
+
+    FileArtifacts {
+        path: file.path.clone(),
+        fingerprint,
+        raw,
+        allows,
+        metrics,
+        facts,
+    }
+}
+
+/// The aggregation stage: allow filtering (with fresh hit counters),
+/// cross-file metric replay + README check, the interprocedural graph
+/// pass (optionally through a per-function result cache), graph-rule
+/// suppression and stale-allow detection. Deterministic in the
+/// artifacts' order and content only — never in where they came from
+/// (fresh front-end run, worker thread, or the on-disk fact database).
+pub fn aggregate(
+    files: &[FileArtifacts],
+    readme: Option<&str>,
+    opts: AnalyzeOptions,
+    graph_cache: Option<&mut crate::graph::GraphCacheCtx>,
+) -> Analysis {
     let mut violations = Vec::new();
+    let allows: Vec<AllowDirectives> = files
+        .iter()
+        .map(|a| AllowDirectives::from_spans(&a.allows))
+        .collect();
+    for (art, allow) in files.iter().zip(&allows) {
+        for v in &art.raw {
+            // The meta-rules bypass suppression: a bad directive or a
+            // parse failure cannot be allowed away.
+            if v.rule == BAD_ALLOW || v.rule == PARSE_ERROR || !allow.suppresses(v.rule, v.line) {
+                violations.push(v.clone());
+            }
+        }
+    }
     let mut metrics = MetricTable::default();
-    let mut allows: Vec<(String, AllowDirectives)> = Vec::new();
-    let mut facts: Vec<crate::facts::FileFacts> = Vec::new();
-    for f in files {
-        let allow = analyze_file(f, &mut violations, &mut metrics, &mut facts);
-        allows.push((f.path.clone(), allow));
+    for art in files {
+        metrics.replay(&art.path, &art.metrics);
     }
     if let Some(text) = readme {
         metrics.check_against_readme(text, &mut violations);
     }
-    let graph = crate::graph::analyze_graph_with(&facts, opts.legacy_flow);
+    let fact_refs: Vec<&crate::facts::FileFacts> = files.iter().map(|a| &a.facts).collect();
+    let graph = crate::graph::analyze_graph_incremental(&fact_refs, opts.legacy_flow, graph_cache);
     for v in graph.violations {
-        let suppressed = allows
+        let suppressed = files
             .iter()
-            .any(|(path, a)| *path == v.file && a.suppresses(v.rule, v.line));
+            .zip(&allows)
+            .any(|(art, a)| art.path == v.file && a.suppresses(v.rule, v.line));
         if !suppressed {
             violations.push(v);
         }
     }
     if !opts.legacy_flow {
-        for (path, a) in &allows {
+        for (art, a) in files.iter().zip(&allows) {
             for e in &a.entries {
                 if e.hits.get() == 0 {
                     violations.push(Violation {
                         rule: STALE_ALLOW,
-                        file: path.clone(),
+                        file: art.path.clone(),
                         line: e.first,
                         col: 1,
                         message: format!(
@@ -222,52 +404,6 @@ pub fn analyze_with(files: &[SourceFile], readme: Option<&str>, opts: AnalyzeOpt
         violations,
         graphs: graph.graphs,
     }
-}
-
-fn analyze_file(
-    file: &SourceFile,
-    out: &mut Vec<Violation>,
-    metrics: &mut MetricTable,
-    facts: &mut Vec<crate::facts::FileFacts>,
-) -> AllowDirectives {
-    let lexed = lex(&file.source);
-    let tokens = strip_test_items(&lexed.tokens);
-    let allows = AllowDirectives::parse(&file.path, &lexed.comments, &tokens, out);
-
-    let mut raw = Vec::new();
-    if in_scheduler_scope(&file.path) {
-        rule_no_panic(&file.path, &tokens, &mut raw);
-    }
-    rule_silent_send_drop(&file.path, &tokens, &mut raw);
-    metrics.collect(&file.path, &tokens);
-    if file.path.starts_with("crates/core/src/") {
-        rule_exhaustive_match(&file.path, &tokens, &mut raw);
-    }
-
-    // Token-tree parse + fact extraction for the graph pass. Delimiter
-    // imbalance degrades to a diagnostic, never a panic.
-    let parsed = crate::parser::parse(&tokens);
-    let file_facts = crate::facts::extract(&file.path, &parsed.trees, parsed.errors);
-    for e in &file_facts.parse_errors {
-        out.push(Violation {
-            rule: PARSE_ERROR,
-            file: file.path.clone(),
-            line: e.line.max(1),
-            col: e.col.max(1),
-            message: format!(
-                "delimiter imbalance: {} — graph analyses may be incomplete for this file",
-                e.message
-            ),
-        });
-    }
-    facts.push(file_facts);
-
-    for v in raw {
-        if !allows.suppresses(v.rule, v.line) {
-            out.push(v);
-        }
-    }
-    allows
 }
 
 /// `no-panic-in-scheduler` applies to the protocol paths only.
@@ -296,8 +432,48 @@ struct AllowDirectives {
 }
 
 impl AllowDirectives {
-    fn parse(path: &str, comments: &[Comment], tokens: &[Token], out: &mut Vec<Violation>) -> Self {
-        let mut entries = Vec::new();
+    /// Rehydrate a directive table (hit counters at zero) from the
+    /// front end's pure spans.
+    fn from_spans(spans: &[AllowSpan]) -> Self {
+        AllowDirectives {
+            entries: spans
+                .iter()
+                .map(|s| AllowEntry {
+                    rule: s.rule.clone(),
+                    first: s.first,
+                    last: s.last,
+                    hits: Cell::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// A line-scoped directive on line N covers violations on lines N
+    /// and N+1; an item-scoped one covers its whole recorded span. Every
+    /// match bumps the entry's hit counter for stale-allow detection.
+    fn suppresses(&self, rule: &str, line: u32) -> bool {
+        let mut hit = false;
+        for e in &self.entries {
+            if e.rule == rule && e.first <= line && line <= e.last {
+                e.hits.set(e.hits.get() + 1);
+                hit = true;
+            }
+        }
+        hit
+    }
+}
+
+/// Parse allow directives out of a file's comments: well-formed,
+/// justified ones become [`AllowSpan`]s; malformed ones push `bad-allow`
+/// into `out`.
+fn parse_allow_spans(
+    path: &str,
+    comments: &[Comment],
+    tokens: &[Token],
+    out: &mut Vec<Violation>,
+) -> Vec<AllowSpan> {
+    let mut entries = Vec::new();
+    {
         for c in comments {
             let Some(pos) = c.text.find("mdbs-lint:") else {
                 continue;
@@ -403,37 +579,21 @@ impl AllowDirectives {
                     .last()
                     .map_or(c.line + 1, |t| t.line)
                     .max(c.line + 1);
-                entries.push(AllowEntry {
+                entries.push(AllowSpan {
                     rule: rule.to_string(),
                     first: c.line,
                     last: last_line,
-                    hits: Cell::new(0),
                 });
             } else {
-                entries.push(AllowEntry {
+                entries.push(AllowSpan {
                     rule: rule.to_string(),
                     first: c.line,
                     last: c.line + 1,
-                    hits: Cell::new(0),
                 });
             }
         }
-        AllowDirectives { entries }
     }
-
-    /// A line-scoped directive on line N covers violations on lines N
-    /// and N+1; an item-scoped one covers its whole recorded span. Every
-    /// match bumps the entry's hit counter for stale-allow detection.
-    fn suppresses(&self, rule: &str, line: u32) -> bool {
-        let mut hit = false;
-        for e in &self.entries {
-            if e.rule == rule && e.first <= line && line <= e.last {
-                e.hits.set(e.hits.get() + 1);
-                hit = true;
-            }
-        }
-        hit
-    }
+    entries
 }
 
 // ---------------------------------------------------------------------------
@@ -744,49 +904,67 @@ struct MetricTable {
     conflicts: Vec<Violation>,
 }
 
+/// Scan one file's tokens for literal metric registrations. The
+/// instrument crate's internal plumbing (`self.inc(name, v)`) and unit
+/// tests use placeholder names; only *literal* names registered by
+/// product code are required to be documented — so this collects
+/// literal sites only, and is a pure function of the token stream.
+fn collect_metric_regs(tokens: &[Token]) -> Vec<MetricReg> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let Some((_, kind)) = METRIC_METHODS.iter().find(|(m, _)| *m == t.text) else {
+            continue;
+        };
+        if i == 0 || !tokens[i - 1].is_punct(".") {
+            continue;
+        }
+        if !tokens.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+            continue;
+        }
+        let Some(arg) = tokens.get(i + 2) else {
+            continue;
+        };
+        if arg.kind != TokKind::Literal || !arg.text.starts_with('"') {
+            continue; // dynamic name (format!/variable) — pattern-documented
+        }
+        out.push(MetricReg {
+            name: arg.text.trim_matches('"').to_string(),
+            kind: kind.to_string(),
+            line: t.line,
+            col: t.col,
+        });
+    }
+    out
+}
+
 impl MetricTable {
-    fn collect(&mut self, path: &str, tokens: &[Token]) {
-        // The instrument crate itself defines the Registry: its internal
-        // plumbing (`self.inc(name, v)`) and unit tests use placeholder
-        // names; only *literal* names registered by product code are
-        // required to be documented.
-        for (i, t) in tokens.iter().enumerate() {
-            if t.kind != TokKind::Ident {
-                continue;
-            }
-            let Some((_, kind)) = METRIC_METHODS.iter().find(|(m, _)| *m == t.text) else {
-                continue;
-            };
-            if i == 0 || !tokens[i - 1].is_punct(".") {
-                continue;
-            }
-            if !tokens.get(i + 1).is_some_and(|n| n.is_punct("(")) {
-                continue;
-            }
-            let Some(arg) = tokens.get(i + 2) else {
-                continue;
-            };
-            if arg.kind != TokKind::Literal || !arg.text.starts_with('"') {
-                continue; // dynamic name (format!/variable) — pattern-documented
-            }
-            let name = arg.text.trim_matches('"').to_string();
-            match self.registered.get(&name) {
-                Some((prev_kind, prev_file, prev_line)) if prev_kind != kind => {
+    /// Replay one file's registration sites into the cross-file table.
+    /// Files replay in workspace order, so "first registration wins"
+    /// and kind-conflict attribution are identical to a single-pass
+    /// scan — regardless of which artifacts came from the cache.
+    fn replay(&mut self, path: &str, regs: &[MetricReg]) {
+        for r in regs {
+            match self.registered.get(&r.name) {
+                Some((prev_kind, prev_file, prev_line)) if *prev_kind != r.kind => {
                     self.conflicts.push(Violation {
                         rule: METRIC_DOCS_SYNC,
                         file: path.to_string(),
-                        line: t.line,
-                        col: t.col,
+                        line: r.line,
+                        col: r.col,
                         message: format!(
-                            "metric `{name}` registered as {kind} here but as {prev_kind} at \
-                             {prev_file}:{prev_line} — one name, one kind"
+                            "metric `{}` registered as {} here but as {prev_kind} at \
+                             {prev_file}:{prev_line} — one name, one kind",
+                            r.name, r.kind
                         ),
                     });
                 }
                 Some(_) => {}
                 None => {
                     self.registered
-                        .insert(name, (kind.to_string(), path.to_string(), t.line));
+                        .insert(r.name.clone(), (r.kind.clone(), path.to_string(), r.line));
                 }
             }
         }

@@ -528,6 +528,60 @@ pub fn publish(state: &std::sync::Mutex<u64>, tx: &std::sync::mpsc::Sender<u64>)
 }
 
 #[test]
+fn used_item_scoped_allow_is_not_stale() {
+    // The item-scoped directive suppresses real findings inside its
+    // span, so it must not be flagged as stale.
+    let src = "\
+// mdbs-lint: allow(no-panic-in-scheduler, scope=item) — fixture: slots are pre-grown.
+pub fn covered(rows: &mut [u32], slot: usize) -> u32 {
+    rows[slot] + rows[slot + 1]
+}
+";
+    let report = run_sources(&[fixture("crates/core/src/fixture.rs", src)], None);
+    assert!(report.is_clean(), "{}", report.render_human());
+}
+
+#[test]
+fn stale_item_scoped_allow_fires_at_the_directive() {
+    // An item-scoped directive whose item never trips the rule is stale,
+    // and the diagnostic points at the directive line, not into the item.
+    let src = "\
+// mdbs-lint: allow(no-panic-in-scheduler, scope=item) — stale: nothing here panics.
+pub fn covered(rows: &[u32]) -> usize {
+    rows.len()
+}
+";
+    let report = run_sources(&[fixture("crates/core/src/fixture.rs", src)], None);
+    let fired: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+    assert_eq!(fired, [rules::STALE_ALLOW]);
+    assert_eq!(report.violations[0].line, 1, "points at the directive");
+    assert!(
+        report.violations[0]
+            .message
+            .contains("allow(no-panic-in-scheduler)"),
+        "{}",
+        report.violations[0].message
+    );
+}
+
+#[test]
+fn line_allow_shadowed_by_item_allow_marks_both_used() {
+    // Overlapping directives: an item-scoped allow covers the whole fn
+    // and a line-scoped allow covers the one violation inside it. Every
+    // directive whose span contains a suppressed finding counts as used,
+    // so neither is reported stale — shadowing is not staleness.
+    let src = "\
+// mdbs-lint: allow(no-panic-in-scheduler, scope=item) — fixture: slots are pre-grown.
+pub fn covered(rows: &mut [u32], slot: usize) -> u32 {
+    // mdbs-lint: allow(no-panic-in-scheduler) — fixture: same argument, line scope.
+    rows[slot]
+}
+";
+    let report = run_sources(&[fixture("crates/core/src/fixture.rs", src)], None);
+    assert!(report.is_clean(), "{}", report.render_human());
+}
+
+#[test]
 fn unbalanced_delimiters_degrade_to_parse_error() {
     let report = run_sources(
         &[fixture(
@@ -721,4 +775,57 @@ fn gtm2_pump_cfg_matches_golden_dot() {
     assert!(pump.blocks >= 4, "pump CFG suspiciously small: {pump:?}");
     assert!(pump.edges >= pump.blocks - 1, "pump CFG disconnected");
     assert_golden(&pump.dot, "tests/fixtures/gtm2_pump_cfg.dot");
+}
+
+/// The three rule catalogs that users see — the README's rule table,
+/// the SARIF driver's `rules` array, and the registered rule ids —
+/// must agree exactly, in the same order. Adding a rule without
+/// documenting it (or documenting one that no longer exists) fails here.
+#[test]
+fn rule_docs_sync() {
+    let registered = rules::all_rules();
+
+    // README: every `| `rule` | ... |` row of the Rules table, in order.
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above the analyzer crate");
+    let readme = std::fs::read_to_string(root.join("README.md")).expect("README.md");
+    let mut lines = readme.lines();
+    lines
+        .find(|l| l.starts_with("| rule | scope |"))
+        .expect("README rule table header");
+    let mut documented = Vec::new();
+    for line in lines {
+        let Some(rest) = line.strip_prefix("| `") else {
+            if line.starts_with("|---") || line.starts_with("| ---") {
+                continue; // header separator
+            }
+            break; // table ended
+        };
+        let name = rest.split('`').next().expect("closing backtick");
+        documented.push(name.to_string());
+    }
+    assert_eq!(
+        documented, registered,
+        "README rule table out of sync with rules::all_rules()"
+    );
+
+    // SARIF: the driver catalog declares the same ids at the same indices.
+    let sarif = run_sources(&[], None).to_sarif();
+    let log = mdbs_analyzer::jsonv::parse(&sarif).expect("SARIF parses");
+    let catalog: Vec<&str> = log
+        .get("runs")
+        .and_then(|r| r.as_arr())
+        .and_then(|r| r.first())
+        .and_then(|r| r.get("tool"))
+        .and_then(|t| t.get("driver"))
+        .and_then(|d| d.get("rules"))
+        .and_then(|r| r.as_arr())
+        .expect("driver rules array")
+        .iter()
+        .map(|r| r.get("id").and_then(|i| i.as_str()).expect("rule id"))
+        .collect();
+    assert_eq!(
+        catalog, registered,
+        "SARIF driver catalog out of sync with rules::all_rules()"
+    );
 }
