@@ -1,0 +1,276 @@
+//! The statistical perf regression gate.
+//!
+//! Re-samples the perf-smoke replay cells N times each, compares every
+//! cell's fresh wall-clock distribution against the stored history in
+//! the bench results database (one-sided Mann–Whitney U **and** a
+//! median-ratio floor — see `crates/bench/src/gate.rs` for the test and
+//! its noise model), records the new samples on a clean pass, and emits
+//! markdown/HTML trend reports over the whole database.
+//!
+//! ```text
+//! bench_gate [--db PATH] [--commit LABEL] [--samples N]
+//!            [--tiers small,medium] [--ingest FILE]...
+//!            [--report-md PATH] [--report-html PATH]
+//!            [--alpha A] [--min-ratio R] [--window W]
+//!            [--inject-slowdown F] [--no-record]
+//! ```
+//!
+//! - `--db` (default `.bench-db/bench.v4.bin`): the append-only results
+//!   database. In CI it is persisted across runs via `actions/cache`,
+//!   keyed on the store format version.
+//! - `--ingest FILE` (repeatable): migrate a historical `BENCH_PR*.json`
+//!   snapshot into the database first. Idempotent — a commit label
+//!   already present is skipped — so CI can list every snapshot on every
+//!   run. Ingested records feed the *trend report* but are not gate
+//!   baselines (other machine, other noise floor).
+//! - `--inject-slowdown F`: multiply every measured wall-clock sample by
+//!   F. A test hook only: CI runs the gate a second time with `F = 2.0`
+//!   and asserts it *fails*, so the gate's ability to fire is itself
+//!   regression-tested.
+//! - `--no-record`: evaluate without appending the fresh samples (used
+//!   by the injected self-test so fake slow samples never enter the DB).
+//!
+//! Exit codes: `0` clean (regressions absent), `1` at least one cell
+//! regressed (named in stderr and in the reports), `2` usage or I/O
+//! error. New samples are recorded only on exit 0 — a regressed run
+//! must not become its own baseline.
+
+use mdbs_bench::gate::{evaluate_run, GateConfig};
+use mdbs_bench::ingest;
+use mdbs_bench::report;
+use mdbs_bench::smoke;
+use mdbs_bench::store::{BenchDb, SampleRecord};
+use std::path::Path;
+
+struct Args {
+    db: String,
+    commit: String,
+    samples: usize,
+    tiers: Vec<String>,
+    ingest: Vec<String>,
+    report_md: Option<String>,
+    report_html: Option<String>,
+    cfg: GateConfig,
+    inject: f64,
+    record: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        db: ".bench-db/bench.v4.bin".to_string(),
+        commit: std::env::var("MDBS_COMMIT")
+            .ok()
+            .unwrap_or_else(|| "local".to_string()),
+        samples: 5,
+        tiers: vec!["small".to_string(), "medium".to_string()],
+        ingest: Vec::new(),
+        report_md: None,
+        report_html: None,
+        cfg: GateConfig::default(),
+        inject: 1.0,
+        record: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut val = |flag: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--db" => args.db = val("--db")?,
+            "--commit" => args.commit = val("--commit")?,
+            "--samples" => {
+                args.samples = val("--samples")?
+                    .parse()
+                    .map_err(|e| format!("--samples: {e}"))?;
+                if args.samples == 0 {
+                    return Err("--samples must be >= 1".to_string());
+                }
+            }
+            "--tiers" => {
+                args.tiers = val("--tiers")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if args.tiers.is_empty() {
+                    return Err("--tiers needs at least one tier".to_string());
+                }
+            }
+            "--ingest" => args.ingest.push(val("--ingest")?),
+            "--report-md" => args.report_md = Some(val("--report-md")?),
+            "--report-html" => args.report_html = Some(val("--report-html")?),
+            "--alpha" => {
+                args.cfg.alpha = val("--alpha")?
+                    .parse()
+                    .map_err(|e| format!("--alpha: {e}"))?
+            }
+            "--min-ratio" => {
+                args.cfg.min_ratio = val("--min-ratio")?
+                    .parse()
+                    .map_err(|e| format!("--min-ratio: {e}"))?
+            }
+            "--window" => {
+                args.cfg.window = val("--window")?
+                    .parse()
+                    .map_err(|e| format!("--window: {e}"))?
+            }
+            "--inject-slowdown" => {
+                args.inject = val("--inject-slowdown")?
+                    .parse()
+                    .map_err(|e| format!("--inject-slowdown: {e}"))?;
+                if !args.inject.is_finite() || args.inject < 1.0 {
+                    return Err("--inject-slowdown must be >= 1.0".to_string());
+                }
+            }
+            "--no-record" => args.record = false,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn fail_io(what: &str, e: impl std::fmt::Display) -> std::process::ExitCode {
+    eprintln!("bench_gate: {what}: {e}");
+    std::process::ExitCode::from(2)
+}
+
+fn main() -> std::process::ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return std::process::ExitCode::from(2);
+        }
+    };
+
+    let mut db = match BenchDb::open(&args.db) {
+        Ok(db) => db,
+        Err(e) => return fail_io("opening db", e),
+    };
+    let rec = db.recovery().clone();
+    if rec.dropped_tail_bytes > 0 || rec.reset.is_some() {
+        eprintln!(
+            "bench_gate: db recovery: dropped {} tail bytes{}",
+            rec.dropped_tail_bytes,
+            rec.reset
+                .as_deref()
+                .map(|r| format!(", reset ({r})"))
+                .unwrap_or_default()
+        );
+    }
+    eprintln!(
+        "bench_gate: db {} — {} records, {} commits",
+        args.db,
+        db.records().len(),
+        db.commits().len()
+    );
+
+    for path in &args.ingest {
+        let outcome = ingest::ingest_file(&mut db, Path::new(path), None);
+        eprintln!("bench_gate: ingest {}", outcome.summary());
+        for reason in &outcome.skipped_cells {
+            eprintln!("bench_gate:   skipped {reason}");
+        }
+    }
+
+    // Measure the matrix.
+    let tiers: Vec<&str> = args.tiers.iter().map(|s| s.as_str()).collect();
+    let specs = smoke::replay_matrix(&tiers);
+    if specs.is_empty() {
+        eprintln!("bench_gate: no cells match tiers {:?}", args.tiers);
+        return std::process::ExitCode::from(2);
+    }
+    if args.inject != 1.0 {
+        eprintln!(
+            "bench_gate: INJECTING artificial {}x slowdown (test hook)",
+            args.inject
+        );
+    }
+    eprintln!(
+        "bench_gate: sampling {} cells x {} samples (tiers {:?}) as commit {}",
+        specs.len(),
+        args.samples,
+        args.tiers,
+        args.commit
+    );
+    // Round-robin across cells (one sample of every cell per round, with
+    // one calibration measurement per round): slow drift within the run
+    // spreads across all cells instead of correlating within one cell's
+    // samples, and the calibration median reflects the run's average
+    // machine speed.
+    let mut acc: Vec<Option<SampleRecord>> = vec![None; specs.len()];
+    let mut calib_samples = Vec::with_capacity(args.samples);
+    for _round in 0..args.samples {
+        calib_samples.push(smoke::calibration_ms(1));
+        for (i, spec) in specs.iter().enumerate() {
+            let rec = smoke::sample_replay(spec, 1, args.inject);
+            match &mut acc[i] {
+                None => acc[i] = Some(rec),
+                Some(prev) => {
+                    assert_eq!(
+                        (prev.steps_cond, prev.steps_act),
+                        (rec.steps_cond, rec.steps_act),
+                        "{}: deterministic steps moved between rounds",
+                        spec.key().id()
+                    );
+                    prev.wall_ms_samples.extend(rec.wall_ms_samples);
+                }
+            }
+        }
+    }
+    let calib = mdbs_bench::gate::median(&calib_samples);
+    eprintln!(
+        "bench_gate: calibration {calib:.3} ms (median of {} rounds)",
+        args.samples
+    );
+    let mut new_records: Vec<SampleRecord> = acc.into_iter().flatten().collect();
+    for rec in &mut new_records {
+        rec.commit = args.commit.clone();
+        rec.source = "bench_gate".to_string();
+        rec.calib_ms = Some(calib);
+    }
+
+    // Evaluate against history *before* recording.
+    let outcome = evaluate_run(&db, &new_records, &args.cfg);
+    eprint!("{}", outcome.render_text());
+
+    let clean = outcome.regressions().is_empty();
+    if clean && args.record {
+        for rec in new_records {
+            db.append(rec);
+        }
+    } else if !clean {
+        eprintln!(
+            "bench_gate: NOT recording this run's samples ({} regressed cell(s) must not poison the baseline)",
+            outcome.regressions().len()
+        );
+    }
+    // Persist ingests (and, on a clean run, the new samples).
+    if db.is_dirty() {
+        if let Err(e) = db.save() {
+            return fail_io("saving db", e);
+        }
+    }
+
+    if let Some(path) = &args.report_md {
+        if let Err(e) = std::fs::write(path, report::render_markdown(&db, Some(&outcome))) {
+            return fail_io("writing markdown report", e);
+        }
+        eprintln!("bench_gate: wrote {path}");
+    }
+    if let Some(path) = &args.report_html {
+        if let Err(e) = std::fs::write(path, report::render_html(&db, Some(&outcome))) {
+            return fail_io("writing html report", e);
+        }
+        eprintln!("bench_gate: wrote {path}");
+    }
+
+    if !clean {
+        for key in outcome.regressions() {
+            eprintln!("bench_gate: REGRESSION in {}", key.id());
+        }
+        return std::process::ExitCode::FAILURE;
+    }
+    eprintln!("bench_gate: clean");
+    std::process::ExitCode::SUCCESS
+}

@@ -1,291 +1,136 @@
 //! Perf smoke run: a fixed matrix of the four conservative schemes ×
-//! {replay, sharded replay, full DES} × workload sizes × scheme kernels.
-//! The output path is chosen by the canonical overrides `--out PATH`
-//! (highest precedence) or the `BENCH_OUT` environment variable; the
-//! built-in fallback is only for bare local runs.
+//! {replay, sharded replay, full DES} × workload tiers × scheme kernels,
+//! written as an `mdbs-bench-smoke-v4` snapshot and (optionally)
+//! appended to the bench results database.
 //!
-//! The goal is a cheap, repeatable baseline — a few seconds of wall time —
-//! whose numbers later PRs can diff against, not a rigorous benchmark
-//! (`cargo bench` holds those). Schema (`mdbs-bench-smoke-v3`):
+//! Since v4 every cell is a *distribution*, not one noisy number: the
+//! cell is measured `--samples` times (per-tier defaults: 5 for `small`
+//! and `medium`, 1 for `large` — the large tier's dense-memo Scheme 2
+//! cell alone costs ~30 s, and it exists as a recorded datum, not a
+//! gate input) and the report carries every sample plus
+//! min/median/max. The legacy `wall_ms` column remains (it is the
+//! median) so eyeball diffs against BENCH_PR1…PR6 still work.
 //!
 //! ```text
-//! { "schema": "mdbs-bench-smoke-v3",
-//!   "cells": [ { "scheme", "mode", "size", "kernel", "txns", "wall_ms",
-//!                "throughput_txn_per_sec", "p50_response_us",
-//!                "p99_response_us", "steps_cond", "steps_act",
-//!                "steps_wait_scan", "waits", "peak_wait",
-//!                "peak_active", "wake_scan_count", "wake_scan_sum" },
-//!              ... ] }
+//! perf_smoke [--out PATH] [--samples N] [--db PATH] [--commit LABEL]
 //! ```
+//!
+//! `--out PATH` (or the `BENCH_OUT` env var) picks the snapshot path;
+//! the built-in fallback is only for bare local runs. `--samples N`
+//! forces N repetitions for *every* tier. With `--db` the run is also
+//! appended to the bench results database under `--commit` (default:
+//! `MDBS_COMMIT`, then `local`) as gate-eligible history — that is what
+//! `bench_gate` later compares against; see `crates/bench/src/gate.rs`.
 //!
 //! Replay cells measure pure scheduler cost: throughput is transactions
 //! per *wall* second and the response percentiles are `null` (replay has
 //! no clock). `replay-sharded` cells run the same script through
-//! [`ShardedGtm2`] with one shard per site, so the `replay` vs
-//! `replay-sharded` pair is the sharded-vs-single pump comparison: wall
-//! time plus total wake-scan work per scheme. DES cells run the full
+//! [`ShardedGtm2`] with one shard per site. DES cells run the full
 //! simulator: throughput and response percentiles are in *simulated*
-//! time.
+//! time and deterministic — only their wall-clock varies across samples.
 //!
 //! The `kernel` column names the scheme-state implementation: `btree`
-//! (reference `BTreeMap`/`BTreeSet` kernels), `dense` (slot-interned
-//! bitset kernels with incremental cycle maintenance), or `dense-memo`
-//! (the dense Scheme 2 kernel with the pre-incremental full-rescan
-//! `Eliminate_Cycles`, kept as a second oracle). All kernels charge
-//! byte-identical `steps_cond`/`steps_act` — `step_gate` enforces that —
-//! so within a (scheme, mode, size) pair only `wall_ms` may differ.
-//! Reference-kernel cells stop at `medium`: the btree Scheme 2 `large`
-//! cell alone would dominate the whole smoke run. The `dense-memo`
-//! Scheme 2 cells run every tier precisely so the large-tier speedup of
-//! the incremental path over the full-rescan path stays recorded in the
-//! bench trail; other schemes share one dense implementation, so their
-//! `dense-memo` rows would duplicate `dense` and are skipped.
+//! (reference), `dense` (slot-interned bitset kernels, the default), or
+//! `dense-memo` (pre-incremental full-rescan Scheme 2 oracle). All
+//! kernels charge byte-identical `steps_cond`/`steps_act` — `step_gate`
+//! enforces that — so within a (scheme, mode, tier) pair only wall-clock
+//! may differ. Kernel/tier inclusion rules live in
+//! [`mdbs_bench::smoke::kernel_included`].
 //!
 //! [`ShardedGtm2`]: mdbs_core::sharded::ShardedGtm2
 
-use mdbs_core::replay::{replay_kernel, replay_sharded_kernel, Script};
-use mdbs_core::scheme::{KernelKind, SchemeKind};
-use mdbs_localdb::protocol::LocalProtocolKind;
-use mdbs_sim::system::{MdbsSystem, SystemConfig};
-use mdbs_workload::distributions::AccessDistribution;
-use mdbs_workload::generator::Workload;
-use mdbs_workload::spec::WorkloadSpec;
-use serde::Serialize;
-use std::time::Instant;
+use mdbs_bench::smoke::{self, DES_TIERS};
+use mdbs_bench::store::{BenchDb, SampleRecord};
+use mdbs_core::scheme::SchemeKind;
 
-#[derive(Serialize)]
-struct BenchCell {
-    scheme: String,
-    mode: &'static str,
-    size: &'static str,
-    kernel: &'static str,
-    txns: usize,
-    wall_ms: f64,
-    throughput_txn_per_sec: f64,
-    p50_response_us: Option<u64>,
-    p99_response_us: Option<u64>,
-    steps_cond: u64,
-    steps_act: u64,
-    steps_wait_scan: u64,
-    waits: u64,
-    peak_wait: u64,
-    peak_active: u64,
-    wake_scan_count: u64,
-    wake_scan_sum: u64,
+struct Args {
+    out: String,
+    samples: Option<usize>,
+    db: Option<String>,
+    commit: String,
 }
 
-#[derive(Serialize)]
-struct BenchReport {
-    schema: &'static str,
-    cells: Vec<BenchCell>,
-}
-
-/// (size label, txns, sites, avg sites per txn) for replay scripts.
-/// The `large` tier skips the btree kernel: the reference Scheme 2 kernel
-/// is superlinear in n and would turn the smoke run into minutes at 1000
-/// txns, which is exactly the regime the dense kernels exist for. The
-/// dense-memo Scheme 2 cell stands in as the pre-incremental datum there.
-const REPLAY_SIZES: [(&str, usize, usize, f64); 3] = [
-    ("small", 50, 4, 2.0),
-    ("medium", 150, 6, 2.5),
-    ("large", 1000, 10, 2.5),
-];
-
-/// Which replay cells each kernel contributes: btree stops at `medium`,
-/// dense runs everything, and dense-memo runs only Scheme 2 (where it
-/// actually differs from dense) at every tier, so the large-tier
-/// incremental-vs-full-rescan comparison is recorded.
-fn cell_included(scheme: SchemeKind, kernel: KernelKind, size: &str) -> bool {
-    match kernel {
-        KernelKind::BTree => size != "large",
-        KernelKind::Dense => true,
-        KernelKind::DenseMemo => scheme == SchemeKind::Scheme2,
+fn parse_args() -> Result<Args, String> {
+    let mut out = None;
+    let mut samples = None;
+    let mut db = None;
+    let mut commit = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = Some(it.next().ok_or("--out needs a path")?),
+            "--samples" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--samples needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--samples: {e}"))?;
+                if n == 0 {
+                    return Err("--samples must be >= 1".to_string());
+                }
+                samples = Some(n);
+            }
+            "--db" => db = Some(it.next().ok_or("--db needs a path")?),
+            "--commit" => commit = Some(it.next().ok_or("--commit needs a label")?),
+            other => {
+                return Err(format!(
+                    "unknown argument `{other}` (try --out/--samples/--db/--commit)"
+                ))
+            }
+        }
     }
+    Ok(Args {
+        out: out
+            .or_else(|| std::env::var("BENCH_OUT").ok())
+            .unwrap_or_else(|| "BENCH_PR9.json".to_string()),
+        samples,
+        db,
+        commit: commit
+            .or_else(|| std::env::var("MDBS_COMMIT").ok())
+            .unwrap_or_else(|| "local".to_string()),
+    })
 }
 
-/// (size label, global txns, sites, mpl) for full DES runs.
-const DES_SIZES: [(&str, usize, usize, usize); 3] = [
-    ("small", 30, 3, 4),
-    ("medium", 80, 4, 6),
-    ("large", 160, 6, 8),
-];
-
-fn replay_cell(
-    scheme: SchemeKind,
-    kernel: KernelKind,
-    size: &'static str,
-    n: usize,
-    m: usize,
-    dav: f64,
-) -> BenchCell {
-    let script = Script::random(n, m, dav, 42);
-    let start = Instant::now();
-    let outcome = replay_kernel(scheme, kernel, &script);
-    let wall = start.elapsed();
-    assert_eq!(outcome.completed, n, "replay must complete every txn");
-    outcome_cell(scheme, "replay", size, kernel.name(), n, wall, &outcome)
-}
-
-/// Same script as [`replay_cell`], pumped through [`ShardedGtm2`] with one
-/// shard per site. Diffing this against the `replay` cell of the same
-/// scheme/size is the sharded-vs-single comparison.
-///
-/// [`ShardedGtm2`]: mdbs_core::sharded::ShardedGtm2
-fn replay_sharded_cell(
-    scheme: SchemeKind,
-    kernel: KernelKind,
-    size: &'static str,
-    n: usize,
-    m: usize,
-    dav: f64,
-) -> BenchCell {
-    let script = Script::random(n, m, dav, 42);
-    let start = Instant::now();
-    let outcome = replay_sharded_kernel(scheme, kernel, m, &script);
-    let wall = start.elapsed();
-    assert_eq!(
-        outcome.completed, n,
-        "sharded replay must complete every txn"
-    );
-    outcome_cell(
-        scheme,
-        "replay-sharded",
-        size,
-        kernel.name(),
-        n,
-        wall,
-        &outcome,
-    )
-}
-
-fn outcome_cell(
-    scheme: SchemeKind,
-    mode: &'static str,
-    size: &'static str,
-    kernel: &'static str,
-    n: usize,
-    wall: std::time::Duration,
-    outcome: &mdbs_core::replay::ReplayOutcome,
-) -> BenchCell {
-    BenchCell {
-        scheme: format!("{scheme:?}"),
-        mode,
-        size,
-        kernel,
-        txns: n,
-        wall_ms: wall.as_secs_f64() * 1e3,
-        throughput_txn_per_sec: n as f64 / wall.as_secs_f64(),
-        p50_response_us: None,
-        p99_response_us: None,
-        steps_cond: outcome.steps.cond,
-        steps_act: outcome.steps.act,
-        steps_wait_scan: outcome.steps.wait_scan,
-        waits: outcome.stats.waited,
-        peak_wait: outcome.stats.peak_wait,
-        peak_active: outcome.stats.peak_active,
-        wake_scan_count: outcome.wake_scan_count,
-        wake_scan_sum: outcome.wake_scan_sum,
-    }
-}
-
-fn des_cell(
-    scheme: SchemeKind,
-    size: &'static str,
-    globals: usize,
-    sites: usize,
-    mpl: usize,
-) -> BenchCell {
-    let spec = WorkloadSpec {
-        sites,
-        global_txns: globals,
-        avg_sites_per_txn: 2.0_f64.min(sites as f64),
-        ops_per_subtxn: 2,
-        read_ratio: 0.5,
-        items_per_site: 16,
-        distribution: AccessDistribution::Uniform,
-        local_txns_per_site: 2,
-        ops_per_local_txn: 2,
-        seed: 42,
-    };
-    let mut b = SystemConfig::builder()
-        .scheme(scheme)
-        .seed(spec.seed)
-        .mpl(mpl);
-    for _ in 0..sites {
-        b = b.site(LocalProtocolKind::TwoPhaseLocking);
-    }
-    let mut system = MdbsSystem::new(b.build());
-    let start = Instant::now();
-    let report = system.run(Workload::generate(&spec));
-    let wall = start.elapsed();
-    assert!(
-        report.is_serializable(),
-        "{scheme:?}/{size}: not serializable"
-    );
-    assert!(
-        report.ser_s_ok,
-        "{scheme:?}/{size}: ser(S) not serializable"
-    );
-    let wake_scan = report.registry.histogram("gtm2.wake_scan");
-    BenchCell {
-        scheme: format!("{scheme:?}"),
-        mode: "des",
-        size,
-        // DES always runs the default (dense) kernels.
-        kernel: KernelKind::Dense.name(),
-        txns: globals,
-        wall_ms: wall.as_secs_f64() * 1e3,
-        throughput_txn_per_sec: report.metrics.throughput_per_sec(),
-        p50_response_us: Some(report.metrics.global_response.percentile(50.0)),
-        p99_response_us: Some(report.metrics.global_response.percentile(99.0)),
-        steps_cond: report.gtm2_steps.cond,
-        steps_act: report.gtm2_steps.act,
-        steps_wait_scan: report.gtm2_steps.wait_scan,
-        waits: report.gtm2.waited,
-        peak_wait: report.gtm2.peak_wait,
-        peak_active: report.gtm2.peak_active,
-        wake_scan_count: wake_scan.map(|h| h.count()).unwrap_or(0),
-        wake_scan_sum: wake_scan.map(|h| h.sum()).unwrap_or(0),
-    }
-}
-
-/// Output path: `--out PATH` beats `BENCH_OUT` beats the PR default.
-fn out_path() -> Result<String, String> {
-    let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
-        Some("--out") => args.next().ok_or_else(|| "--out needs a path".to_string()),
-        Some(other) => Err(format!("unknown argument `{other}` (try --out PATH)")),
-        None => Ok(std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_PR6.json".to_string())),
+/// Per-tier default repetitions: enough for a distribution on the cheap
+/// tiers, one shot on the expensive trend-datum tier.
+fn default_samples(tier: &str) -> usize {
+    match tier {
+        "large" => 1,
+        _ => 5,
     }
 }
 
 fn main() -> std::process::ExitCode {
-    let path = match out_path() {
-        Ok(p) => p,
+    let args = match parse_args() {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("perf_smoke: {e}");
             return std::process::ExitCode::from(2);
         }
     };
-    let mut cells = Vec::new();
+    let calib = smoke::calibration_ms(5);
+    eprintln!("calibration: {calib:.3} ms");
+    let tiers: Vec<&str> = smoke::REPLAY_TIERS.iter().map(|t| t.name).collect();
+    let mut records: Vec<SampleRecord> = Vec::new();
+    for spec in smoke::replay_matrix(&tiers) {
+        let n = args
+            .samples
+            .unwrap_or_else(|| default_samples(spec.tier.name));
+        records.push(smoke::sample_replay(&spec, n, 1.0));
+    }
     for scheme in SchemeKind::CONSERVATIVE {
-        for kernel in [KernelKind::BTree, KernelKind::Dense, KernelKind::DenseMemo] {
-            for (size, n, m, dav) in REPLAY_SIZES {
-                if !cell_included(scheme, kernel, size) {
-                    continue;
-                }
-                cells.push(replay_cell(scheme, kernel, size, n, m, dav));
-                cells.push(replay_sharded_cell(scheme, kernel, size, n, m, dav));
-            }
-        }
-        for (size, globals, sites, mpl) in DES_SIZES {
-            cells.push(des_cell(scheme, size, globals, sites, mpl));
+        for tier in DES_TIERS {
+            let n = args.samples.unwrap_or_else(|| default_samples(tier.name));
+            records.push(smoke::sample_des(scheme, tier, n, 1.0));
         }
     }
-    let report = BenchReport {
-        schema: "mdbs-bench-smoke-v3",
-        cells,
-    };
+    for rec in &mut records {
+        rec.commit = args.commit.clone();
+        rec.source = "perf_smoke".to_string();
+        rec.calib_ms = Some(calib);
+    }
+
+    let report = smoke::SmokeReport::from_records(&args.commit, &records);
     let json = match serde_json::to_string_pretty(&report) {
         Ok(j) => j,
         Err(e) => {
@@ -293,22 +138,45 @@ fn main() -> std::process::ExitCode {
             return std::process::ExitCode::from(2);
         }
     };
-    if let Err(e) = std::fs::write(&path, &json) {
-        eprintln!("perf_smoke: writing {path}: {e}");
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("perf_smoke: writing {}: {e}", args.out);
         return std::process::ExitCode::from(2);
     }
-    eprintln!("wrote {path} ({} cells)", report.cells.len());
+    eprintln!("wrote {} ({} cells)", args.out, report.cells.len());
     for c in &report.cells {
         eprintln!(
-            "  {:<8} {:<14} {:<6} {:<5} {:>5} txns  {:>9.2} ms  {:>12.0} txn/s  waits={}",
+            "  {:<8} {:<14} {:<6} {:<10} {:>5} txns  {:>9.2} ms (×{})  {:>12.0} txn/s  waits={}",
             c.scheme,
             c.mode,
             c.size,
             c.kernel,
             c.txns,
-            c.wall_ms,
+            c.wall_ms_median,
+            c.samples.len(),
             c.throughput_txn_per_sec,
             c.waits
+        );
+    }
+
+    if let Some(db_path) = &args.db {
+        let mut db = match BenchDb::open(db_path) {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!("perf_smoke: opening db {db_path}: {e}");
+                return std::process::ExitCode::from(2);
+            }
+        };
+        for rec in records {
+            db.append(rec);
+        }
+        if let Err(e) = db.save() {
+            eprintln!("perf_smoke: saving db {db_path}: {e}");
+            return std::process::ExitCode::from(2);
+        }
+        eprintln!(
+            "appended {} records to {db_path} as commit {}",
+            report.cells.len(),
+            args.commit
         );
     }
     std::process::ExitCode::SUCCESS

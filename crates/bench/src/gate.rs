@@ -1,0 +1,456 @@
+//! The statistical regression gate: decides, per cell, whether freshly
+//! measured wall-clock samples are significantly slower than the stored
+//! historical distribution.
+//!
+//! ## The test
+//!
+//! A regression fires only when **both** of these hold:
+//!
+//! 1. **Statistical significance** — a one-sided Mann–Whitney U test
+//!    (rank-sum, midranks for ties, normal approximation with tie
+//!    correction and continuity correction) rejects, at level `alpha`,
+//!    the hypothesis that new samples are *not* stochastically slower
+//!    than the history. Rank-based, so one cosmic-ray outlier in either
+//!    distribution cannot fake or mask a shift the way a mean-based test
+//!    could — wall-clock noise on shared CI runners is heavy-tailed.
+//! 2. **Practical significance** — the ratio of medians
+//!    `median(new) / median(history)` is at least `min_ratio`. With
+//!    enough samples a 2% drift becomes "significant"; the ratio floor
+//!    keeps the gate about regressions worth a human's time and absorbs
+//!    run-to-run machine variance that the U test alone would eventually
+//!    resolve.
+//!
+//! Neither alone is enough: significance without magnitude is noise-level
+//! drift, magnitude without significance is one loud sample. The same
+//! pair, mirrored, classifies improvements (informational only — the
+//! gate never fails on getting faster).
+//!
+//! ## What counts as history
+//!
+//! Only records that are *comparable* and *trustworthy*:
+//! `gate_eligible` (measured by a gate/smoke run on this pipeline, not
+//! ingested from another machine), same [`CellKey`], same `txns`, and
+//! bit-identical `steps_cond`/`steps_act` — if the deterministic step
+//! counters moved, the workload or accounting changed and wall-clock is
+//! incomparable (that drift is `step_gate`'s job to veto). Of the
+//! comparable records, the most recent `window` distinct commits are
+//! pooled, so the baseline tracks deliberate optimizations instead of
+//! being dragged by month-old numbers.
+//!
+//! ## Calibration normalization
+//!
+//! Wall-clock comparisons run in *calibration units*: every measuring
+//! run stores the median wall-clock of a fixed pure-CPU spin workload
+//! ([`crate::smoke::calibration_ms`]) on its records, and the gate
+//! divides each sample by its run's calibration before testing. A CI
+//! runner that is uniformly 1.4× slower today than yesterday (frequency
+//! scaling, noisy neighbors) moves the spin and every cell together, so
+//! the normalized distributions agree and nothing fires; a genuine
+//! regression moves cells without moving the spin. Raw medians are
+//! still reported — only the decision is normalized.
+
+use crate::store::{BenchDb, CellKey, SampleRecord};
+
+/// Tunables of the regression decision. `Default` is what CI runs.
+#[derive(Clone, Debug)]
+pub struct GateConfig {
+    /// Significance level of the one-sided Mann–Whitney test.
+    pub alpha: f64,
+    /// Median-ratio floor for a regression (and, mirrored as
+    /// `1/min_ratio`, the ceiling for an improvement).
+    pub min_ratio: f64,
+    /// How many most-recent distinct commits form the baseline pool.
+    pub window: usize,
+    /// Minimum pooled historical samples for a statistical verdict;
+    /// below this the cell is reported but cannot fail the gate.
+    pub min_hist_samples: usize,
+    /// Minimum new samples for a statistical verdict.
+    pub min_new_samples: usize,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            alpha: 0.01,
+            min_ratio: 1.35,
+            window: 3,
+            min_hist_samples: 4,
+            min_new_samples: 4,
+        }
+    }
+}
+
+/// Per-cell gate classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellStatus {
+    /// Comparable history exists and the new samples are consistent
+    /// with it (or insignificantly different).
+    Pass,
+    /// Statistically significant *and* practically large slowdown.
+    Regression,
+    /// Statistically significant and large speedup (informational).
+    Improvement,
+    /// No eligible history at all — first run of this cell.
+    NoHistory,
+    /// Some history exists but fewer than the configured minimum
+    /// samples on one side; no statistical verdict possible.
+    InsufficientSamples,
+    /// Eligible history exists but its step counters or `txns` differ —
+    /// the workload/accounting moved, wall-clock is incomparable.
+    StepsDrift,
+}
+
+impl CellStatus {
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CellStatus::Pass => "pass",
+            CellStatus::Regression => "REGRESSION",
+            CellStatus::Improvement => "improvement",
+            CellStatus::NoHistory => "no-history",
+            CellStatus::InsufficientSamples => "few-samples",
+            CellStatus::StepsDrift => "steps-drift",
+        }
+    }
+}
+
+/// Everything the gate concluded about one cell.
+#[derive(Clone, Debug)]
+pub struct CellVerdict {
+    /// Classification.
+    pub status: CellStatus,
+    /// Median of the pooled historical samples (0.0 if none). Raw
+    /// milliseconds, for display; the decision runs on normalized units.
+    pub median_hist: f64,
+    /// Median of the new samples (raw milliseconds).
+    pub median_new: f64,
+    /// Calibration-normalized `median_new / median_hist` (1.0 if no
+    /// history) — the ratio the `min_ratio` floor is applied to.
+    pub ratio: f64,
+    /// One-sided p-value that new is stochastically slower (1.0 when no
+    /// test ran).
+    pub p_slower: f64,
+    /// Pooled historical sample count.
+    pub hist_samples: usize,
+    /// New sample count.
+    pub new_samples: usize,
+    /// Commits contributing to the baseline pool, oldest first.
+    pub hist_commits: Vec<String>,
+}
+
+/// Result of a Mann–Whitney U test, one-sided for "ys slower than xs".
+#[derive(Clone, Copy, Debug)]
+pub struct MannWhitney {
+    /// U statistic of the `ys` side.
+    pub u: f64,
+    /// Tie-corrected z-score.
+    pub z: f64,
+    /// One-sided p-value that `ys` is stochastically greater.
+    pub p_greater: f64,
+}
+
+/// Median of a slice (average of middle pair for even lengths; 0.0 for
+/// an empty slice — callers treat empty distributions as "no data").
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun 7.1.26 erf
+/// approximation (max abs error ~1.5e-7 — far below any alpha in use).
+pub fn normal_cdf(z: f64) -> f64 {
+    let x = z / std::f64::consts::SQRT_2;
+    let t = 1.0 / (1.0 + 0.327_591_1 * x.abs());
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let erf_abs = 1.0 - poly * (-x * x).exp();
+    let erf = if x >= 0.0 { erf_abs } else { -erf_abs };
+    0.5 * (1.0 + erf)
+}
+
+/// One-sided Mann–Whitney U: p-value that `ys` is stochastically
+/// *greater* (slower) than `xs`. Midranks for ties, normal approximation
+/// with tie correction and 0.5 continuity correction. Degenerate inputs
+/// (either side empty, or all `N` values tied) return `p_greater = 1.0`:
+/// no evidence of a shift.
+pub fn mann_whitney(xs: &[f64], ys: &[f64]) -> MannWhitney {
+    let n1 = xs.len();
+    let n2 = ys.len();
+    if n1 == 0 || n2 == 0 {
+        return MannWhitney {
+            u: 0.0,
+            z: 0.0,
+            p_greater: 1.0,
+        };
+    }
+    // Pool, tagging which side each value came from.
+    let mut pool: Vec<(f64, bool)> = xs
+        .iter()
+        .map(|&v| (v, false))
+        .chain(ys.iter().map(|&v| (v, true)))
+        .collect();
+    pool.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let n = pool.len();
+    // Midranks + tie group sizes.
+    let mut rank_sum_y = 0.0_f64;
+    let mut tie_term = 0.0_f64; // sum of t^3 - t over tie groups
+    let mut i = 0;
+    while i < n {
+        let mut j = i + 1;
+        while j < n && pool[j].0 == pool[i].0 {
+            j += 1;
+        }
+        let t = (j - i) as f64;
+        // ranks are 1-based: positions i..j share midrank
+        let midrank = ((i + 1) + j) as f64 / 2.0;
+        for p in &pool[i..j] {
+            if p.1 {
+                rank_sum_y += midrank;
+            }
+        }
+        tie_term += t * t * t - t;
+        i = j;
+    }
+    let n1f = n1 as f64;
+    let n2f = n2 as f64;
+    let nf = n as f64;
+    let u = rank_sum_y - n2f * (n2f + 1.0) / 2.0;
+    let mu = n1f * n2f / 2.0;
+    let var = n1f * n2f / 12.0 * ((nf + 1.0) - tie_term / (nf * (nf - 1.0)));
+    if var <= 0.0 {
+        // Every pooled value identical: no ordering evidence at all.
+        return MannWhitney {
+            u,
+            z: 0.0,
+            p_greater: 1.0,
+        };
+    }
+    // Continuity correction toward the null.
+    let z = (u - mu - 0.5) / var.sqrt();
+    MannWhitney {
+        u,
+        z,
+        p_greater: 1.0 - normal_cdf(z),
+    }
+}
+
+/// Statistical core of the gate: classify new samples against a pooled
+/// historical distribution. Exposed for the property tests, which drive
+/// it with synthetic distributions.
+pub fn evaluate_cell(hist: &[f64], new: &[f64], cfg: &GateConfig) -> CellVerdict {
+    let median_hist = median(hist);
+    let median_new = median(new);
+    let ratio = if median_hist > 0.0 {
+        median_new / median_hist
+    } else {
+        1.0
+    };
+    let mut verdict = CellVerdict {
+        status: CellStatus::Pass,
+        median_hist,
+        median_new,
+        ratio,
+        p_slower: 1.0,
+        hist_samples: hist.len(),
+        new_samples: new.len(),
+        hist_commits: Vec::new(),
+    };
+    if hist.is_empty() {
+        verdict.status = CellStatus::NoHistory;
+        return verdict;
+    }
+    if hist.len() < cfg.min_hist_samples || new.len() < cfg.min_new_samples {
+        verdict.status = CellStatus::InsufficientSamples;
+        return verdict;
+    }
+    let mw = mann_whitney(hist, new);
+    verdict.p_slower = mw.p_greater;
+    if ratio >= cfg.min_ratio && mw.p_greater <= cfg.alpha {
+        verdict.status = CellStatus::Regression;
+    } else if ratio <= 1.0 / cfg.min_ratio && normal_cdf(mw.z) <= cfg.alpha {
+        verdict.status = CellStatus::Improvement;
+    }
+    verdict
+}
+
+/// The whole gate run: one verdict per measured cell, plus counts.
+#[derive(Clone, Debug)]
+pub struct GateOutcome {
+    /// Commit label the new samples were measured at.
+    pub commit: String,
+    /// Per-cell verdicts, in cell-key order.
+    pub verdicts: Vec<(CellKey, CellVerdict)>,
+}
+
+impl GateOutcome {
+    /// Cells classified as regressions.
+    pub fn regressions(&self) -> Vec<&CellKey> {
+        self.verdicts
+            .iter()
+            .filter(|(_, v)| v.status == CellStatus::Regression)
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// How many cells carry the given status.
+    pub fn count(&self, status: CellStatus) -> usize {
+        self.verdicts
+            .iter()
+            .filter(|(_, v)| v.status == status)
+            .count()
+    }
+
+    /// Process exit code the gate bin should use: 0 clean, 1 when any
+    /// regression fired (usage/I-O errors are 2, decided by the bin).
+    pub fn exit_code(&self) -> u8 {
+        if self.regressions().is_empty() {
+            0
+        } else {
+            1
+        }
+    }
+
+    /// Human-readable verdict table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "bench_gate @ {}: {} cells — {} pass, {} regression, {} improvement, {} no-history, {} few-samples, {} steps-drift\n",
+            self.commit,
+            self.verdicts.len(),
+            self.count(CellStatus::Pass),
+            self.count(CellStatus::Regression),
+            self.count(CellStatus::Improvement),
+            self.count(CellStatus::NoHistory),
+            self.count(CellStatus::InsufficientSamples),
+            self.count(CellStatus::StepsDrift),
+        ));
+        for (key, v) in &self.verdicts {
+            out.push_str(&format!(
+                "  {:<11} {:<42} median {:>9.3} ms vs {:>9.3} ms  ratio {:>5.2}  p {:<8.4} (hist n={} [{}], new n={})\n",
+                v.status.label(),
+                key.id(),
+                v.median_new,
+                v.median_hist,
+                v.ratio,
+                v.p_slower,
+                v.hist_samples,
+                v.hist_commits.join(","),
+                v.new_samples,
+            ));
+        }
+        out
+    }
+}
+
+/// Normalization divisor of a record: its run's calibration, guarded
+/// against nonsense values.
+fn scale_of(rec: &SampleRecord) -> f64 {
+    match rec.calib_ms {
+        Some(c) if c.is_finite() && c > 0.0 => c,
+        _ => 1.0,
+    }
+}
+
+/// Pooled history for one new record.
+struct PooledHist {
+    /// Calibration-normalized samples (what the test runs on).
+    norm: Vec<f64>,
+    /// Raw millisecond samples (what the verdict displays).
+    raw: Vec<f64>,
+    /// Contributing commits, oldest first.
+    commits: Vec<String>,
+    /// Whether eligible history existed that was excluded only for
+    /// steps/txns/calibration drift.
+    drifted: bool,
+}
+
+/// Pool the eligible, comparable history for one new record: records of
+/// the same cell with matching `txns`/steps (and calibration presence)
+/// from the most recent `window` distinct commits, excluding the new
+/// record's own commit.
+fn pooled_history(db: &BenchDb, new: &SampleRecord, cfg: &GateConfig) -> PooledHist {
+    let mut drifted = false;
+    let mut comparable: Vec<&SampleRecord> = Vec::new();
+    for rec in db.history(&new.key) {
+        if !rec.gate_eligible || rec.commit == new.commit {
+            continue;
+        }
+        if rec.txns != new.txns
+            || rec.steps_cond != new.steps_cond
+            || rec.steps_act != new.steps_act
+            || rec.calib_ms.is_some() != new.calib_ms.is_some()
+        {
+            drifted = true;
+            continue;
+        }
+        comparable.push(rec);
+    }
+    // Most recent `window` distinct commits, preserving append order.
+    let mut commits: Vec<String> = Vec::new();
+    for rec in &comparable {
+        if !commits.contains(&rec.commit) {
+            commits.push(rec.commit.clone());
+        }
+    }
+    let keep: Vec<String> = commits
+        .iter()
+        .rev()
+        .take(cfg.window)
+        .rev()
+        .cloned()
+        .collect();
+    let mut norm = Vec::new();
+    let mut raw = Vec::new();
+    for rec in comparable.iter().filter(|r| keep.contains(&r.commit)) {
+        let scale = scale_of(rec);
+        for &s in &rec.wall_ms_samples {
+            raw.push(s);
+            norm.push(s / scale);
+        }
+    }
+    PooledHist {
+        norm,
+        raw,
+        commits: keep,
+        drifted,
+    }
+}
+
+/// Evaluate freshly measured records against the database. Does not
+/// mutate the database — recording the new samples is the caller's
+/// decision (the gate bin skips it on failure so a regressed run cannot
+/// poison its own baseline).
+pub fn evaluate_run(db: &BenchDb, new_records: &[SampleRecord], cfg: &GateConfig) -> GateOutcome {
+    let commit = new_records
+        .first()
+        .map(|r| r.commit.clone())
+        .unwrap_or_else(|| "?".to_string());
+    let mut verdicts: Vec<(CellKey, CellVerdict)> = Vec::new();
+    for rec in new_records {
+        let hist = pooled_history(db, rec, cfg);
+        let scale = scale_of(rec);
+        let new_norm: Vec<f64> = rec.wall_ms_samples.iter().map(|s| s / scale).collect();
+        let mut verdict = evaluate_cell(&hist.norm, &new_norm, cfg);
+        // The decision ran in calibration units; display raw ms.
+        verdict.median_hist = median(&hist.raw);
+        verdict.median_new = median(&rec.wall_ms_samples);
+        verdict.hist_commits = hist.commits;
+        if verdict.status == CellStatus::NoHistory && hist.drifted {
+            verdict.status = CellStatus::StepsDrift;
+        }
+        verdicts.push((rec.key.clone(), verdict));
+    }
+    verdicts.sort_by(|a, b| a.0.cmp(&b.0));
+    GateOutcome { commit, verdicts }
+}

@@ -1,0 +1,286 @@
+//! Schema migration: turn every historical `perf_smoke` snapshot the
+//! repo has ever written — `mdbs-bench-smoke-v1` (PR 1), `-v2` (PR 4),
+//! `-v3` (PR 5/6) — plus current `-v4` reports into unified
+//! [`SampleRecord`]s and append them to the bench database.
+//!
+//! Migration fills in what old schemas did not record:
+//!
+//! | field        | v1          | v2          | v3        | v4        |
+//! |--------------|-------------|-------------|-----------|-----------|
+//! | `kernel`     | `btree`*    | `btree`*    | cell      | cell      |
+//! | `shards`     | 1           | per-tier*   | per-tier* | cell      |
+//! | `wake_scan`  | absent      | cell        | cell      | cell      |
+//! | `samples`    | `[wall_ms]` | `[wall_ms]` | `[wall_ms]` | cell    |
+//!
+//! (*) v1/v2 predate the kernel selector — the only implementation was
+//! the reference `BTreeMap` one. Sharded cells carry the shard count
+//! their era's harness used (one shard per site): tiers were
+//! small/4, medium/6, large/8 sites through v2, and the large tier moved
+//! to 10 sites in v3. Both eras' definitions are pinned here so the
+//! migrated key is commit-accurate.
+//!
+//! Ingested records are marked `gate_eligible: false`: they were
+//! measured on whatever machine built that PR, so they belong in the
+//! trend report but must not serve as a statistical baseline for gate
+//! runs on a different machine.
+//!
+//! Nothing here panics on bad input: an unknown schema skips the whole
+//! file (counted), a malformed cell skips that cell (counted, with a
+//! reason), and a file that fails to parse at all — e.g. a corrupt tail
+//! — degrades to a counted file-level skip.
+
+use crate::store::{BenchDb, CellKey, SampleRecord};
+use serde::Value;
+use std::path::Path;
+
+/// What one ingest attempt did. `ingested == 0` is not an error by
+/// itself — re-ingesting an already-present commit is an idempotent
+/// no-op (`duplicate`), which is exactly what a cached CI database wants.
+#[derive(Clone, Debug, Default)]
+pub struct IngestOutcome {
+    /// Source label recorded on the ingested records.
+    pub source: String,
+    /// Commit label the records were filed under.
+    pub commit: String,
+    /// Records appended.
+    pub ingested: usize,
+    /// Cells skipped (malformed / missing fields), with reasons.
+    pub skipped_cells: Vec<String>,
+    /// Set when the whole file was skipped (unknown schema, unreadable,
+    /// unparseable), with the reason.
+    pub skipped_file: Option<String>,
+    /// True when the commit was already present and nothing was added.
+    pub duplicate: bool,
+}
+
+impl IngestOutcome {
+    /// One-line summary for logs.
+    pub fn summary(&self) -> String {
+        if let Some(reason) = &self.skipped_file {
+            return format!("{}: SKIPPED file ({reason})", self.source);
+        }
+        if self.duplicate {
+            return format!(
+                "{}: commit {} already in db, skipped (idempotent)",
+                self.source, self.commit
+            );
+        }
+        format!(
+            "{}: ingested {} cells as commit {} ({} skipped)",
+            self.source,
+            self.ingested,
+            self.commit,
+            self.skipped_cells.len()
+        )
+    }
+}
+
+/// Shard count for a sharded-replay cell of a given era: one shard per
+/// site, with per-tier site counts as the harness defined them then.
+fn sharded_shards(schema: &str, size: &str) -> u32 {
+    match (schema, size) {
+        (_, "small") => 4,
+        (_, "medium") => 6,
+        ("mdbs-bench-smoke-v2", "large") => 8,
+        (_, "large") => 10,
+        // Tier labels outside the known set never occurred historically;
+        // fall back to the single-shard key rather than inventing one.
+        _ => 1,
+    }
+}
+
+fn get_str<'a>(cell: &'a Value, key: &str) -> Option<&'a str> {
+    match cell.get(key) {
+        Some(Value::Str(s)) => Some(s),
+        _ => None,
+    }
+}
+
+fn get_u64(cell: &Value, key: &str) -> Option<u64> {
+    match cell.get(key) {
+        Some(Value::U64(n)) => Some(*n),
+        Some(Value::I64(n)) if *n >= 0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+fn get_opt_u64(cell: &Value, key: &str) -> Option<u64> {
+    get_u64(cell, key)
+}
+
+fn get_f64(cell: &Value, key: &str) -> Option<f64> {
+    match cell.get(key) {
+        Some(Value::F64(x)) => Some(*x),
+        Some(Value::U64(n)) => Some(*n as f64),
+        Some(Value::I64(n)) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+/// Migrate one cell object of the given schema. `Err(reason)` skips the
+/// cell.
+fn migrate_cell(
+    schema: &str,
+    cell: &Value,
+    commit: &str,
+    source: &str,
+) -> Result<SampleRecord, String> {
+    let scheme = get_str(cell, "scheme").ok_or("missing scheme")?.to_string();
+    let mode = get_str(cell, "mode").ok_or("missing mode")?.to_string();
+    match mode.as_str() {
+        "replay" | "replay-sharded" | "des" => {}
+        other => return Err(format!("unknown mode `{other}`")),
+    }
+    let size = get_str(cell, "size").ok_or("missing size")?.to_string();
+    let txns = get_u64(cell, "txns").ok_or("missing txns")?;
+    let kernel = match schema {
+        "mdbs-bench-smoke-v1" | "mdbs-bench-smoke-v2" => "btree".to_string(),
+        _ => get_str(cell, "kernel").ok_or("missing kernel")?.to_string(),
+    };
+    let shards = match schema {
+        "mdbs-bench-smoke-v4" => get_u64(cell, "shards").ok_or("missing shards")? as u32,
+        _ if mode == "replay-sharded" => sharded_shards(schema, &size),
+        _ => 1,
+    };
+    let wall_ms_samples = if schema == "mdbs-bench-smoke-v4" {
+        match cell.get("samples") {
+            Some(Value::Arr(items)) if !items.is_empty() => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    match item {
+                        Value::F64(x) => out.push(*x),
+                        Value::U64(n) => out.push(*n as f64),
+                        Value::I64(n) => out.push(*n as f64),
+                        _ => return Err("non-numeric sample".to_string()),
+                    }
+                }
+                out
+            }
+            _ => return Err("missing samples".to_string()),
+        }
+    } else {
+        vec![get_f64(cell, "wall_ms").ok_or("missing wall_ms")?]
+    };
+    Ok(SampleRecord {
+        commit: commit.to_string(),
+        source: source.to_string(),
+        gate_eligible: false,
+        key: CellKey {
+            scheme,
+            mode,
+            tier: size,
+            kernel,
+            shards,
+        },
+        txns,
+        wall_ms_samples,
+        calib_ms: get_f64(cell, "calib_ms"),
+        steps_cond: get_u64(cell, "steps_cond").ok_or("missing steps_cond")?,
+        steps_act: get_u64(cell, "steps_act").ok_or("missing steps_act")?,
+        steps_wait_scan: get_u64(cell, "steps_wait_scan").unwrap_or(0),
+        waits: get_u64(cell, "waits").unwrap_or(0),
+        peak_wait: get_u64(cell, "peak_wait").unwrap_or(0),
+        peak_active: get_u64(cell, "peak_active").unwrap_or(0),
+        wake_scan_count: if schema == "mdbs-bench-smoke-v1" {
+            None
+        } else {
+            get_opt_u64(cell, "wake_scan_count")
+        },
+        wake_scan_sum: if schema == "mdbs-bench-smoke-v1" {
+            None
+        } else {
+            get_opt_u64(cell, "wake_scan_sum")
+        },
+        p50_response_us: get_opt_u64(cell, "p50_response_us"),
+        p99_response_us: get_opt_u64(cell, "p99_response_us"),
+    })
+}
+
+/// Ingest a report from its JSON text. `source` names the origin (it is
+/// stored on every record as `ingest:<source>`); `commit` labels the
+/// column the records occupy in the trend report.
+pub fn ingest_report(db: &mut BenchDb, text: &str, commit: &str, source: &str) -> IngestOutcome {
+    let mut outcome = IngestOutcome {
+        source: source.to_string(),
+        commit: commit.to_string(),
+        ..IngestOutcome::default()
+    };
+    let value = match serde_json::from_str_value(text) {
+        Ok(v) => v,
+        Err(e) => {
+            outcome.skipped_file = Some(format!("unparseable JSON: {e}"));
+            return outcome;
+        }
+    };
+    let schema = match value.get("schema") {
+        Some(Value::Str(s)) => s.clone(),
+        _ => {
+            outcome.skipped_file = Some("missing schema field".to_string());
+            return outcome;
+        }
+    };
+    match schema.as_str() {
+        "mdbs-bench-smoke-v1"
+        | "mdbs-bench-smoke-v2"
+        | "mdbs-bench-smoke-v3"
+        | "mdbs-bench-smoke-v4" => {}
+        other => {
+            outcome.skipped_file = Some(format!("unknown schema `{other}`"));
+            return outcome;
+        }
+    }
+    let cells = match value.get("cells") {
+        Some(Value::Arr(cells)) => cells,
+        _ => {
+            outcome.skipped_file = Some("missing cells array".to_string());
+            return outcome;
+        }
+    };
+    if db.has_commit(commit) {
+        outcome.duplicate = true;
+        return outcome;
+    }
+    let record_source = format!("ingest:{source}");
+    for (i, cell) in cells.iter().enumerate() {
+        match migrate_cell(&schema, cell, commit, &record_source) {
+            Ok(rec) => {
+                db.append(rec);
+                outcome.ingested += 1;
+            }
+            Err(reason) => outcome.skipped_cells.push(format!("cell {i}: {reason}")),
+        }
+    }
+    outcome
+}
+
+/// Commit label for a snapshot file: the stem, with the `BENCH_` prefix
+/// dropped (`BENCH_PR4.json` → `PR4`).
+pub fn commit_label_for(path: &Path) -> String {
+    let stem = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("unknown");
+    stem.strip_prefix("BENCH_").unwrap_or(stem).to_string()
+}
+
+/// Ingest a snapshot file. The commit label defaults to
+/// [`commit_label_for`] unless overridden.
+pub fn ingest_file(db: &mut BenchDb, path: &Path, commit: Option<&str>) -> IngestOutcome {
+    let label = commit
+        .map(|c| c.to_string())
+        .unwrap_or_else(|| commit_label_for(path));
+    let source = path
+        .file_name()
+        .and_then(|s| s.to_str())
+        .unwrap_or("unknown")
+        .to_string();
+    match std::fs::read_to_string(path) {
+        Ok(text) => ingest_report(db, &text, &label, &source),
+        Err(e) => IngestOutcome {
+            source,
+            commit: label,
+            skipped_file: Some(format!("unreadable: {e}")),
+            ..IngestOutcome::default()
+        },
+    }
+}

@@ -1,0 +1,337 @@
+//! Trend report generation: render the whole bench database as a
+//! markdown and an HTML artifact.
+//!
+//! Both renderers show the same three things:
+//!
+//! 1. **Wall-clock trend** — one row per cell, one column per commit
+//!    (first-seen order, so ingested historical snapshots lead and the
+//!    current run is the last column), each entry the median of that
+//!    record's samples with `min–max ×n` detail.
+//! 2. **Paper steps** — `steps_cond`/`steps_act` per cell. Steps are
+//!    deterministic, so the table collapses to a single pinned value
+//!    when every commit agrees and flags per-commit values when they
+//!    ever moved (tier redefinitions across PRs, or genuine accounting
+//!    drift — the latter is `step_gate`'s job to veto).
+//! 3. **Gate verdicts** — when a [`GateOutcome`] is supplied, the
+//!    per-cell statistical classification of the freshest run.
+//!
+//! The HTML is a single self-contained file (inline CSS, no scripts) so
+//! it can be uploaded as a CI artifact and opened directly; per-row
+//! inline bars make a 2× wall-clock step visible without reading
+//! numbers.
+
+use crate::gate::{CellStatus, GateOutcome};
+use crate::store::{BenchDb, CellKey, SampleRecord};
+use std::collections::BTreeMap;
+
+/// Per-cell, per-commit aggregation the tables are built from.
+struct Grid<'a> {
+    commits: Vec<String>,
+    /// cell -> commit -> records (a commit usually has one record per
+    /// cell; repeated same-commit runs pool their samples).
+    rows: BTreeMap<CellKey, BTreeMap<String, Vec<&'a SampleRecord>>>,
+}
+
+fn build_grid(db: &BenchDb) -> Grid<'_> {
+    let commits = db.commits();
+    let mut rows: BTreeMap<CellKey, BTreeMap<String, Vec<&SampleRecord>>> = BTreeMap::new();
+    for rec in db.records() {
+        rows.entry(rec.key.clone())
+            .or_default()
+            .entry(rec.commit.clone())
+            .or_default()
+            .push(rec);
+    }
+    Grid { commits, rows }
+}
+
+/// Pooled samples of one (cell, commit) entry.
+fn pooled(records: &[&SampleRecord]) -> Vec<f64> {
+    records
+        .iter()
+        .flat_map(|r| r.wall_ms_samples.iter().copied())
+        .collect()
+}
+
+fn fmt_ms(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Entry text: `median (min–max ×n)`, or `·` when the commit never
+/// measured the cell.
+fn entry_text(records: Option<&Vec<&SampleRecord>>) -> String {
+    let Some(records) = records else {
+        return "·".to_string();
+    };
+    let samples = pooled(records);
+    let median = crate::gate::median(&samples);
+    if samples.len() == 1 {
+        return fmt_ms(median);
+    }
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(0.0_f64, f64::max);
+    format!(
+        "{} ({}–{} ×{})",
+        fmt_ms(median),
+        fmt_ms(min),
+        fmt_ms(max),
+        samples.len()
+    )
+}
+
+/// Step entries across commits for one cell: `Ok(single)` when every
+/// commit agrees, `Err(per-commit)` when they ever differ.
+#[allow(clippy::type_complexity)]
+fn step_trend(grid: &Grid<'_>, key: &CellKey) -> Result<(u64, u64), Vec<(String, u64, u64)>> {
+    let mut per_commit: Vec<(String, u64, u64)> = Vec::new();
+    for commit in &grid.commits {
+        if let Some(records) = grid.rows[key].get(commit) {
+            for rec in records {
+                let entry = (commit.clone(), rec.steps_cond, rec.steps_act);
+                if !per_commit.contains(&entry) {
+                    per_commit.push(entry);
+                }
+            }
+        }
+    }
+    let (_, c0, a0) = per_commit[0];
+    if per_commit.iter().all(|&(_, c, a)| (c, a) == (c0, a0)) {
+        Ok((c0, a0))
+    } else {
+        Err(per_commit)
+    }
+}
+
+/// Render the markdown trend report.
+pub fn render_markdown(db: &BenchDb, gate: Option<&GateOutcome>) -> String {
+    let grid = build_grid(db);
+    let mut out = String::new();
+    out.push_str("# Bench trend report\n\n");
+    out.push_str(&format!(
+        "Database: `{}` — {} records, {} cells, {} commits (oldest → newest): {}\n\n",
+        db.path().display(),
+        db.records().len(),
+        grid.rows.len(),
+        grid.commits.len(),
+        grid.commits
+            .iter()
+            .map(|c| format!("`{c}`"))
+            .collect::<Vec<_>>()
+            .join(" → "),
+    ));
+
+    out.push_str("## Wall-clock medians (ms)\n\n");
+    out.push_str(
+        "Entries are `median (min–max ×samples)`; `·` = cell not measured at that commit.\n\n",
+    );
+    out.push_str(&format!("| cell | {} |\n", grid.commits.join(" | ")));
+    out.push_str(&format!("|---|{}\n", "---|".repeat(grid.commits.len())));
+    for (key, by_commit) in &grid.rows {
+        let cells: Vec<String> = grid
+            .commits
+            .iter()
+            .map(|c| entry_text(by_commit.get(c)))
+            .collect();
+        out.push_str(&format!("| `{}` | {} |\n", key.id(), cells.join(" | ")));
+    }
+
+    out.push_str("\n## Paper steps (pinned separately — must not drift)\n\n");
+    out.push_str("Steps are deterministic: within one workload definition they must be bit-identical across commits (enforced by `step_gate`). Rows marked ⚠ changed because a tier was redefined; the per-commit values are listed.\n\n");
+    out.push_str("| cell | steps_cond | steps_act |\n|---|---|---|\n");
+    for key in grid.rows.keys() {
+        match step_trend(&grid, key) {
+            Ok((cond, act)) => {
+                out.push_str(&format!("| `{}` | {cond} | {act} |\n", key.id()));
+            }
+            Err(per_commit) => {
+                let cond: Vec<String> = per_commit
+                    .iter()
+                    .map(|(c, s, _)| format!("{c}: {s}"))
+                    .collect();
+                let act: Vec<String> = per_commit
+                    .iter()
+                    .map(|(c, _, s)| format!("{c}: {s}"))
+                    .collect();
+                out.push_str(&format!(
+                    "| `{}` ⚠ | {} | {} |\n",
+                    key.id(),
+                    cond.join("; "),
+                    act.join("; ")
+                ));
+            }
+        }
+    }
+
+    if let Some(gate) = gate {
+        out.push_str(&format!(
+            "\n## Gate verdicts @ `{}`\n\n| cell | status | median new (ms) | median hist (ms) | ratio | p(slower) | baseline commits |\n|---|---|---|---|---|---|---|\n",
+            gate.commit
+        ));
+        for (key, v) in &gate.verdicts {
+            let marker = match v.status {
+                CellStatus::Regression => " 🔴",
+                CellStatus::Improvement => " 🟢",
+                _ => "",
+            };
+            out.push_str(&format!(
+                "| `{}` | {}{} | {} | {} | {:.2} | {:.4} | {} |\n",
+                key.id(),
+                v.status.label(),
+                marker,
+                fmt_ms(v.median_new),
+                fmt_ms(v.median_hist),
+                v.ratio,
+                v.p_slower,
+                if v.hist_commits.is_empty() {
+                    "—".to_string()
+                } else {
+                    v.hist_commits.join(", ")
+                },
+            ));
+        }
+    }
+    out
+}
+
+fn html_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Render the self-contained HTML trend report.
+pub fn render_html(db: &BenchDb, gate: Option<&GateOutcome>) -> String {
+    let grid = build_grid(db);
+    let mut out = String::new();
+    out.push_str(
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n\
+         <title>mdbs bench trend</title>\n<style>\n\
+         body{font:14px/1.45 system-ui,sans-serif;margin:2rem;color:#1a1a1a}\n\
+         h1,h2{font-weight:600}\n\
+         table{border-collapse:collapse;margin:1rem 0;font-variant-numeric:tabular-nums}\n\
+         th,td{border:1px solid #d0d0d0;padding:3px 8px;text-align:right;white-space:nowrap}\n\
+         th{background:#f2f2f2}\n\
+         td.cell,th.cell{text-align:left;font-family:ui-monospace,monospace;font-size:12px}\n\
+         .bar{display:inline-block;height:9px;background:#6a8caf;margin-right:6px;vertical-align:baseline}\n\
+         .miss{color:#999}\n\
+         .regression{background:#fde3e3}\n\
+         .improvement{background:#e2f4e2}\n\
+         .drift{background:#fdf3d8}\n\
+         small{color:#666}\n\
+         </style></head><body>\n",
+    );
+    out.push_str("<h1>mdbs bench trend</h1>\n");
+    out.push_str(&format!(
+        "<p>Database <code>{}</code> — {} records, {} cells. Commits (oldest → newest): {}</p>\n",
+        html_escape(&db.path().display().to_string()),
+        db.records().len(),
+        grid.rows.len(),
+        grid.commits
+            .iter()
+            .map(|c| format!("<code>{}</code>", html_escape(c)))
+            .collect::<Vec<_>>()
+            .join(" → "),
+    ));
+
+    out.push_str("<h2>Wall-clock medians (ms)</h2>\n");
+    out.push_str("<p><small>Bars are scaled per row to that cell's slowest commit; entries are median (min–max ×samples).</small></p>\n<table>\n<tr><th class=\"cell\">cell</th>");
+    for c in &grid.commits {
+        out.push_str(&format!("<th>{}</th>", html_escape(c)));
+    }
+    out.push_str("</tr>\n");
+    for (key, by_commit) in &grid.rows {
+        let medians: BTreeMap<&String, f64> = grid
+            .commits
+            .iter()
+            .filter_map(|c| {
+                by_commit
+                    .get(c)
+                    .map(|records| (c, crate::gate::median(&pooled(records))))
+            })
+            .collect();
+        let row_max = medians.values().copied().fold(0.0_f64, f64::max).max(1e-9);
+        out.push_str(&format!(
+            "<tr><td class=\"cell\">{}</td>",
+            html_escape(&key.id())
+        ));
+        for c in &grid.commits {
+            match medians.get(c) {
+                Some(&m) => {
+                    let width = (m / row_max * 60.0).clamp(1.0, 60.0);
+                    out.push_str(&format!(
+                        "<td><span class=\"bar\" style=\"width:{width:.0}px\"></span>{}</td>",
+                        html_escape(&entry_text(by_commit.get(c)))
+                    ));
+                }
+                None => out.push_str("<td class=\"miss\">·</td>"),
+            }
+        }
+        out.push_str("</tr>\n");
+    }
+    out.push_str("</table>\n");
+
+    out.push_str("<h2>Paper steps</h2>\n<p><small>Deterministic; ⚠ rows changed across commits (tier redefinition or accounting drift — the latter is <code>step_gate</code>'s veto).</small></p>\n<table>\n<tr><th class=\"cell\">cell</th><th>steps_cond</th><th>steps_act</th></tr>\n");
+    for key in grid.rows.keys() {
+        match step_trend(&grid, key) {
+            Ok((cond, act)) => out.push_str(&format!(
+                "<tr><td class=\"cell\">{}</td><td>{cond}</td><td>{act}</td></tr>\n",
+                html_escape(&key.id())
+            )),
+            Err(per_commit) => {
+                let cond: Vec<String> = per_commit
+                    .iter()
+                    .map(|(c, s, _)| format!("{}: {s}", html_escape(c)))
+                    .collect();
+                let act: Vec<String> = per_commit
+                    .iter()
+                    .map(|(c, _, s)| format!("{}: {s}", html_escape(c)))
+                    .collect();
+                out.push_str(&format!(
+                    "<tr class=\"drift\"><td class=\"cell\">{} ⚠</td><td>{}</td><td>{}</td></tr>\n",
+                    html_escape(&key.id()),
+                    cond.join("; "),
+                    act.join("; ")
+                ));
+            }
+        }
+    }
+    out.push_str("</table>\n");
+
+    if let Some(gate) = gate {
+        out.push_str(&format!(
+            "<h2>Gate verdicts @ <code>{}</code></h2>\n<table>\n<tr><th class=\"cell\">cell</th><th>status</th><th>median new (ms)</th><th>median hist (ms)</th><th>ratio</th><th>p(slower)</th><th>baseline commits</th></tr>\n",
+            html_escape(&gate.commit)
+        ));
+        for (key, v) in &gate.verdicts {
+            let class = match v.status {
+                CellStatus::Regression => " class=\"regression\"",
+                CellStatus::Improvement => " class=\"improvement\"",
+                CellStatus::StepsDrift => " class=\"drift\"",
+                _ => "",
+            };
+            out.push_str(&format!(
+                "<tr{class}><td class=\"cell\">{}</td><td>{}</td><td>{}</td><td>{}</td><td>{:.2}</td><td>{:.4}</td><td>{}</td></tr>\n",
+                html_escape(&key.id()),
+                v.status.label(),
+                fmt_ms(v.median_new),
+                fmt_ms(v.median_hist),
+                v.ratio,
+                v.p_slower,
+                html_escape(&if v.hist_commits.is_empty() {
+                    "—".to_string()
+                } else {
+                    v.hist_commits.join(", ")
+                }),
+            ));
+        }
+        out.push_str("</table>\n");
+    }
+    out.push_str("</body></html>\n");
+    out
+}

@@ -1,0 +1,303 @@
+//! Fast tier-1 tests for the bench results database and the gate's
+//! decision plumbing: append/reopen round-trips, corrupt-tail recovery,
+//! version resets, and the exit-code contract — all on tiny synthetic
+//! records, no benchmark is ever run.
+
+use mdbs_bench::gate::{evaluate_run, CellStatus, GateConfig};
+use mdbs_bench::store::{BenchDb, CellKey, SampleRecord};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Fresh path under the target tmpdir, unique per test invocation.
+fn temp_db_path(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "mdbs-bench-db-test-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    p.push("bench.bin");
+    p
+}
+
+fn key(scheme: &str, shards: u32) -> CellKey {
+    CellKey {
+        scheme: scheme.to_string(),
+        mode: if shards > 1 {
+            "replay-sharded".to_string()
+        } else {
+            "replay".to_string()
+        },
+        tier: "small".to_string(),
+        kernel: "dense".to_string(),
+        shards,
+    }
+}
+
+fn record(commit: &str, key: CellKey, samples: &[f64]) -> SampleRecord {
+    SampleRecord {
+        commit: commit.to_string(),
+        source: "test".to_string(),
+        gate_eligible: true,
+        key,
+        txns: 50,
+        wall_ms_samples: samples.to_vec(),
+        calib_ms: Some(1.0),
+        steps_cond: 111,
+        steps_act: 222,
+        steps_wait_scan: 3,
+        waits: 4,
+        peak_wait: 2,
+        peak_active: 5,
+        wake_scan_count: Some(7),
+        wake_scan_sum: Some(9),
+        p50_response_us: None,
+        p99_response_us: None,
+    }
+}
+
+#[test]
+fn open_missing_file_starts_empty() {
+    let path = temp_db_path("missing");
+    let db = BenchDb::open(&path).unwrap();
+    assert!(db.records().is_empty());
+    assert_eq!(db.recovery().dropped_tail_bytes, 0);
+    assert!(db.recovery().reset.is_none());
+    assert!(!db.is_dirty());
+}
+
+#[test]
+fn append_save_reopen_round_trips() {
+    let path = temp_db_path("roundtrip");
+    let mut db = BenchDb::open(&path).unwrap();
+    db.append(record("c1", key("Scheme0", 1), &[1.0, 2.0, 3.0]));
+    db.append(record("c1", key("Scheme1", 4), &[4.5]));
+    db.append(record("c2", key("Scheme0", 1), &[1.25]));
+    assert!(db.is_dirty());
+    db.save().unwrap();
+    assert!(!db.is_dirty());
+
+    let db2 = BenchDb::open(&path).unwrap();
+    assert_eq!(db2.records(), db.records());
+    assert_eq!(db2.commits(), vec!["c1".to_string(), "c2".to_string()]);
+    assert!(db2.has_commit("c2"));
+    assert!(!db2.has_commit("c3"));
+    assert_eq!(db2.cells().len(), 2);
+    assert_eq!(db2.history(&key("Scheme0", 1)).len(), 2);
+    assert_eq!(db2.recovery().dropped_tail_bytes, 0);
+}
+
+#[test]
+fn truncated_tail_recovers_valid_prefix() {
+    let path = temp_db_path("truncate");
+    let mut db = BenchDb::open(&path).unwrap();
+    db.append(record("c1", key("Scheme0", 1), &[1.0]));
+    db.append(record("c2", key("Scheme0", 1), &[2.0]));
+    db.save().unwrap();
+    let full = std::fs::read(&path).unwrap();
+
+    // Chop bytes off the tail: every cut must recover *some* valid
+    // prefix without erroring, and a cut inside the final record must
+    // keep the first record intact.
+    for cut in 1..40 {
+        let truncated = &full[..full.len() - cut];
+        std::fs::write(&path, truncated).unwrap();
+        let db2 = BenchDb::open(&path).unwrap();
+        assert!(db2.records().len() <= 2, "cut {cut}");
+        assert!(
+            db2.recovery().dropped_tail_bytes > 0,
+            "cut {cut} reported no drop"
+        );
+        if !db2.records().is_empty() {
+            assert_eq!(db2.records()[0].commit, "c1", "cut {cut}");
+        }
+    }
+}
+
+#[test]
+fn corrupt_byte_in_tail_record_is_dropped_by_checksum() {
+    let path = temp_db_path("corrupt");
+    let mut db = BenchDb::open(&path).unwrap();
+    db.append(record("c1", key("Scheme0", 1), &[1.0]));
+    db.append(record("c2", key("Scheme0", 1), &[2.0]));
+    db.save().unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    // Flip a byte well inside the last record's payload.
+    let n = bytes.len();
+    bytes[n - 5] ^= 0xff;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let db2 = BenchDb::open(&path).unwrap();
+    assert_eq!(db2.records().len(), 1);
+    assert_eq!(db2.records()[0].commit, "c1");
+    assert!(db2.recovery().dropped_tail_bytes > 0);
+    // Saving heals the file.
+    let mut db2 = db2;
+    db2.append(record("c3", key("Scheme0", 1), &[3.0]));
+    db2.save().unwrap();
+    let db3 = BenchDb::open(&path).unwrap();
+    assert_eq!(db3.records().len(), 2);
+    assert_eq!(db3.recovery().dropped_tail_bytes, 0);
+}
+
+#[test]
+fn bad_magic_and_version_mismatch_reset() {
+    let path = temp_db_path("reset");
+    let mut db = BenchDb::open(&path).unwrap();
+    db.append(record("c1", key("Scheme0", 1), &[1.0]));
+    db.save().unwrap();
+
+    // Foreign magic: abandon the file.
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[0] = b'X';
+    std::fs::write(&path, &bytes).unwrap();
+    let db2 = BenchDb::open(&path).unwrap();
+    assert!(db2.records().is_empty());
+    assert!(db2.recovery().reset.is_some());
+
+    // Future version: abandon the file (schema moved on).
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[0] = b'M'; // restore magic
+    bytes[8] = 0xfe; // clobber the version word
+    std::fs::write(&path, &bytes).unwrap();
+    let db3 = BenchDb::open(&path).unwrap();
+    assert!(db3.records().is_empty());
+    assert!(db3.recovery().reset.is_some());
+}
+
+/// Drive `evaluate_run` with synthetic in-memory history. The baseline
+/// sits near 1.0 ms; the configured gate needs ≥4 samples on each side.
+fn history_db(path: &PathBuf) -> BenchDb {
+    let mut db = BenchDb::open(path).unwrap();
+    for commit in ["h1", "h2", "h3"] {
+        db.append(record(
+            commit,
+            key("Scheme0", 1),
+            &[0.98, 1.0, 1.02, 1.01, 0.99],
+        ));
+    }
+    db
+}
+
+#[test]
+fn gate_exit_codes_and_statuses() {
+    let path = temp_db_path("gate");
+    let db = history_db(&path);
+    let cfg = GateConfig::default();
+
+    // Clean: new samples drawn from the same distribution -> exit 0.
+    let same = vec![record(
+        "new",
+        key("Scheme0", 1),
+        &[0.99, 1.0, 1.01, 1.0, 1.02],
+    )];
+    let outcome = evaluate_run(&db, &same, &cfg);
+    assert_eq!(outcome.verdicts[0].1.status, CellStatus::Pass);
+    assert_eq!(outcome.exit_code(), 0);
+    assert!(outcome.regressions().is_empty());
+
+    // Injected 2x slowdown -> regression, exit 1, cell named.
+    let slow = vec![record(
+        "new",
+        key("Scheme0", 1),
+        &[1.96, 2.0, 2.04, 2.02, 1.98],
+    )];
+    let outcome = evaluate_run(&db, &slow, &cfg);
+    assert_eq!(outcome.verdicts[0].1.status, CellStatus::Regression);
+    assert_eq!(outcome.exit_code(), 1);
+    let regressed = outcome.regressions();
+    assert_eq!(regressed.len(), 1);
+    assert_eq!(regressed[0].id(), "Scheme0/replay/small/dense/x1");
+    assert!(outcome.render_text().contains("REGRESSION"));
+
+    // 2x speedup -> improvement (informational), exit stays 0.
+    let fast = vec![record(
+        "new",
+        key("Scheme0", 1),
+        &[0.49, 0.5, 0.51, 0.5, 0.52],
+    )];
+    let outcome = evaluate_run(&db, &fast, &cfg);
+    assert_eq!(outcome.verdicts[0].1.status, CellStatus::Improvement);
+    assert_eq!(outcome.exit_code(), 0);
+}
+
+#[test]
+fn gate_guards_no_history_steps_drift_and_sample_floors() {
+    let path = temp_db_path("guards");
+    let db = history_db(&path);
+    let cfg = GateConfig::default();
+
+    // Unknown cell -> no history, never fails.
+    let other = vec![record("new", key("Scheme3", 1), &[9.0, 9.0, 9.0, 9.0, 9.0])];
+    let outcome = evaluate_run(&db, &other, &cfg);
+    assert_eq!(outcome.verdicts[0].1.status, CellStatus::NoHistory);
+    assert_eq!(outcome.exit_code(), 0);
+
+    // Step counters moved -> incomparable, not a wall-clock verdict.
+    let mut drifted = record("new", key("Scheme0", 1), &[9.0, 9.0, 9.0, 9.0, 9.0]);
+    drifted.steps_cond += 1;
+    let outcome = evaluate_run(&db, &[drifted], &cfg);
+    assert_eq!(outcome.verdicts[0].1.status, CellStatus::StepsDrift);
+    assert_eq!(outcome.exit_code(), 0);
+
+    // Too few new samples -> reported, cannot fail.
+    let few = vec![record("new", key("Scheme0", 1), &[9.0, 9.0])];
+    let outcome = evaluate_run(&db, &few, &cfg);
+    assert_eq!(
+        outcome.verdicts[0].1.status,
+        CellStatus::InsufficientSamples
+    );
+    assert_eq!(outcome.exit_code(), 0);
+}
+
+#[test]
+fn gate_calibration_cancels_uniform_machine_drift() {
+    // History measured when the spin took 1.0 ms; the new run's machine
+    // is uniformly 1.6x slower (calibration 1.6 ms, every cell 1.6x).
+    // Raw medians scream regression; normalized units must not.
+    let path = temp_db_path("calib");
+    let db = history_db(&path);
+    let cfg = GateConfig::default();
+    let mut slow_machine = record("new", key("Scheme0", 1), &[1.568, 1.6, 1.632, 1.616, 1.584]);
+    slow_machine.calib_ms = Some(1.6);
+    let outcome = evaluate_run(&db, &[slow_machine], &cfg);
+    assert_eq!(outcome.verdicts[0].1.status, CellStatus::Pass);
+    // Display medians stay raw.
+    assert!((outcome.verdicts[0].1.median_new - 1.6).abs() < 1e-9);
+    // The decision ratio is normalized, ~1.0.
+    assert!((outcome.verdicts[0].1.ratio - 1.0).abs() < 0.05);
+}
+
+#[test]
+fn gate_ignores_ingested_and_windowed_out_history() {
+    let path = temp_db_path("window");
+    let mut db = BenchDb::open(&path).unwrap();
+    // An ingested record (gate_eligible = false) with absurdly fast
+    // samples: if it leaked into the baseline, the clean run below would
+    // fire.
+    let mut ingested = record("PR1", key("Scheme0", 1), &[0.001; 5]);
+    ingested.gate_eligible = false;
+    db.append(ingested);
+    // Four eligible commits; window = 3 keeps h2..h4 and must drop h1's
+    // absurdly fast samples from the pool.
+    db.append(record("h1", key("Scheme0", 1), &[0.001; 5]));
+    for commit in ["h2", "h3", "h4"] {
+        db.append(record(
+            commit,
+            key("Scheme0", 1),
+            &[0.98, 1.0, 1.02, 1.01, 0.99],
+        ));
+    }
+    let cfg = GateConfig::default();
+    let new = vec![record(
+        "new",
+        key("Scheme0", 1),
+        &[0.99, 1.0, 1.01, 1.0, 1.02],
+    )];
+    let outcome = evaluate_run(&db, &new, &cfg);
+    let v = &outcome.verdicts[0].1;
+    assert_eq!(v.status, CellStatus::Pass);
+    assert_eq!(v.hist_commits, vec!["h2", "h3", "h4"]);
+    assert_eq!(v.hist_samples, 15);
+}

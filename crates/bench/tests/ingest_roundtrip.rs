@@ -1,0 +1,237 @@
+//! Schema-migration round-trip tests: every historical perf snapshot in
+//! the repo root (`BENCH_PR1/4/5/6.json`, schemas v1/v2/v3) must ingest
+//! with zero skipped cells, match the pinned golden snapshot
+//! (`tests/golden_ingest.json` — regenerate with `MDBS_BLESS=1`), and
+//! survive a save/reopen cycle through the binary store bit-for-bit.
+//! Malformed inputs (unknown schema, corrupt JSON, missing fields) must
+//! degrade to *counted skips*, never panics.
+
+use mdbs_bench::ingest::{self, IngestOutcome};
+use mdbs_bench::store::{BenchDb, SampleRecord};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn temp_db_path(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "mdbs-bench-ingest-test-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    p.push("bench.bin");
+    p
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root")
+}
+
+/// The four historical snapshots with their expected cell counts.
+const SNAPSHOTS: [(&str, usize); 4] = [
+    ("BENCH_PR1.json", 24),
+    ("BENCH_PR4.json", 36),
+    ("BENCH_PR5.json", 52),
+    ("BENCH_PR6.json", 58),
+];
+
+fn ingest_all(db: &mut BenchDb) -> Vec<IngestOutcome> {
+    let root = repo_root();
+    SNAPSHOTS
+        .iter()
+        .map(|(file, _)| ingest::ingest_file(db, &root.join(file), None))
+        .collect()
+}
+
+/// Canonical one-line digest of a migrated record: every field the
+/// migration fills in, in a stable order, so the golden file pins the
+/// whole mapping (kernel/shard backfills included).
+fn canonical_line(rec: &SampleRecord) -> String {
+    fn opt(v: Option<u64>) -> String {
+        v.map(|n| n.to_string()).unwrap_or_else(|| "-".to_string())
+    }
+    format!(
+        "{}|{}|src={}|eligible={}|txns={}|wall={:?}|calib={}|cond={}|act={}|wait_scan={}|waits={}|peak_wait={}|peak_active={}|wake_n={}|wake_sum={}|p50={}|p99={}",
+        rec.commit,
+        rec.key.id(),
+        rec.source,
+        rec.gate_eligible,
+        rec.txns,
+        rec.wall_ms_samples,
+        rec.calib_ms.map(|c| format!("{c:?}")).unwrap_or_else(|| "-".to_string()),
+        rec.steps_cond,
+        rec.steps_act,
+        rec.steps_wait_scan,
+        rec.waits,
+        rec.peak_wait,
+        rec.peak_active,
+        opt(rec.wake_scan_count),
+        opt(rec.wake_scan_sum),
+        opt(rec.p50_response_us),
+        opt(rec.p99_response_us),
+    )
+}
+
+#[test]
+fn all_historical_snapshots_ingest_cleanly() {
+    let mut db = BenchDb::open(temp_db_path("clean")).unwrap();
+    let outcomes = ingest_all(&mut db);
+    for (outcome, (file, cells)) in outcomes.iter().zip(SNAPSHOTS) {
+        assert_eq!(
+            outcome.skipped_file, None,
+            "{file}: {:?}",
+            outcome.skipped_file
+        );
+        assert!(
+            outcome.skipped_cells.is_empty(),
+            "{file}: skipped {:?}",
+            outcome.skipped_cells
+        );
+        assert_eq!(outcome.ingested, cells, "{file}");
+        assert!(!outcome.duplicate, "{file}");
+    }
+    assert_eq!(db.commits(), vec!["PR1", "PR4", "PR5", "PR6"]);
+    assert_eq!(db.records().len(), 24 + 36 + 52 + 58);
+    // Every ingested record is trend data, never a gate baseline.
+    assert!(db.records().iter().all(|r| !r.gate_eligible));
+    // Era-accurate shard backfill: v2's large tier ran 8 sites, v3's 10.
+    let ids: Vec<String> = db.records().iter().map(|r| r.key.id()).collect();
+    assert!(ids.contains(&"Scheme0/replay-sharded/large/btree/x8".to_string()));
+    assert!(ids.contains(&"Scheme0/replay-sharded/large/dense/x10".to_string()));
+    assert!(ids.contains(&"Scheme0/replay-sharded/small/btree/x4".to_string()));
+    // v1/v2 predate the kernel column: everything is the btree kernel.
+    assert!(db
+        .records()
+        .iter()
+        .filter(|r| r.commit == "PR1" || r.commit == "PR4")
+        .all(|r| r.key.kernel == "btree"));
+    // v1 predates wake-scan counters.
+    assert!(db
+        .records()
+        .iter()
+        .filter(|r| r.commit == "PR1")
+        .all(|r| r.wake_scan_count.is_none()));
+}
+
+#[test]
+fn golden_ingest_snapshot_is_pinned() {
+    let mut db = BenchDb::open(temp_db_path("golden")).unwrap();
+    ingest_all(&mut db);
+    let lines: Vec<String> = db.records().iter().map(canonical_line).collect();
+    let rendered = format!("[\n  \"{}\"\n]\n", {
+        let escaped: Vec<String> = lines
+            .iter()
+            .map(|l| l.replace('\\', "\\\\").replace('"', "\\\""))
+            .collect();
+        escaped.join("\",\n  \"")
+    });
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden_ingest.json");
+    if std::env::var("MDBS_BLESS").is_ok() {
+        std::fs::write(&golden_path, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .expect("tests/golden_ingest.json missing — run with MDBS_BLESS=1 to regenerate");
+    assert_eq!(
+        rendered, golden,
+        "ingest output drifted from the golden snapshot; \
+         if the migration changed intentionally, regenerate with MDBS_BLESS=1"
+    );
+}
+
+#[test]
+fn migrated_records_round_trip_through_the_store() {
+    let path = temp_db_path("roundtrip");
+    let mut db = BenchDb::open(&path).unwrap();
+    ingest_all(&mut db);
+    let before: Vec<String> = db.records().iter().map(canonical_line).collect();
+    db.save().unwrap();
+    let db2 = BenchDb::open(&path).unwrap();
+    assert_eq!(db2.recovery().dropped_tail_bytes, 0);
+    assert!(db2.recovery().reset.is_none());
+    let after: Vec<String> = db2.records().iter().map(canonical_line).collect();
+    assert_eq!(before, after);
+    assert_eq!(db.records(), db2.records());
+}
+
+#[test]
+fn reingesting_a_present_commit_is_idempotent() {
+    let mut db = BenchDb::open(temp_db_path("dup")).unwrap();
+    ingest_all(&mut db);
+    let n = db.records().len();
+    let outcome = ingest::ingest_file(&mut db, &repo_root().join("BENCH_PR4.json"), None);
+    assert!(outcome.duplicate);
+    assert_eq!(outcome.ingested, 0);
+    assert_eq!(db.records().len(), n);
+}
+
+#[test]
+fn malformed_inputs_degrade_to_counted_skips() {
+    let mut db = BenchDb::open(temp_db_path("malformed")).unwrap();
+
+    // Unknown schema: whole file skipped, reason says so.
+    let o = ingest::ingest_report(
+        &mut db,
+        r#"{"schema": "mdbs-bench-smoke-v99", "cells": []}"#,
+        "x1",
+        "t",
+    );
+    assert!(o
+        .skipped_file
+        .as_deref()
+        .unwrap()
+        .contains("unknown schema"));
+
+    // Corrupt JSON (a torn tail): file skipped, no panic.
+    let o = ingest::ingest_report(
+        &mut db,
+        r#"{"schema": "mdbs-bench-smoke-v3", "cel"#,
+        "x2",
+        "t",
+    );
+    assert!(o.skipped_file.is_some());
+
+    // Not JSON at all.
+    let o = ingest::ingest_report(&mut db, "BENCH garbage \u{0}\u{1}", "x3", "t");
+    assert!(o.skipped_file.is_some());
+
+    // Missing the cells array.
+    let o = ingest::ingest_report(&mut db, r#"{"schema": "mdbs-bench-smoke-v3"}"#, "x4", "t");
+    assert!(o.skipped_file.as_deref().unwrap().contains("missing cells"));
+
+    // A malformed cell skips that cell with a reason; the good cell in
+    // the same file still lands.
+    let text = r#"{
+        "schema": "mdbs-bench-smoke-v3",
+        "cells": [
+            {"scheme": "Scheme0", "mode": "replay", "size": "small", "kernel": "dense",
+             "txns": 50, "wall_ms": 1.5, "steps_cond": 10, "steps_act": 20},
+            {"scheme": "Scheme0", "mode": "replay", "size": "small", "kernel": "dense",
+             "txns": 50, "steps_cond": 10, "steps_act": 20},
+            {"scheme": "Scheme0", "mode": "teleport", "size": "small", "kernel": "dense",
+             "txns": 50, "wall_ms": 1.5, "steps_cond": 10, "steps_act": 20}
+        ]
+    }"#;
+    let o = ingest::ingest_report(&mut db, text, "x5", "t");
+    assert_eq!(o.ingested, 1);
+    assert_eq!(o.skipped_cells.len(), 2);
+    assert!(o.skipped_cells[0].contains("missing wall_ms"));
+    assert!(o.skipped_cells[1].contains("unknown mode"));
+    assert!(db.has_commit("x5"));
+
+    // Unreadable path: counted file skip, not an error.
+    let o = ingest::ingest_file(&mut db, Path::new("/nonexistent/nope.json"), None);
+    assert!(o.skipped_file.as_deref().unwrap().contains("unreadable"));
+}
+
+#[test]
+fn commit_labels_derive_from_file_names() {
+    assert_eq!(
+        ingest::commit_label_for(Path::new("/x/BENCH_PR4.json")),
+        "PR4"
+    );
+    assert_eq!(ingest::commit_label_for(Path::new("report.json")), "report");
+}
