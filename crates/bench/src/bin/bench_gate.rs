@@ -12,7 +12,7 @@
 //!            [--tiers small,medium] [--ingest FILE]...
 //!            [--report-md PATH] [--report-html PATH]
 //!            [--alpha A] [--min-ratio R] [--window W]
-//!            [--inject-slowdown F] [--no-record]
+//!            [--inject-slowdown F] [--no-record] [--parallel-speedup]
 //! ```
 //!
 //! - `--db` (default `.bench-db/bench.v4.bin`): the append-only results
@@ -29,17 +29,23 @@
 //!   regression-tested.
 //! - `--no-record`: evaluate without appending the fresh samples (used
 //!   by the injected self-test so fake slow samples never enter the DB).
+//! - `--parallel-speedup`: additionally require the `replay-parallel`
+//!   engine at full parallelism to be a statistical *Improvement* over
+//!   the same engine on one worker, per partitioned scheme and selected
+//!   tier (skipped on single-core machines — there is nothing to
+//!   measure). See `parallel_speedup_gate`.
 //!
 //! Exit codes: `0` clean (regressions absent), `1` at least one cell
 //! regressed (named in stderr and in the reports), `2` usage or I/O
 //! error. New samples are recorded only on exit 0 — a regressed run
 //! must not become its own baseline.
 
-use mdbs_bench::gate::{evaluate_run, GateConfig};
+use mdbs_bench::gate::{evaluate_cell, evaluate_run, CellStatus, GateConfig};
 use mdbs_bench::ingest;
 use mdbs_bench::report;
-use mdbs_bench::smoke;
+use mdbs_bench::smoke::{self, ParallelSpec};
 use mdbs_bench::store::{BenchDb, SampleRecord};
+use mdbs_core::scheme::SchemeKind;
 use std::path::Path;
 
 struct Args {
@@ -53,6 +59,7 @@ struct Args {
     cfg: GateConfig,
     inject: f64,
     record: bool,
+    parallel_speedup: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -69,6 +76,7 @@ fn parse_args() -> Result<Args, String> {
         cfg: GateConfig::default(),
         inject: 1.0,
         record: true,
+        parallel_speedup: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -123,6 +131,7 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--no-record" => args.record = false,
+            "--parallel-speedup" => args.parallel_speedup = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -132,6 +141,80 @@ fn parse_args() -> Result<Args, String> {
 fn fail_io(what: &str, e: impl std::fmt::Display) -> std::process::ExitCode {
     eprintln!("bench_gate: {what}: {e}");
     std::process::ExitCode::from(2)
+}
+
+/// The `--parallel-speedup` check: on a multi-core machine, the pool
+/// engine at full parallelism must be an *Improvement* (in the gate's
+/// statistical sense) over the same engine serialized on one worker,
+/// for each partitioned scheme at each selected tier. Returns `true` on
+/// pass (or skip — a single-core machine cannot measure parallelism).
+///
+/// The baseline is `replay_parallel` at `workers = 1`, not the single
+/// engine: both sides then pay identical pool/mailbox overhead, so the
+/// verdict isolates what parallel execution buys. The ratio floor is
+/// lower than the regression gate's (1.15 vs 1.35) because Scheme 1's
+/// domain task bounds its speedup by Amdahl's law — TSG maintenance is
+/// inherently serial — and the check must not demand more parallelism
+/// than the design contains.
+fn parallel_speedup_gate(samples: usize, inject: f64) -> bool {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < 2 {
+        eprintln!("bench_gate: parallel-speedup: SKIP (available_parallelism = {cores})");
+        return true;
+    }
+    let cfg = GateConfig {
+        alpha: 0.01,
+        min_ratio: 1.15,
+        window: 1,
+        min_hist_samples: 4,
+        min_new_samples: 4,
+    };
+    // More rounds than the regression gate: the Mann–Whitney p-value at
+    // n = 5 bottoms out near alpha, leaving no room for one straggler
+    // sample; the parallel cells are cheap enough to afford 8.
+    let rounds = samples.max(8);
+    let mut ok = true;
+    for scheme in [SchemeKind::Scheme0, SchemeKind::Scheme1] {
+        // Always medium + large, independent of --tiers: these are the
+        // tiers the parallel engine exists for, and `small` would
+        // measure thread spawn.
+        for tier in smoke::REPLAY_TIERS {
+            if tier.name == "small" {
+                continue;
+            }
+            let lo = ParallelSpec {
+                scheme,
+                workers: 1,
+                tier,
+            };
+            let hi = ParallelSpec {
+                scheme,
+                workers: cores,
+                tier,
+            };
+            // Interleave the two sides round-robin so machine drift
+            // within the run spreads across both distributions instead
+            // of biasing one.
+            let mut base = Vec::with_capacity(rounds);
+            let mut par = Vec::with_capacity(rounds);
+            for _ in 0..rounds {
+                base.extend(smoke::sample_parallel(&lo, 1, inject).wall_ms_samples);
+                par.extend(smoke::sample_parallel(&hi, 1, inject).wall_ms_samples);
+            }
+            let v = evaluate_cell(&base, &par, &cfg);
+            let verdict = if v.status == CellStatus::Improvement {
+                "improvement"
+            } else {
+                ok = false;
+                "NO SPEEDUP"
+            };
+            eprintln!(
+                "bench_gate: parallel-speedup {scheme:?}/{}: {} — 1 worker {:.3} ms vs {} workers {:.3} ms (ratio {:.3}, p {:.4})",
+                tier.name, verdict, v.median_hist, cores, v.median_new, v.ratio, v.p_slower
+            );
+        }
+    }
+    ok
 }
 
 fn main() -> std::process::ExitCode {
@@ -265,9 +348,18 @@ fn main() -> std::process::ExitCode {
         eprintln!("bench_gate: wrote {path}");
     }
 
-    if !clean {
+    let speedup_ok = if args.parallel_speedup {
+        parallel_speedup_gate(args.samples, args.inject)
+    } else {
+        true
+    };
+
+    if !clean || !speedup_ok {
         for key in outcome.regressions() {
             eprintln!("bench_gate: REGRESSION in {}", key.id());
+        }
+        if !speedup_ok {
+            eprintln!("bench_gate: PARALLEL SPEEDUP MISSING (see verdicts above)");
         }
         return std::process::ExitCode::FAILURE;
     }

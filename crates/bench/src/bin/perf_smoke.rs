@@ -1,6 +1,6 @@
 //! Perf smoke run: a fixed matrix of the four conservative schemes ×
 //! {replay, sharded replay, full DES} × workload tiers × scheme kernels,
-//! written as an `mdbs-bench-smoke-v4` snapshot and (optionally)
+//! written as an `mdbs-bench-smoke-v5` snapshot and (optionally)
 //! appended to the bench results database.
 //!
 //! Since v4 every cell is a *distribution*, not one noisy number: the
@@ -25,7 +25,13 @@
 //! Replay cells measure pure scheduler cost: throughput is transactions
 //! per *wall* second and the response percentiles are `null` (replay has
 //! no clock). `replay-sharded` cells run the same script through
-//! [`ShardedGtm2`] with one shard per site. DES cells run the full
+//! [`ShardedGtm2`] with one shard per site. Since v5, `replay-parallel`
+//! cells run Schemes 0/1 through the work-stealing pool engine
+//! ([`replay_parallel`]) at worker counts {1, 2, 4, nproc} (the worker
+//! count is stored in the `shards` column); `small` is excluded so the
+//! numbers measure the scheduler, not thread spawn.
+//!
+//! [`replay_parallel`]: mdbs_core::parallel::replay_parallel DES cells run the full
 //! simulator: throughput and response percentiles are in *simulated*
 //! time and deterministic — only their wall-clock varies across samples.
 //!
@@ -82,7 +88,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         out: out
             .or_else(|| std::env::var("BENCH_OUT").ok())
-            .unwrap_or_else(|| "BENCH_PR9.json".to_string()),
+            .unwrap_or_else(|| "BENCH_PR10.json".to_string()),
         samples,
         db,
         commit: commit
@@ -117,6 +123,12 @@ fn main() -> std::process::ExitCode {
             .samples
             .unwrap_or_else(|| default_samples(spec.tier.name));
         records.push(smoke::sample_replay(&spec, n, 1.0));
+    }
+    for spec in smoke::parallel_matrix(&tiers) {
+        let n = args
+            .samples
+            .unwrap_or_else(|| default_samples(spec.tier.name));
+        records.push(smoke::sample_parallel(&spec, n, 1.0));
     }
     for scheme in SchemeKind::CONSERVATIVE {
         for tier in DES_TIERS {

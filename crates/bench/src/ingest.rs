@@ -128,7 +128,7 @@ fn migrate_cell(
     let scheme = get_str(cell, "scheme").ok_or("missing scheme")?.to_string();
     let mode = get_str(cell, "mode").ok_or("missing mode")?.to_string();
     match mode.as_str() {
-        "replay" | "replay-sharded" | "des" => {}
+        "replay" | "replay-sharded" | "replay-parallel" | "des" => {}
         other => return Err(format!("unknown mode `{other}`")),
     }
     let size = get_str(cell, "size").ok_or("missing size")?.to_string();
@@ -138,11 +138,13 @@ fn migrate_cell(
         _ => get_str(cell, "kernel").ok_or("missing kernel")?.to_string(),
     };
     let shards = match schema {
-        "mdbs-bench-smoke-v4" => get_u64(cell, "shards").ok_or("missing shards")? as u32,
+        "mdbs-bench-smoke-v4" | "mdbs-bench-smoke-v5" => {
+            get_u64(cell, "shards").ok_or("missing shards")? as u32
+        }
         _ if mode == "replay-sharded" => sharded_shards(schema, &size),
         _ => 1,
     };
-    let wall_ms_samples = if schema == "mdbs-bench-smoke-v4" {
+    let wall_ms_samples = if matches!(schema, "mdbs-bench-smoke-v4" | "mdbs-bench-smoke-v5") {
         match cell.get("samples") {
             Some(Value::Arr(items)) if !items.is_empty() => {
                 let mut out = Vec::with_capacity(items.len());
@@ -223,7 +225,8 @@ pub fn ingest_report(db: &mut BenchDb, text: &str, commit: &str, source: &str) -
         "mdbs-bench-smoke-v1"
         | "mdbs-bench-smoke-v2"
         | "mdbs-bench-smoke-v3"
-        | "mdbs-bench-smoke-v4" => {}
+        | "mdbs-bench-smoke-v4"
+        | "mdbs-bench-smoke-v5" => {}
         other => {
             outcome.skipped_file = Some(format!("unknown schema `{other}`"));
             return outcome;

@@ -2,7 +2,7 @@
 //! kernel) cells exist, and how to measure one cell N times into a
 //! [`SampleRecord`].
 //!
-//! Both `perf_smoke` (writes the `mdbs-bench-smoke-v4` snapshot report)
+//! Both `perf_smoke` (writes the `mdbs-bench-smoke-v5` snapshot report)
 //! and `bench_gate` (re-samples cells and tests them against the stored
 //! history) drive this module, so a gate verdict is always about
 //! *exactly* the cell the snapshot trail records — same script seed,
@@ -18,6 +18,7 @@
 //! de-optimizing real code; `1.0` is a no-op.
 
 use crate::store::{CellKey, SampleRecord};
+use mdbs_core::parallel::replay_parallel;
 use mdbs_core::replay::{replay_kernel, replay_sharded_kernel, ReplayOutcome, Script};
 use mdbs_core::scheme::{KernelKind, SchemeKind};
 use mdbs_localdb::protocol::LocalProtocolKind;
@@ -201,6 +202,120 @@ pub fn replay_matrix(tiers: &[&str]) -> Vec<ReplaySpec> {
     out
 }
 
+/// Identity of one `replay-parallel` cell: the work-stealing pool engine
+/// ([`replay_parallel`]) at a given worker count. The worker count is
+/// recorded in the `shards` column (one pump shard per site task), so
+/// the trend report's shard axis doubles as the parallelism axis.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelSpec {
+    /// Scheme under test — only the partitioned engines (Schemes 0/1)
+    /// are in the matrix; the funnel schemes would just re-measure the
+    /// single engine plus pool overhead.
+    pub scheme: SchemeKind,
+    /// Pool worker threads.
+    pub workers: usize,
+    /// Workload tier.
+    pub tier: ReplayTier,
+}
+
+impl ParallelSpec {
+    /// The database key this cell's records carry.
+    pub fn key(&self) -> CellKey {
+        CellKey {
+            scheme: format!("{:?}", self.scheme),
+            mode: "replay-parallel".to_string(),
+            tier: self.tier.name.to_string(),
+            kernel: "dense".to_string(),
+            shards: self.workers as u32,
+        }
+    }
+}
+
+/// Worker counts the parallel cells sweep: 1 (the serialized baseline
+/// every speedup is measured against), 2, 4, and the machine's actual
+/// parallelism, deduplicated and sorted.
+pub fn parallel_workers() -> Vec<usize> {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut sweep = vec![1, 2, 4, cores];
+    sweep.sort_unstable();
+    sweep.dedup();
+    sweep
+}
+
+/// The `replay-parallel` matrix: Schemes 0/1 × {medium, large} × the
+/// worker sweep. `small` is excluded — at 50 txns pool startup is a
+/// visible fraction of the cell and the number would measure thread
+/// spawn, not the scheduler.
+pub fn parallel_matrix(tiers: &[&str]) -> Vec<ParallelSpec> {
+    let mut out = Vec::new();
+    for scheme in [SchemeKind::Scheme0, SchemeKind::Scheme1] {
+        for tier in REPLAY_TIERS {
+            if tier.name == "small" || !tiers.contains(&tier.name) {
+                continue;
+            }
+            for workers in parallel_workers() {
+                out.push(ParallelSpec {
+                    scheme,
+                    workers,
+                    tier,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Measure one `replay-parallel` cell `samples` times. Steps and stats
+/// are bit-identical to the single engine by construction (the
+/// equivalence suite enforces it), so the deterministic-counter check
+/// applies unchanged; only the two peak gauges are interleaving-
+/// dependent, and those are not compared across repetitions.
+pub fn sample_parallel(spec: &ParallelSpec, samples: usize, inject: f64) -> SampleRecord {
+    assert!(samples >= 1, "need at least one sample");
+    let t = spec.tier;
+    let script = Script::random(t.txns, t.sites, t.dav, 42);
+    let mut wall_ms_samples = Vec::with_capacity(samples);
+    let mut first: Option<ReplayOutcome> = None;
+    for _ in 0..samples {
+        let start = Instant::now();
+        let outcome = replay_parallel(spec.scheme, spec.workers, &script);
+        let wall = start.elapsed();
+        assert_eq!(
+            outcome.completed, t.txns,
+            "{spec:?}: parallel replay must complete every txn"
+        );
+        wall_ms_samples.push(wall.as_secs_f64() * 1e3 * inject);
+        match &first {
+            None => first = Some(outcome),
+            Some(f) => assert_eq!(
+                (f.steps.cond, f.steps.act, f.completed),
+                (outcome.steps.cond, outcome.steps.act, outcome.completed),
+                "{spec:?}: deterministic counters moved between repetitions"
+            ),
+        }
+    }
+    let outcome = first.expect("samples >= 1");
+    SampleRecord {
+        commit: String::new(),
+        source: String::new(),
+        gate_eligible: true,
+        key: spec.key(),
+        txns: t.txns as u64,
+        wall_ms_samples,
+        calib_ms: None,
+        steps_cond: outcome.steps.cond,
+        steps_act: outcome.steps.act,
+        steps_wait_scan: outcome.steps.wait_scan,
+        waits: outcome.stats.waited,
+        peak_wait: outcome.stats.peak_wait,
+        peak_active: outcome.stats.peak_active,
+        wake_scan_count: Some(outcome.wake_scan_count),
+        wake_scan_sum: Some(outcome.wake_scan_sum),
+        p50_response_us: None,
+        p99_response_us: None,
+    }
+}
+
 fn assert_consistent(spec: &ReplaySpec, first: &ReplayOutcome, outcome: &ReplayOutcome) {
     assert_eq!(
         (first.steps.cond, first.steps.act, first.completed),
@@ -331,7 +446,7 @@ pub fn sample_des(scheme: SchemeKind, tier: DesTier, samples: usize, inject: f64
     }
 }
 
-/// One cell of the `mdbs-bench-smoke-v4` report, as `perf_smoke` writes
+/// One cell of the `mdbs-bench-smoke-v5` report, as `perf_smoke` writes
 /// it. `wall_ms` keeps the historical single-number column (it is the
 /// median) so eyeball diffs against old snapshots still work; the full
 /// distribution is in `samples`.
@@ -386,7 +501,7 @@ pub struct ReportCell {
     pub wake_scan_sum: Option<u64>,
 }
 
-/// Convert a measured record into its v4 report cell.
+/// Convert a measured record into its v5 report cell.
 pub fn report_cell(rec: &SampleRecord) -> ReportCell {
     let median = rec.wall_ms_median();
     ReportCell {
@@ -420,7 +535,7 @@ pub fn report_cell(rec: &SampleRecord) -> ReportCell {
     }
 }
 
-/// The `mdbs-bench-smoke-v4` snapshot report.
+/// The `mdbs-bench-smoke-v5` snapshot report.
 #[derive(Serialize)]
 pub struct SmokeReport {
     /// Always [`crate::store::DB_SCHEMA`].
@@ -432,7 +547,7 @@ pub struct SmokeReport {
 }
 
 impl SmokeReport {
-    /// Build the v4 report from measured records.
+    /// Build the v5 report from measured records.
     pub fn from_records(commit: &str, records: &[SampleRecord]) -> SmokeReport {
         SmokeReport {
             schema: crate::store::DB_SCHEMA,

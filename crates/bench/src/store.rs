@@ -40,7 +40,7 @@ pub const DB_VERSION: u32 = 4;
 
 /// The record schema name, matching the `perf_smoke` report schema this
 /// database stores samples from.
-pub const DB_SCHEMA: &str = "mdbs-bench-smoke-v4";
+pub const DB_SCHEMA: &str = "mdbs-bench-smoke-v5";
 
 const MAGIC: [u8; 8] = *b"MDBSBNCH";
 

@@ -38,6 +38,7 @@ pub mod error;
 pub mod ids;
 pub mod instrument;
 pub mod ops;
+pub mod pool;
 pub mod rng;
 pub mod step;
 

@@ -37,6 +37,7 @@ pub mod baselines;
 pub mod gtm1;
 pub mod gtm2;
 pub mod kernel_dense;
+pub mod parallel;
 pub mod replay;
 pub mod scheme;
 pub mod scheme0;
@@ -52,6 +53,7 @@ pub mod txn;
 
 pub use gtm1::{Gtm1, Gtm1Effect, Gtm1Event};
 pub use gtm2::{Gtm2, Gtm2Stats};
+pub use parallel::{replay_parallel, replay_parallel_kernel};
 pub use scheme::SchemeEffect;
 pub use scheme::{Gtm2Scheme, KernelKind, SchemeKind, WakeCandidates, WakeScope};
 pub use ser_s::SerSLog;

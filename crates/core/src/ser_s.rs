@@ -55,20 +55,38 @@ impl SerSLog {
         self.per_site.get(&site).map_or(&[], Vec::as_slice)
     }
 
-    /// Build the serialization graph of `ser(S)`: an edge `a -> b` iff `a`
-    /// precedes `b` at some site (all same-site pairs conflict).
+    /// Build the serialization graph of `ser(S)` in transitive-reduction
+    /// form: per site, an edge between *consecutive* events only. A site's
+    /// act order is a total order, so its full conflict relation is the
+    /// transitive closure of this chain — reachability (and therefore the
+    /// acyclicity verdict and any topological witness) is identical, while
+    /// construction is `O(events)` instead of `O(events²)` per site. The
+    /// quadratic all-pairs build used to dominate large-replay wall-clock
+    /// (~97% of Scheme 0 at 1000 txns) and capped every engine speedup.
     pub fn graph(&self) -> DiGraph<GlobalTxnId> {
+        self.graph_excluding(&[])
+    }
+
+    /// [`graph`](SerSLog::graph) over the committed projection: events of
+    /// `aborted` transactions are dropped *before* chaining, so surviving
+    /// neighbours of an excluded event stay connected (removing a node
+    /// from an already-built chain would break transitivity).
+    pub fn graph_excluding(&self, aborted: &[GlobalTxnId]) -> DiGraph<GlobalTxnId> {
         let mut g = DiGraph::new();
         for (txn, _) in &self.total {
-            g.add_node(*txn);
+            if !aborted.contains(txn) {
+                g.add_node(*txn);
+            }
         }
         for order in self.per_site.values() {
-            for (i, &a) in order.iter().enumerate() {
-                for &b in order.iter().skip(i + 1) {
+            let mut prev: Option<GlobalTxnId> = None;
+            for &b in order.iter().filter(|t| !aborted.contains(t)) {
+                if let Some(a) = prev {
                     if a != b {
                         g.add_edge(a, b);
                     }
                 }
+                prev = Some(b);
             }
         }
         g
@@ -78,10 +96,7 @@ impl SerSLog {
     /// total order (Theorem 1's total order on global transactions), or the
     /// offending cycle.
     pub fn check(&self) -> Result<Vec<GlobalTxnId>, Vec<GlobalTxnId>> {
-        let g = self.graph();
-        g.topo_sort()
-            // mdbs-lint: allow(no-panic-in-scheduler) — a failed topo_sort means the graph is cyclic, so find_cycle always succeeds.
-            .ok_or_else(|| g.find_cycle().expect("cyclic graph has a cycle"))
+        self.check_excluding(&[])
     }
 
     /// Check serializability of the *committed projection* of `ser(S)` —
@@ -93,12 +108,9 @@ impl SerSLog {
         &self,
         aborted: &[GlobalTxnId],
     ) -> Result<Vec<GlobalTxnId>, Vec<GlobalTxnId>> {
-        let mut g = self.graph();
-        for t in aborted {
-            g.remove_node(*t);
-        }
+        let g = self.graph_excluding(aborted);
         g.topo_sort()
-            // mdbs-lint: allow(no-panic-in-scheduler) — same invariant as `check`: a failed topo_sort guarantees a cycle exists.
+            // mdbs-lint: allow(no-panic-in-scheduler) — a failed topo_sort means the graph is cyclic, so find_cycle always succeeds.
             .ok_or_else(|| g.find_cycle().expect("cyclic graph has a cycle"))
     }
 }
@@ -153,6 +165,50 @@ mod tests {
         log.record(g(2), s(1));
         assert!(log.check().is_ok());
         assert_eq!(log.graph().edge_count(), 0);
+    }
+
+    /// The chain-edge graph must give the same acyclicity verdict as the
+    /// full all-pairs conflict graph it is the transitive reduction of —
+    /// including under exclusion, where events must be filtered *before*
+    /// chaining.
+    #[test]
+    fn chain_graph_verdict_matches_all_pairs() {
+        let mut state = 0x5e75u64;
+        let mut next = move || {
+            state = state.wrapping_add(1);
+            mdbs_common::rng::splitmix64(state)
+        };
+        for case in 0..200u64 {
+            let mut log = SerSLog::new();
+            let txns = 2 + (next() % 8);
+            let sites = 1 + (next() % 4) as u32;
+            for _ in 0..(txns * 2) {
+                log.record(g(1 + next() % txns), s((next() % u64::from(sites)) as u32));
+            }
+            let aborted: Vec<GlobalTxnId> = (1..=txns).filter(|_| next() % 4 == 0).map(g).collect();
+            // Brute-force all-pairs graph over the committed projection.
+            let mut full = DiGraph::new();
+            for (txn, _) in log.events() {
+                if !aborted.contains(txn) {
+                    full.add_node(*txn);
+                }
+            }
+            for (_, order) in log.per_site.iter() {
+                let kept: Vec<_> = order.iter().filter(|t| !aborted.contains(t)).collect();
+                for i in 0..kept.len() {
+                    for j in (i + 1)..kept.len() {
+                        if kept[i] != kept[j] {
+                            full.add_edge(*kept[i], *kept[j]);
+                        }
+                    }
+                }
+            }
+            assert_eq!(
+                log.check_excluding(&aborted).is_ok(),
+                full.topo_sort().is_some(),
+                "case {case}: chain and all-pairs verdicts diverge"
+            );
+        }
     }
 
     #[test]

@@ -55,21 +55,38 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, TryLockError};
 
-/// A mutex with a spin-acquire path for the pump and a declared place in
-/// the engine's lock order (`shard` before `global`, see module docs).
+/// A mutex with an adaptive spin-then-park acquire path for the pump and
+/// a declared place in the engine's lock order (`shard` before `global`,
+/// see module docs).
 ///
-/// Acquisition never parks the thread: both [`lock`](OrderedMutex::lock)
-/// and [`spin`](OrderedMutex::spin) loop on `try_lock`, yielding between
-/// attempts. Critical sections are short and bounded (no I/O, no channel
-/// operations, no nested shard locks), so the spin terminates.
+/// Critical sections are short and bounded (no I/O, no channel
+/// operations, no nested shard locks), so the common contended case
+/// resolves within a few dozen spin iterations; past that bound the
+/// acquirer parks on the OS mutex instead of burning a core (the old
+/// `try_lock` + `yield_now` loop busy-waited unboundedly, which starves
+/// the holder on oversubscribed pools). Contended acquires and parks are
+/// counted and exported as `gtm2.shard_lock_contended` /
+/// `gtm2.shard_lock_parks`.
 struct OrderedMutex<T> {
     raw: Mutex<T>,
+    /// Acquires that found the lock held at least once.
+    contended: AtomicU64,
+    /// Acquires that exhausted the spin budget and parked on `raw`.
+    parks: AtomicU64,
 }
+
+/// Spin budget before parking: each iteration issues a `spin_loop` hint
+/// with exponentially growing repeat counts (1, 2, 4, ... capped), which
+/// is the usual adaptive shape — cheap for near-instant handoffs, quickly
+/// backing off when the holder is descheduled.
+const SPIN_LIMIT: u32 = 6;
 
 impl<T> OrderedMutex<T> {
     fn new(value: T) -> Self {
         OrderedMutex {
             raw: Mutex::new(value),
+            contended: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
         }
     }
 
@@ -80,18 +97,39 @@ impl<T> OrderedMutex<T> {
         self.spin()
     }
 
-    /// Acquire by bounded spinning (the pump path).
+    /// Acquire by adaptive spin, then park (the pump path).
     fn spin(&self) -> MutexGuard<'_, T> {
-        loop {
+        for round in 0..=SPIN_LIMIT {
             match self.raw.try_lock() {
                 Ok(guard) => return guard,
                 // A panicked holder cannot leave the scheduler state
                 // half-updated in a way we can repair; keep going with
                 // whatever is there, as Gtm2's embedders do.
                 Err(TryLockError::Poisoned(poisoned)) => return poisoned.into_inner(),
-                Err(TryLockError::WouldBlock) => std::thread::yield_now(),
+                Err(TryLockError::WouldBlock) => {
+                    if round == 0 {
+                        self.contended.fetch_add(1, Ordering::Relaxed);
+                    }
+                    for _ in 0..(1u32 << round.min(SPIN_LIMIT)) {
+                        std::hint::spin_loop();
+                    }
+                }
             }
         }
+        self.parks.fetch_add(1, Ordering::Relaxed);
+        // mdbs-lint: allow(blocking-in-pump) — the designed backoff: 2^7 bounded spins above always run first, and shard locks never nest (deliver() drops the source guard), so this park is deadlock-free and brief by construction.
+        match self.raw.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// `(contended acquires, parks)` recorded on this mutex so far.
+    fn contention(&self) -> (u64, u64) {
+        (
+            self.contended.load(Ordering::Relaxed),
+            self.parks.load(Ordering::Relaxed),
+        )
     }
 
     /// Exclusive access without locking (deterministic single-threaded
@@ -156,6 +194,32 @@ impl ShardCore {
 /// `shard` in the mdbs-lint lock-order graph.
 struct ShardCell {
     shard: OrderedMutex<ShardCore>,
+    /// Lock-free mirrors of this shard's `wake_scan` histogram totals,
+    /// refreshed (under the shard lock, so writes never race) at the end
+    /// of every drained slot. Concurrent pumps of *other* shards can't
+    /// lose or tear these updates, so aggregation across shards is
+    /// coherent mid-run without taking every shard lock.
+    wake_scan_count: AtomicU64,
+    wake_scan_sum: AtomicU64,
+}
+
+impl ShardCell {
+    fn new(core: ShardCore) -> Self {
+        ShardCell {
+            shard: OrderedMutex::new(core),
+            wake_scan_count: AtomicU64::new(0),
+            wake_scan_sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Refresh the atomic mirrors from the locked core (caller holds the
+    /// shard guard, making this the only writer).
+    fn publish_wake_scan(&self, core: &ShardCore) {
+        self.wake_scan_sum
+            .store(core.wake_scan.sum(), Ordering::Release);
+        self.wake_scan_count
+            .store(core.wake_scan.count(), Ordering::Release);
+    }
 }
 
 /// Global (unsharded) state: the scheme and every counter whose updates
@@ -267,9 +331,7 @@ impl ShardedGtm2 {
             kind,
             partitioned,
             cells: (0..nshards)
-                .map(|_| ShardCell {
-                    shard: OrderedMutex::new(ShardCore::new()),
-                })
+                .map(|_| ShardCell::new(ShardCore::new()))
                 .collect(),
             global: OrderedMutex::new(GlobalCore {
                 scheme: kind.build_kernel(kernel),
@@ -376,6 +438,7 @@ impl ShardedGtm2 {
                     partitioned: self.partitioned,
                 };
                 drain_slot(ctx, &mut core, &mut global, &mut out);
+                cell.publish_wake_scan(&core);
             }
             effects.append(&mut out.effects);
             for target in self.deliver(j, &out) {
@@ -385,6 +448,37 @@ impl ShardedGtm2 {
             }
         }
         effects
+    }
+
+    /// Pump only shard `start`, delivering any cross-shard handoffs it
+    /// produces without following them into the target shards' locks.
+    /// Returns the effects plus the shards that received a handoff —
+    /// **waker hints** for a task runtime where every shard has an owning
+    /// pump task: instead of this thread contending the target shard, the
+    /// caller wakes the owner, which re-tests against current global
+    /// state on its next poll (handoffs are idempotent re-test hints, so
+    /// a hint raced by the owner's own pump is harmless).
+    pub fn pump_shard_hinted(&self, start: usize) -> (Vec<SchemeEffect>, Vec<usize>) {
+        let mut out = PumpOut::default();
+        {
+            let Some(cell) = self.cells.get(start) else {
+                return (Vec::new(), Vec::new());
+            };
+            let mut core = cell.shard.spin();
+            if core.handoff.is_empty() && core.inbox.is_empty() {
+                return (Vec::new(), Vec::new());
+            }
+            let mut global = self.global.spin();
+            let ctx = SlotCtx {
+                shard: start,
+                nshards: self.cells.len(),
+                partitioned: self.partitioned,
+            };
+            drain_slot(ctx, &mut core, &mut global, &mut out);
+            cell.publish_wake_scan(&core);
+        }
+        let hints = self.deliver(start, &out);
+        (out.effects, hints)
     }
 
     /// Deliver `out`'s handoffs (source shard's guards must already be
@@ -483,6 +577,10 @@ impl ShardedGtm2 {
                     }
                 }
             }
+            cell.wake_scan_sum
+                .store(core.wake_scan.sum(), Ordering::Release);
+            cell.wake_scan_count
+                .store(core.wake_scan.count(), Ordering::Release);
         }
         out
     }
@@ -579,12 +677,29 @@ impl ShardedGtm2 {
     }
 
     /// Merged wake-scan histogram totals across shards: `(count, sum)`.
+    /// Reads the per-shard atomic mirrors, so it is safe (and lock-free)
+    /// to call while other threads pump shards — no sampled shard's
+    /// totals can be lost or torn, each is a drain-boundary snapshot.
     pub fn wake_scan_totals(&self) -> (u64, u64) {
-        let mut merged = Histogram::new();
+        let mut count = 0u64;
+        let mut sum = 0u64;
         for cell in &self.cells {
-            merged.merge(&cell.shard.spin().wake_scan);
+            count += cell.wake_scan_count.load(Ordering::Acquire);
+            sum += cell.wake_scan_sum.load(Ordering::Acquire);
         }
-        (merged.count(), merged.sum())
+        (count, sum)
+    }
+
+    /// Shard-lock contention counters summed over every shard plus the
+    /// global core: `(contended acquires, parks)`.
+    pub fn lock_contention(&self) -> (u64, u64) {
+        let (mut contended, mut parks) = self.global.contention();
+        for cell in &self.cells {
+            let (c, p) = cell.shard.contention();
+            contended += c;
+            parks += p;
+        }
+        (contended, parks)
     }
 
     /// Export counters, gauges and histograms into `registry` under the
@@ -619,6 +734,9 @@ impl ShardedGtm2 {
         registry.inc("gtm2.steps.act", global.steps.act);
         registry.inc("gtm2.steps.wait_scan", global.steps.wait_scan);
         registry.inc("gtm2.cross_shard_handoff", handoffs);
+        let (lock_contended, lock_parks) = self.lock_contention();
+        registry.inc("gtm2.shard_lock_contended", lock_contended);
+        registry.inc("gtm2.shard_lock_parks", lock_parks);
         registry.max_gauge("gtm2.peak_wait", s.peak_wait as i64);
         registry.max_gauge("gtm2.peak_active", s.peak_active as i64);
         registry.merge_histogram("gtm2.wake_scan", &merged);

@@ -1,17 +1,28 @@
 //! A live, multi-threaded MDBS: the same GTM1/GTM2 state machines and
-//! local DBMS engines as the simulator, but with one OS thread per site
-//! and a coordinator thread for the GTM, talking over crossbeam channels.
+//! local DBMS engines as the simulator, with one **work-stealing pool
+//! task** per site (not one OS thread) and the coordinator on the calling
+//! thread, talking over crossbeam channels.
 //!
 //! Where the discrete-event simulator gives determinism (experiments), the
 //! threaded runtime gives *real concurrency* — messages genuinely race,
-//! blocked operations park inside site threads, and timeouts run on wall
+//! blocked operations park inside site engines, and timeouts run on wall
 //! clocks. Every run is still audited for global serializability at the
 //! end, so the paper's guarantees are exercised under true parallelism.
 //!
+//! Site workers are non-blocking state machines on [`mdbs_common::pool`]:
+//! each poll drains its command mailbox with `try_recv`, expires blocked
+//! operations, sweeps its own GTM2 shard, and returns `Pending`. The
+//! coordinator wakes a site's task after every send, and ticks all tasks
+//! every 2 ms so expiry keeps running while traffic is quiet. OS threads
+//! are capped at `min(sites, available_parallelism)` — many sites
+//! multiplex onto few workers instead of oversubscribing the machine.
+//!
 //! GTM2 runs as a [`ShardedGtm2`]: each site worker feeds its `ack`s into
 //! its own shard and pumps it in place (an ack never crosses the
-//! coordinator channel), while the coordinator pumps the shards its
-//! `init`/`ser`/`fin` traffic routes to. The shard count comes from
+//! coordinator channel). Cross-shard handoffs are **waker hints**: the
+//! pumping worker never chases another shard's lock — it wakes the task
+//! owning the target shard ([`ShardedGtm2::pump_shard_hinted`]), which
+//! re-tests on its next poll. The shard count comes from
 //! [`ThreadedMdbs::set_shards`], the `MDBS_SHARDS` environment variable,
 //! or defaults to one shard per site.
 //!
@@ -19,11 +30,12 @@
 //! load); aborted global transactions are not retried — their outcome is
 //! reported as-is.
 
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use mdbs_common::error::{AbortReason, MdbsError};
 use mdbs_common::ids::{DataItemId, GlobalTxnId, SiteId};
 use mdbs_common::instrument::{Registry, SharedSink, TracedEvent};
 use mdbs_common::ops::QueueOp;
+use mdbs_common::pool::{Poll, Pool, TaskHandle};
 use mdbs_core::gtm1::{Gtm1, Gtm1Effect, Gtm1Event, ServerCommand};
 use mdbs_core::scheme::{SchemeEffect, SchemeKind};
 use mdbs_core::sharded::ShardedGtm2;
@@ -36,8 +48,7 @@ use mdbs_schedule::global::{check_global, GlobalSerializability};
 use mdbs_schedule::History;
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
-use std::sync::Arc;
-use std::thread::JoinHandle;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Message from coordinator to a site thread.
@@ -110,10 +121,18 @@ struct SiteWorker {
     db: LocalDbms,
     rx: Receiver<ToSite>,
     tx: Sender<FromSite>,
-    /// The shared GTM2 engine; this worker pumps shard `shard`.
+    /// The shared GTM2 engine; this worker pumps its own site's shard on
+    /// the ack fast path and sweeps `owned_shards` on every poll.
     gtm2: Arc<ShardedGtm2>,
-    /// The shard owning this worker's site.
-    shard: usize,
+    /// Shards this task owns for sweeping and handoff wakes (shard `j`
+    /// is owned by site task `j mod nsites`, so every shard has exactly
+    /// one owner even when shard and site counts differ).
+    owned_shards: Vec<usize>,
+    /// One waker per GTM2 shard (the owning site task), populated after
+    /// all tasks are spawned and before any is woken. Cross-shard handoff
+    /// hints from this worker's pumps go through these instead of this
+    /// worker following the handoff into a foreign shard's lock.
+    shard_wakers: Arc<OnceLock<Vec<TaskHandle>>>,
     pending: BTreeMap<GlobalTxnId, (Cont, Instant)>,
     block_timeout: Duration,
     /// Sends that failed because the coordinator already hung up. The
@@ -132,25 +151,49 @@ impl SiteWorker {
         }
     }
 
-    fn run(mut self) {
+    /// One poll of the site task: drain the command mailbox, expire
+    /// blocked operations, sweep this worker's GTM2 shard (clearing any
+    /// handoff hints other shards parked in it), and suspend. Never
+    /// blocks — the coordinator wakes this task after every send and on
+    /// its 2 ms expiry tick.
+    fn run(&mut self) -> Poll {
         loop {
-            match self.rx.recv_timeout(Duration::from_millis(2)) {
+            match self.rx.try_recv() {
                 Ok(ToSite::Command { txn, cmd }) => {
                     self.execute(txn, cmd);
                     self.drain();
                 }
-                Ok(ToSite::Shutdown) => break,
-                Err(RecvTimeoutError::Timeout) => {
-                    self.expire_blocked();
-                    // Idle tick: clear any handoffs other shards parked in
-                    // ours (the deliverer normally pumps them itself, so
-                    // this is a belt-and-braces sweep, not the fast path).
-                    let effects = self.gtm2.pump_shard(self.shard);
-                    self.forward_effects(effects);
+                Ok(ToSite::Shutdown) | Err(TryRecvError::Disconnected) => {
+                    self.finish();
+                    return Poll::Done;
                 }
-                Err(RecvTimeoutError::Disconnected) => break,
+                Err(TryRecvError::Empty) => break,
             }
         }
+        self.expire_blocked();
+        for j in self.owned_shards.clone() {
+            self.pump(j);
+        }
+        Poll::Pending
+    }
+
+    /// Pump one GTM2 shard without following handoffs: forward the
+    /// effects, then wake the tasks owning any shards the pump handed
+    /// work to.
+    fn pump(&mut self, shard: usize) {
+        let (effects, hints) = self.gtm2.pump_shard_hinted(shard);
+        self.forward_effects(effects);
+        if let Some(wakers) = self.shard_wakers.get() {
+            for j in hints {
+                if let Some(w) = wakers.get(j) {
+                    w.wake();
+                }
+            }
+        }
+    }
+
+    /// Ship the final site state to the coordinator at shutdown.
+    fn finish(&mut self) {
         let committed_values: Vec<(DataItemId, Value)> = self.db.storage().iter().collect();
         let msg = FromSite::Final {
             site: self.site,
@@ -325,8 +368,7 @@ impl SiteWorker {
             txn,
             site: self.site,
         });
-        let effects = self.gtm2.pump_shard(shard);
-        self.forward_effects(effects);
+        self.pump(shard);
     }
 
     fn forward_effects(&mut self, effects: Vec<SchemeEffect>) {
@@ -444,25 +486,45 @@ impl ThreadedMdbs {
         let gtm2 = Arc::new(sharded);
 
         let (to_coord, from_sites) = bounded::<FromSite>(1024);
+        let nsites = self.protocols.len().max(1);
+        // Task-per-site on a bounded worker pool: many sites multiplex
+        // onto at most `available_parallelism` OS threads.
+        let pool_workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(nsites);
+        let pool = Pool::new(pool_workers);
+        let shard_wakers: Arc<OnceLock<Vec<TaskHandle>>> = Arc::new(OnceLock::new());
         let mut site_txs: Vec<Sender<ToSite>> = Vec::new();
-        let mut handles: Vec<JoinHandle<()>> = Vec::new();
+        let mut handles: Vec<TaskHandle> = Vec::new();
         for (i, &protocol) in self.protocols.iter().enumerate() {
             let (tx, rx) = bounded::<ToSite>(1024);
             site_txs.push(tx);
-            let worker = SiteWorker {
+            let mut worker = SiteWorker {
                 site: SiteId(i as u32),
                 db: LocalDbms::new(SiteId(i as u32), protocol),
                 rx,
                 tx: to_coord.clone(),
                 gtm2: Arc::clone(&gtm2),
-                shard: i % nshards,
+                owned_shards: (0..nshards).filter(|j| j % nsites == i).collect(),
+                shard_wakers: Arc::clone(&shard_wakers),
                 pending: BTreeMap::new(),
                 block_timeout: self.block_timeout,
                 send_dropped: 0,
             };
-            handles.push(std::thread::spawn(move || worker.run()));
+            handles.push(pool.spawn(move || worker.run()));
         }
         drop(to_coord);
+        // Publish the shard → owning-task map before any task runs, then
+        // start them all (spawn does not schedule; the first wake does).
+        let _ = shard_wakers.set(
+            (0..nshards)
+                .map(|j| handles[j % nsites].clone())
+                .collect::<Vec<_>>(),
+        );
+        for h in &handles {
+            h.wake();
+        }
 
         let total = programs.len();
         let mut queue: VecDeque<GlobalTransaction> = programs.into();
@@ -477,6 +539,7 @@ impl ThreadedMdbs {
             pending_events.push_back(Gtm1Event::Submit(queue.pop_front().expect("nonempty")));
         }
 
+        let mut last_progress = Instant::now();
         while done < total {
             // Process whatever GTM work is pending.
             while let Some(ev) = pending_events.pop_front() {
@@ -484,8 +547,16 @@ impl ThreadedMdbs {
                     match fx {
                         Gtm1Effect::EnqueueGtm2(op) => {
                             let shard = gtm2.enqueue(op);
-                            for fx in gtm2.pump_shard(shard) {
+                            let (effects, hints) = gtm2.pump_shard_hinted(shard);
+                            for fx in effects {
                                 pending_events.push_back(gtm2_effect_event(fx));
+                            }
+                            if let Some(wakers) = shard_wakers.get() {
+                                for j in hints {
+                                    if let Some(w) = wakers.get(j) {
+                                        w.wake();
+                                    }
+                                }
                             }
                         }
                         Gtm1Effect::Server { txn, site, cmd } => {
@@ -496,6 +567,8 @@ impl ThreadedMdbs {
                                 .is_err()
                             {
                                 send_dropped += 1;
+                            } else if let Some(h) = handles.get(site.index()) {
+                                h.wake();
                             }
                         }
                         Gtm1Effect::Completed { aborted, .. } => {
@@ -514,19 +587,35 @@ impl ThreadedMdbs {
             if done >= total {
                 break;
             }
-            // Wait for site replies.
-            match from_sites.recv_timeout(Duration::from_secs(10)) {
-                Ok(FromSite::Gtm1(event)) => pending_events.push_back(event),
+            // Wait for site replies, ticking all site tasks every 2 ms so
+            // block-timeout expiry keeps running while traffic is quiet.
+            match from_sites.recv_timeout(Duration::from_millis(2)) {
+                Ok(FromSite::Gtm1(event)) => {
+                    pending_events.push_back(event);
+                    last_progress = Instant::now();
+                }
                 Ok(FromSite::Final { .. }) => {}
-                Err(_) => panic!("threaded MDBS wedged: {done}/{total} complete"),
+                Err(RecvTimeoutError::Timeout) => {
+                    for h in &handles {
+                        h.wake();
+                    }
+                    assert!(
+                        last_progress.elapsed() < Duration::from_secs(10),
+                        "threaded MDBS wedged: {done}/{total} complete"
+                    );
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("threaded MDBS wedged (sites gone): {done}/{total} complete")
+                }
             }
         }
 
         // Shut down sites and collect histories.
-        for tx in &site_txs {
+        for (tx, h) in site_txs.iter().zip(&handles) {
             if tx.send(ToSite::Shutdown).is_err() {
                 send_dropped += 1;
             }
+            h.wake();
         }
         let mut histories: BTreeMap<SiteId, History> = BTreeMap::new();
         let mut totals: BTreeMap<SiteId, i128> = BTreeMap::new();
@@ -554,11 +643,13 @@ impl ThreadedMdbs {
                 Err(_) => panic!("site threads did not shut down"),
             }
         }
-        for h in handles {
-            h.join().expect("site thread");
-        }
+        assert!(
+            pool.wait_idle(Duration::from_secs(10)),
+            "site tasks did not reach Done"
+        );
         gtm1.export_metrics(&mut registry);
         gtm2.export_metrics(&mut registry);
+        pool.export_metrics(&mut registry);
         registry.inc("threaded.send_dropped", send_dropped);
 
         ThreadedRunReport {
